@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Bench plumbing implementation.
+ */
+
+#include "common.hh"
+
+#include <iostream>
+#include <stdexcept>
+#include <sys/stat.h>
+
+namespace ahq::bench
+{
+
+std::string
+outputDir()
+{
+    static const std::string dir = [] {
+        std::string d = "bench_out";
+        ::mkdir(d.c_str(), 0755); // best effort; may already exist
+        return d;
+    }();
+    return dir;
+}
+
+std::unique_ptr<report::CsvWriter>
+openCsv(const std::string &filename,
+        const std::vector<std::string> &header)
+{
+    return std::make_unique<report::CsvWriter>(
+        outputDir() + "/" + filename, header);
+}
+
+std::unique_ptr<sched::Scheduler>
+makeScheduler(const std::string &name)
+{
+    if (name == "Unmanaged")
+        return std::make_unique<sched::Unmanaged>();
+    if (name == "LC-first")
+        return std::make_unique<sched::LcFirst>();
+    if (name == "PARTIES")
+        return std::make_unique<sched::Parties>();
+    if (name == "CLITE")
+        return std::make_unique<sched::Clite>();
+    if (name == "ARQ")
+        return std::make_unique<sched::Arq>();
+    throw std::invalid_argument("unknown strategy: " + name);
+}
+
+const std::vector<std::string> &
+allStrategies()
+{
+    static const std::vector<std::string> v{
+        "Unmanaged", "LC-first", "PARTIES", "CLITE", "ARQ"};
+    return v;
+}
+
+const std::vector<std::string> &
+managedStrategies()
+{
+    static const std::vector<std::string> v{"PARTIES", "CLITE",
+                                            "ARQ"};
+    return v;
+}
+
+cluster::SimulationConfig
+standardConfig()
+{
+    cluster::SimulationConfig c;
+    c.epochSeconds = 0.5;
+    c.durationSeconds = 120.0;
+    c.warmupEpochs = 120;
+    c.seed = 42;
+    return c;
+}
+
+cluster::SimulationResult
+runScenario(const std::string &strategy, const cluster::Node &node,
+            const cluster::SimulationConfig &cfg)
+{
+    const auto sched = makeScheduler(strategy);
+    cluster::EpochSimulator sim(node, cfg);
+    return sim.run(*sched);
+}
+
+cluster::Node
+canonicalNode(double xapian_load, double moses_load,
+              double imgdnn_load, const apps::AppProfile &be_app,
+              const machine::MachineConfig &mc)
+{
+    return cluster::Node(
+        mc, {cluster::lcAt(apps::xapian(), xapian_load),
+             cluster::lcAt(apps::moses(), moses_load),
+             cluster::lcAt(apps::imgDnn(), imgdnn_load),
+             cluster::be(be_app)});
+}
+
+core::EntropyCurve
+entropyVsCores(const std::string &strategy,
+               const std::vector<int> &core_counts, int ways,
+               const apps::AppProfile &be_app, double xapian_load)
+{
+    core::EntropyCurve curve;
+    for (int cores : core_counts) {
+        const auto mc = machine::MachineConfig::xeonE52630v4()
+                            .withAvailable(cores, ways, 10);
+        const auto node = canonicalNode(xapian_load, 0.2, 0.2,
+                                        be_app, mc);
+        const auto res = runScenario(strategy, node,
+                                     standardConfig());
+        curve.push_back({static_cast<double>(cores), res.meanES});
+    }
+    return curve;
+}
+
+std::string
+num(double v, int precision)
+{
+    return report::TextTable::num(v, precision);
+}
+
+void
+loadSweepFigure(const std::string &fig_name,
+                const apps::AppProfile &primary,
+                const apps::AppProfile &secondary_a,
+                const apps::AppProfile &secondary_b,
+                const apps::AppProfile &be_app)
+{
+    auto csv = openCsv(fig_name + ".csv",
+                       {"secondary_load", "primary_load",
+                        "strategy", "e_lc", "e_be", "e_s", "yield",
+                        "p95_primary", "p95_a", "p95_b", "be_ipc"});
+
+    const std::vector<double> sweep{0.1, 0.3, 0.5, 0.7, 0.9};
+
+    for (double fixed : {0.2, 0.4}) {
+        report::heading(std::cout,
+                        fig_name + " — " + secondary_a.name + "/" +
+                            secondary_b.name + " at " +
+                            num(fixed * 100, 0) + "%, " +
+                            primary.name + " sweeping, BE = " +
+                            be_app.name);
+        report::TextTable t({primary.name + " load", "strategy",
+                             "E_LC", "E_BE", "E_S", "yield",
+                             "p95 " + primary.name,
+                             "p95 " + secondary_a.name,
+                             "p95 " + secondary_b.name,
+                             be_app.name + " IPC"});
+        std::vector<report::Series> es_series;
+        for (const auto &s : allStrategies())
+            es_series.push_back({s, {}, {}});
+
+        for (double load : sweep) {
+            cluster::Node node(
+                machine::MachineConfig::xeonE52630v4(),
+                {cluster::lcAt(primary, load),
+                 cluster::lcAt(secondary_a, fixed),
+                 cluster::lcAt(secondary_b, fixed),
+                 cluster::be(be_app)});
+            std::size_t si = 0;
+            for (const auto &s : allStrategies()) {
+                const auto res = runScenario(s, node,
+                                             standardConfig());
+                t.addRow({num(load * 100, 0) + "%", s,
+                          num(res.meanELc), num(res.meanEBe),
+                          num(res.meanES), num(res.yieldValue, 2),
+                          num(res.meanP95Ms[0], 2),
+                          num(res.meanP95Ms[1], 2),
+                          num(res.meanP95Ms[2], 2),
+                          num(res.meanIpc[3], 2)});
+                csv->addRow({num(fixed, 2), num(load, 2), s,
+                             num(res.meanELc), num(res.meanEBe),
+                             num(res.meanES),
+                             num(res.yieldValue, 3),
+                             num(res.meanP95Ms[0], 3),
+                             num(res.meanP95Ms[1], 3),
+                             num(res.meanP95Ms[2], 3),
+                             num(res.meanIpc[3], 3)});
+                es_series[si].xs.push_back(load);
+                es_series[si].ys.push_back(res.meanES);
+                ++si;
+            }
+        }
+        t.print(std::cout);
+        report::lineChart(std::cout, es_series, 64, 14,
+                          "E_S vs " + primary.name + " load (" +
+                              secondary_a.name + "/" +
+                              secondary_b.name + " at " +
+                              num(fixed * 100, 0) + "%)");
+    }
+}
+
+} // namespace ahq::bench

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure-reproducing bench binaries:
+ * standard colocations, strategy registry, scenario runner and CSV
+ * output location.
+ */
+
+#ifndef AHQ_BENCH_COMMON_HH
+#define AHQ_BENCH_COMMON_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/catalog.hh"
+#include "cluster/epoch_sim.hh"
+#include "core/equivalence.hh"
+#include "report/ascii_chart.hh"
+#include "report/csv.hh"
+#include "report/table.hh"
+#include "sched/arq.hh"
+#include "sched/clite.hh"
+#include "sched/lc_first.hh"
+#include "sched/parties.hh"
+#include "sched/unmanaged.hh"
+
+namespace ahq::bench
+{
+
+/** Directory CSV series are written into (created on demand). */
+std::string outputDir();
+
+/** Open a CSV in the output directory ("fig08.csv" etc.). */
+std::unique_ptr<report::CsvWriter>
+openCsv(const std::string &filename,
+        const std::vector<std::string> &header);
+
+/** Factory for a named strategy: one fresh instance per run. */
+std::unique_ptr<sched::Scheduler>
+makeScheduler(const std::string &name);
+
+/** The strategy names in the paper's presentation order. */
+const std::vector<std::string> &allStrategies();
+
+/** The managed strategies (PARTIES, CLITE, ARQ). */
+const std::vector<std::string> &managedStrategies();
+
+/**
+ * The standard simulation configuration used by the Section VI
+ * benches: 500 ms epochs, 120 s runs, the last 60 s aggregated.
+ */
+cluster::SimulationConfig standardConfig();
+
+/**
+ * Run one strategy on one node and return the aggregates.
+ *
+ * @param strategy Strategy name (see allStrategies()).
+ * @param node The colocation.
+ * @param cfg Simulation configuration.
+ */
+cluster::SimulationResult
+runScenario(const std::string &strategy, const cluster::Node &node,
+            const cluster::SimulationConfig &cfg);
+
+/** The paper's canonical 3-LC colocation plus a chosen BE app. */
+cluster::Node
+canonicalNode(double xapian_load, double moses_load,
+              double imgdnn_load, const apps::AppProfile &be_app,
+              const machine::MachineConfig &mc =
+                  machine::MachineConfig::xeonE52630v4());
+
+/** Sweep helper: E_S as a function of available cores. */
+core::EntropyCurve
+entropyVsCores(const std::string &strategy,
+               const std::vector<int> &core_counts, int ways,
+               const apps::AppProfile &be_app,
+               double xapian_load = 0.2);
+
+/** Format a double for tables (shortcut). */
+std::string num(double v, int precision = 3);
+
+/**
+ * The Section VI-A load-sweep figure shape shared by Figs. 8, 9 and
+ * 11: one primary LC app sweeps 10-90% load while two secondary LC
+ * apps sit at a fixed load (20%, then 40%), colocated with one BE
+ * app; every strategy reports E_LC / E_BE / E_S plus tail latencies
+ * and BE IPC.
+ *
+ * @param fig_name Short name for headings and the CSV file.
+ * @param primary The sweeping LC app.
+ * @param secondary_a First fixed-load LC app.
+ * @param secondary_b Second fixed-load LC app.
+ * @param be_app The BE app.
+ */
+void loadSweepFigure(const std::string &fig_name,
+                     const apps::AppProfile &primary,
+                     const apps::AppProfile &secondary_a,
+                     const apps::AppProfile &secondary_b,
+                     const apps::AppProfile &be_app);
+
+} // namespace ahq::bench
+
+#endif // AHQ_BENCH_COMMON_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fig. 4: the space-time resource utilisation model. One resource
+ * slice over eight time slices for LC1, LC2 and BE; compares
+ * exclusive isolation (scenario b) against prioritised sharing
+ * (scenario c), reproducing the tick/triangle/cross accounting.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "sched/spacetime.hh"
+
+using namespace ahq;
+using namespace ahq::bench;
+using namespace ahq::sched;
+
+namespace
+{
+
+const char *
+glyph(SlotOutcome o)
+{
+    switch (o) {
+      case SlotOutcome::NotNeeded:
+        return ".";
+      case SlotOutcome::Served:
+        return "v"; // tick
+      case SlotOutcome::ServedWithOverhead:
+        return "^"; // triangle
+      case SlotOutcome::Denied:
+        return "x"; // cross
+    }
+    return "?";
+}
+
+void
+printGrid(const std::vector<SpacetimeDemand> &demands,
+          const SpacetimeResult &res, const std::string &title)
+{
+    report::heading(std::cout, title);
+    std::cout << "         t=  1 2 3 4 5 6 7 8\n";
+    for (std::size_t a = 0; a < demands.size(); ++a) {
+        std::cout << "  " << demands[a].name
+                  << std::string(9 - demands[a].name.size(), ' ');
+        for (std::size_t t = 0; t < res.outcomes[a].size(); ++t)
+            std::cout << " " << glyph(res.outcomes[a][t]);
+        std::cout << "\n";
+    }
+    std::cout << "  served (v+^): " << res.served
+              << "  overheads (^): " << res.overheads
+              << "  denied (x): " << res.denied
+              << "  idle slices: " << res.idleSlices
+              << "  utilisation: " << num(res.utilization(), 2)
+              << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    // The Fig. 4(a) demand pattern: per-slice resource needs of two
+    // LC apps and one BE app measured when each runs alone.
+    const std::vector<SpacetimeDemand> demands{
+        {"LC1", true, {1, 1, 0, 0, 1, 1, 0, 1}},
+        {"LC2", true, {0, 1, 0, 1, 0, 1, 1, 0}},
+        {"BE", false, {1, 0, 1, 1, 1, 1, 1, 1}},
+    };
+
+    report::heading(std::cout,
+                    "Fig. 4 — space-time model of one resource "
+                    "slice");
+    std::cout << "legend: v = served, ^ = served with transition "
+                 "overhead, x = denied, . = not needed\n";
+
+    const auto iso = simulateIsolated(demands, 0);
+    printGrid(demands, iso,
+              "(b) slice exclusively allocated to LC1");
+
+    const auto shared = simulateSharedPriority(demands);
+    printGrid(demands, shared,
+              "(c) slice shared, LC apps take precedence");
+
+    std::cout << "\nReading: sharing cuts denied demands from "
+              << iso.denied << " to " << shared.denied
+              << " at the cost of " << shared.overheads
+              << " ownership transitions, and lifts utilisation "
+              << num(iso.utilization(), 2) << " -> "
+              << num(shared.utilization(), 2)
+              << " (the paper reports 10 -> 6 crosses and ~2x "
+                 "utilisation).\n";
+
+    auto csv = openCsv("fig04.csv",
+                       {"scenario", "served", "overheads", "denied",
+                        "idle", "utilisation"});
+    csv->addRow({"isolated", std::to_string(iso.served),
+                 std::to_string(iso.overheads),
+                 std::to_string(iso.denied),
+                 std::to_string(iso.idleSlices),
+                 num(iso.utilization())});
+    csv->addRow({"shared_priority", std::to_string(shared.served),
+                 std::to_string(shared.overheads),
+                 std::to_string(shared.denied),
+                 std::to_string(shared.idleSlices),
+                 num(shared.utilization())});
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fig. 13: fluctuating load. Xapian's load follows the paper's
+ * 250-second step trace (10% <-> 90%) while Moses and Img-dnn stay
+ * at 20% and Stream runs as the BE app. For LC-first, PARTIES and
+ * ARQ the bench reports the entropy timeline, per-strategy QoS
+ * violation counts (the paper reports 105 for PARTIES vs 59 for
+ * ARQ) and the shared/isolated allocation timeline of PARTIES and
+ * ARQ.
+ */
+
+#include <iostream>
+
+#include <cmath>
+#include <limits>
+
+#include "common.hh"
+#include "trace/load_trace.hh"
+
+using namespace ahq;
+using namespace ahq::bench;
+
+int
+main()
+{
+    report::heading(std::cout,
+                    "Fig. 13 — fluctuating Xapian load (250 s)");
+
+    cluster::SimulationConfig cfg = standardConfig();
+    cfg.durationSeconds = 250.0;
+    cfg.warmupEpochs = 0; // the whole timeline matters here
+
+    auto make_node = [] {
+        return cluster::Node(
+            machine::MachineConfig::xeonE52630v4(),
+            {cluster::lcWith(apps::xapian(),
+                             std::shared_ptr<trace::LoadTrace>(
+                                 trace::fig13XapianTrace())),
+             cluster::lcAt(apps::moses(), 0.2),
+             cluster::lcAt(apps::imgDnn(), 0.2),
+             cluster::be(apps::stream())});
+    };
+
+    auto csv = openCsv("fig13.csv",
+                       {"strategy", "time_s", "xapian_load", "e_lc",
+                        "e_be", "e_s", "xapian_p95", "be_ipc",
+                        "shared_cores", "shared_ways"});
+
+    report::TextTable t({"strategy", "violations (of 1500)",
+                         "mean E_LC", "mean E_BE", "mean E_S"});
+    std::vector<report::Series> es_series;
+
+    for (const std::string s : {"LC-first", "PARTIES", "ARQ"}) {
+        const auto node = make_node();
+        const auto res = runScenario(s, node, cfg);
+
+        double sum_lc = 0.0, sum_be = 0.0, sum_s = 0.0;
+        report::Series series{s, {}, {}};
+        for (const auto &rec : res.epochs) {
+            sum_lc += rec.entropy.eLc;
+            sum_be += rec.entropy.eBe;
+            sum_s += rec.entropy.eS;
+
+            // The shared pool: ARQ's shared region, PARTIES' BE
+            // pool, LC-first's single region.
+            int shared_cores = 0, shared_ways = 0;
+            const auto shared_id = rec.layout.sharedRegion();
+            if (shared_id != machine::kNoRegion) {
+                shared_cores =
+                    rec.layout.region(shared_id).res.cores;
+                shared_ways =
+                    rec.layout.region(shared_id).res.llcWays;
+            }
+            csv->addRow({s, num(rec.time, 1),
+                         num(rec.obs[0].loadFraction, 2),
+                         num(rec.entropy.eLc),
+                         num(rec.entropy.eBe),
+                         num(rec.entropy.eS),
+                         num(rec.obs[0].p95Ms, 3),
+                         num(rec.obs[3].ipc, 3),
+                         std::to_string(shared_cores),
+                         std::to_string(shared_ways)});
+            if (static_cast<int>(series.xs.size()) < 250 &&
+                std::fmod(rec.time, 1.0) < 0.25) {
+                series.xs.push_back(rec.time);
+                series.ys.push_back(rec.entropy.eS);
+            }
+        }
+        const double n = static_cast<double>(res.epochs.size());
+        t.addRow({s, std::to_string(res.violations),
+                  num(sum_lc / n), num(sum_be / n),
+                  num(sum_s / n)});
+        es_series.push_back(std::move(series));
+    }
+    t.print(std::cout);
+    report::lineChart(std::cout, es_series, 72, 16,
+                      "E_S over time (s)");
+
+    // ARQ allocation timeline: shared-region size at key moments.
+    report::heading(std::cout,
+                    "ARQ shared-region size across load phases");
+    const auto node = make_node();
+    const auto arq = runScenario("ARQ", node, cfg);
+    report::TextTable ta({"time (s)", "Xapian load",
+                          "shared cores", "shared ways",
+                          "Xapian iso cores", "Xapian iso ways"});
+    for (double when : {10.0, 70.0, 110.0, 130.0, 190.0, 240.0}) {
+        const auto &rec =
+            arq.epochs[static_cast<std::size_t>(when / 0.5)];
+        const auto shared_id = rec.layout.sharedRegion();
+        const auto iso = rec.layout.isolatedRegionOf(0);
+        ta.addRow({num(when, 0), num(rec.obs[0].loadFraction, 1),
+                   std::to_string(
+                       rec.layout.region(shared_id).res.cores),
+                   std::to_string(
+                       rec.layout.region(shared_id).res.llcWays),
+                   std::to_string(rec.layout.region(iso).res.cores),
+                   std::to_string(
+                       rec.layout.region(iso).res.llcWays)});
+    }
+    ta.print(std::cout);
+
+    std::cout << "\nExpected shape (paper): ARQ has materially "
+                 "fewer violations than PARTIES (59 vs 105\nover "
+                 "500 samples) and smaller E_LC spikes; its shared "
+                 "region shrinks in the high-load\nphases and "
+                 "recovers afterwards.\n";
+    return 0;
+}

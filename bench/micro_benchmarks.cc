@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Library micro-benchmarks (google-benchmark): the hot paths a
+ * downstream controller would run online — entropy computation,
+ * the contention model fixed point, GP fit/acquisition, M/M/c
+ * percentiles and full epoch-simulation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/catalog.hh"
+#include "cluster/epoch_sim.hh"
+#include "core/entropy.hh"
+#include "perf/queueing.hh"
+#include "sched/arq.hh"
+#include "sched/gp.hh"
+#include "stats/percentile.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using namespace ahq;
+
+void
+BM_ComputeEntropy(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<core::LcObservation> lc(n, {2.77, 5.0, 4.22});
+    std::vector<core::BeObservation> be(2, {2.63, 1.5});
+    for (auto _ : state) {
+        auto rep = core::computeEntropy(lc, be);
+        benchmark::DoNotOptimize(rep.eS);
+    }
+}
+BENCHMARK(BM_ComputeEntropy)->Arg(3)->Arg(6)->Arg(32);
+
+void
+BM_MmcSojournPercentile(benchmark::State &state)
+{
+    double lambda = 3000.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            perf::mmcSojournPercentile(4.0, lambda, 1200.0, 0.95));
+    }
+}
+BENCHMARK(BM_MmcSojournPercentile);
+
+void
+BM_SojournApprox(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            perf::sojournPercentileApprox(4.0, 3000.0, 1200.0,
+                                          2.9));
+    }
+}
+BENCHMARK(BM_SojournApprox);
+
+void
+BM_ContentionEvaluate(benchmark::State &state)
+{
+    const auto mc = machine::MachineConfig::xeonE52630v4();
+    perf::ContentionModel model(mc);
+    auto layout = machine::RegionLayout::arqInitial(
+        mc.availableResources(), {0, 1, 2}, {3});
+    std::vector<perf::AppDemand> demands{
+        apps::xapian().toDemand(0.5), apps::moses().toDemand(0.2),
+        apps::imgDnn().toDemand(0.2), apps::stream().toDemand(0.0)};
+    for (auto _ : state) {
+        auto out = model.evaluate(layout, demands,
+                                  perf::CoreSharePolicy::LcPriority);
+        benchmark::DoNotOptimize(out[0].serviceRate);
+    }
+}
+BENCHMARK(BM_ContentionEvaluate);
+
+void
+BM_GpFitPredict(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    stats::Rng rng(1);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (std::size_t i = 0; i < n; ++i) {
+        xs.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+        ys.push_back(rng.normal(0.0, 1.0));
+    }
+    for (auto _ : state) {
+        sched::GaussianProcess gp(0.35, 1.0, 0.01);
+        gp.fit(xs, ys);
+        benchmark::DoNotOptimize(
+            gp.expectedImprovement({0.5, 0.5, 0.5}, 0.0));
+    }
+}
+BENCHMARK(BM_GpFitPredict)->Arg(8)->Arg(24)->Arg(64);
+
+void
+BM_P2QuantileAdd(benchmark::State &state)
+{
+    stats::Rng rng(2);
+    stats::P2Quantile q(0.95);
+    for (auto _ : state)
+        q.add(rng.exponential(1.0));
+}
+BENCHMARK(BM_P2QuantileAdd);
+
+void
+BM_EpochSimulationSecond(benchmark::State &state)
+{
+    // Cost of one simulated second (two 500 ms epochs) of the
+    // canonical colocation under ARQ, measured end to end.
+    cluster::Node node(machine::MachineConfig::xeonE52630v4(),
+                       {cluster::lcAt(apps::xapian(), 0.5),
+                        cluster::lcAt(apps::moses(), 0.2),
+                        cluster::lcAt(apps::imgDnn(), 0.2),
+                        cluster::be(apps::stream())});
+    cluster::SimulationConfig cfg;
+    cfg.durationSeconds = 1.0;
+    cfg.warmupEpochs = 0;
+    for (auto _ : state) {
+        sched::Arq sched;
+        cluster::EpochSimulator sim(node, cfg);
+        auto res = sim.run(sched);
+        benchmark::DoNotOptimize(res.meanES);
+    }
+}
+BENCHMARK(BM_EpochSimulationSecond);
+
+} // namespace

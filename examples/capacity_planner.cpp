@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Capacity planner: "how small a node can run this colocation?"
+ *
+ * Uses the resource-equivalence machinery (Section II-C): sweeps the
+ * available core count, builds the E_S-vs-cores curve for each
+ * strategy, and reports the minimum cores needed to keep E_S below
+ * a target — plus how many cores choosing ARQ over the others saves
+ * (the paper's "resource equivalence" in its capacity-planning
+ * form).
+ */
+
+#include <iostream>
+
+#include "apps/catalog.hh"
+#include "cluster/epoch_sim.hh"
+#include "core/equivalence.hh"
+#include "report/table.hh"
+#include "sched/arq.hh"
+#include "sched/parties.hh"
+#include "sched/unmanaged.hh"
+
+int
+main()
+{
+    using namespace ahq;
+
+    constexpr double kTargetEs = 0.25;
+    const std::vector<int> core_options{4, 5, 6, 7, 8, 9, 10};
+
+    std::cout << "Colocation: xapian 40%, moses 20%, img-dnn 20% + "
+                 "fluidanimate\nGoal: E_S <= "
+              << kTargetEs << "\n\n";
+
+    auto curve_for = [&](sched::Scheduler &s) {
+        core::EntropyCurve curve;
+        for (int cores : core_options) {
+            const auto mc = machine::MachineConfig::xeonE52630v4()
+                                .withAvailable(cores, 20, 10);
+            cluster::Node node(
+                mc, {cluster::lcAt(apps::xapian(), 0.4),
+                     cluster::lcAt(apps::moses(), 0.2),
+                     cluster::lcAt(apps::imgDnn(), 0.2),
+                     cluster::be(apps::fluidanimate())});
+            cluster::SimulationConfig cfg;
+            cfg.durationSeconds = 120.0;
+            cfg.warmupEpochs = 120;
+            cluster::EpochSimulator sim(node, cfg);
+            curve.push_back({static_cast<double>(cores),
+                             sim.run(s).meanES});
+        }
+        return curve;
+    };
+
+    sched::Unmanaged unmanaged;
+    sched::Parties parties;
+    sched::Arq arq;
+
+    const auto cu = curve_for(unmanaged);
+    const auto cp = curve_for(parties);
+    const auto ca = curve_for(arq);
+
+    report::TextTable t({"cores", "Unmanaged E_S", "PARTIES E_S",
+                         "ARQ E_S"});
+    for (std::size_t i = 0; i < core_options.size(); ++i) {
+        t.addRow({std::to_string(core_options[i]),
+                  report::TextTable::num(cu[i].second),
+                  report::TextTable::num(cp[i].second),
+                  report::TextTable::num(ca[i].second)});
+    }
+    t.print(std::cout);
+
+    auto report_needed = [&](const char *name,
+                             const core::EntropyCurve &c) {
+        const auto needed = core::resourceForEntropy(c, kTargetEs);
+        std::cout << "  " << name << ": ";
+        if (needed)
+            std::cout << report::TextTable::num(*needed, 2)
+                      << " cores\n";
+        else
+            std::cout << "target unreachable on this node\n";
+        return needed;
+    };
+
+    std::cout << "\nMinimum cores for E_S <= " << kTargetEs << ":\n";
+    const auto nu = report_needed("Unmanaged", cu);
+    const auto np = report_needed("PARTIES  ", cp);
+    const auto na = report_needed("ARQ      ", ca);
+
+    if (nu && na) {
+        std::cout << "\nResource equivalence of ARQ vs Unmanaged: "
+                  << report::TextTable::num(*nu - *na, 2)
+                  << " cores saved per node\n";
+    }
+    if (np && na) {
+        std::cout << "Resource equivalence of ARQ vs PARTIES:   "
+                  << report::TextTable::num(*np - *na, 2)
+                  << " cores saved per node\n";
+    }
+    return 0;
+}

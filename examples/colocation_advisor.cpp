@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Colocation advisor: given a set of applications and their loads,
+ * evaluate every scheduling strategy on the modelled node and
+ * recommend the one with the lowest system entropy — the workflow a
+ * datacenter operator would run before placing a new tenant.
+ *
+ * Usage:
+ *   colocation_advisor [app=load]... [be_app]...
+ * e.g.
+ *   colocation_advisor xapian=0.7 moses=0.3 stream
+ * With no arguments a representative mix is used. Known apps:
+ * xapian, moses, img-dnn, masstree, sphinx, silo (LC);
+ * fluidanimate, streamcluster, stream (BE).
+ */
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/catalog.hh"
+#include "cluster/epoch_sim.hh"
+#include "report/table.hh"
+#include "sched/arq.hh"
+#include "sched/clite.hh"
+#include "sched/heracles.hh"
+#include "sched/lc_first.hh"
+#include "sched/parties.hh"
+#include "sched/unmanaged.hh"
+
+namespace
+{
+
+using namespace ahq;
+
+std::vector<cluster::ColocatedApp>
+parseArgs(int argc, char **argv)
+{
+    std::vector<cluster::ColocatedApp> apps;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos) {
+            apps.push_back(cluster::be(apps::byName(arg)));
+        } else {
+            const std::string name = arg.substr(0, eq);
+            const double load = std::stod(arg.substr(eq + 1));
+            apps.push_back(cluster::lcAt(apps::byName(name), load));
+        }
+    }
+    if (apps.empty()) {
+        std::cout << "(no arguments: using xapian=0.5 moses=0.2 "
+                     "img-dnn=0.2 stream)\n";
+        apps = {cluster::lcAt(apps::xapian(), 0.5),
+                cluster::lcAt(apps::moses(), 0.2),
+                cluster::lcAt(apps::imgDnn(), 0.2),
+                cluster::be(apps::stream())};
+    }
+    return apps;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<cluster::ColocatedApp> colocated;
+    try {
+        colocated = parseArgs(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+
+    cluster::Node node(machine::MachineConfig::xeonE52630v4(),
+                       std::move(colocated));
+    cluster::SimulationConfig cfg;
+    cfg.durationSeconds = 120.0;
+    cfg.warmupEpochs = 120;
+    cluster::EpochSimulator sim(node, cfg);
+
+    std::vector<std::unique_ptr<sched::Scheduler>> strategies;
+    strategies.push_back(std::make_unique<sched::Unmanaged>());
+    strategies.push_back(std::make_unique<sched::LcFirst>());
+    strategies.push_back(std::make_unique<sched::Parties>());
+    strategies.push_back(std::make_unique<sched::Clite>());
+    strategies.push_back(std::make_unique<sched::Heracles>());
+    strategies.push_back(std::make_unique<sched::Arq>());
+
+    report::TextTable t({"strategy", "E_LC", "E_BE", "E_S", "yield",
+                         "QoS violations"});
+    std::string best;
+    double best_es = 2.0;
+    for (const auto &s : strategies) {
+        const auto r = sim.run(*s);
+        t.addRow({s->name(), report::TextTable::num(r.meanELc),
+                  report::TextTable::num(r.meanEBe),
+                  report::TextTable::num(r.meanES),
+                  report::TextTable::num(r.yieldValue, 2),
+                  std::to_string(r.violations)});
+        if (r.meanES < best_es) {
+            best_es = r.meanES;
+            best = s->name();
+        }
+    }
+
+    std::cout << "\nColocation on "
+              << node.config().name << " ("
+              << node.config().availableCores << " cores, "
+              << node.config().availableLlcWays << " LLC ways):\n";
+    for (int i = 0; i < node.numApps(); ++i) {
+        const auto &p = node.profile(i);
+        std::cout << "  - " << p.name
+                  << (p.latencyCritical ?
+                          " (LC, load " +
+                              report::TextTable::num(
+                                  node.loadAt(i, 0.0), 2) + ")" :
+                          " (BE)")
+                  << "\n";
+    }
+    std::cout << "\n";
+    t.print(std::cout);
+    std::cout << "\nRecommendation: " << best
+              << " (lowest system entropy " << best_es << ")\n";
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fleet placement: use system entropy as a placement objective
+ * across several nodes — the datacenter-scale reading of the paper.
+ *
+ * Eight applications (four LC, four BE, two of them STREAM hogs)
+ * must be placed on two identical nodes. The example compares a
+ * naive round-robin placement against the entropy-driven greedy
+ * advisor, then simulates both fleets under ARQ and reports the
+ * datacenter-wide entropy.
+ */
+
+#include <iostream>
+
+#include "apps/catalog.hh"
+#include "cluster/fleet.hh"
+#include "report/table.hh"
+#include "sched/arq.hh"
+
+int
+main()
+{
+    using namespace ahq;
+    using namespace ahq::cluster;
+
+    const auto mc = machine::MachineConfig::xeonE52630v4();
+
+    const std::vector<ColocatedApp> apps_to_place{
+        lcAt(apps::xapian(), 0.5),  lcAt(apps::moses(), 0.3),
+        lcAt(apps::imgDnn(), 0.3),  lcAt(apps::masstree(), 0.2),
+        be(apps::stream()),         be(apps::stream()),
+        be(apps::fluidanimate()),   be(apps::streamcluster())};
+    const std::vector<std::string> names{
+        "xapian", "moses", "img-dnn", "masstree",
+        "stream#1", "stream#2", "fluidanimate", "streamcluster"};
+
+    // ---- entropy-driven placement --------------------------------
+    PlacementAdvisor advisor(mc, 2, [] {
+        return std::make_unique<sched::Arq>();
+    });
+    SimulationConfig trial;
+    trial.durationSeconds = 20.0;
+    trial.warmupEpochs = 20;
+    const auto placement = advisor.place(apps_to_place, trial);
+
+    std::cout << "Entropy-driven placement:\n";
+    for (std::size_t i = 0; i < apps_to_place.size(); ++i) {
+        std::cout << "  " << names[i] << " -> node "
+                  << placement.assignment[i] << "\n";
+    }
+
+    // ---- build and run both fleets -------------------------------
+    auto build_fleet = [&](const std::vector<int> &assignment) {
+        std::vector<std::vector<ColocatedApp>> per_node(2);
+        for (std::size_t i = 0; i < apps_to_place.size(); ++i) {
+            per_node[static_cast<std::size_t>(assignment[i])]
+                .push_back(apps_to_place[i]);
+        }
+        Fleet fleet;
+        for (auto &set : per_node) {
+            fleet.addNode(Node(mc, std::move(set)),
+                          std::make_unique<sched::Arq>());
+        }
+        return fleet;
+    };
+
+    std::vector<int> round_robin;
+    for (std::size_t i = 0; i < apps_to_place.size(); ++i)
+        round_robin.push_back(static_cast<int>(i % 2));
+
+    SimulationConfig cfg;
+    cfg.durationSeconds = 60.0;
+    cfg.warmupEpochs = 60;
+
+    auto fleet_rr = build_fleet(round_robin);
+    auto fleet_greedy = build_fleet(placement.assignment);
+    const auto res_rr = fleet_rr.run(cfg);
+    const auto res_greedy = fleet_greedy.run(cfg);
+
+    report::TextTable t({"placement", "fleet E_LC", "fleet E_BE",
+                         "fleet E_S", "yield", "violations"});
+    t.addRow({"round-robin", report::TextTable::num(res_rr.eLc),
+              report::TextTable::num(res_rr.eBe),
+              report::TextTable::num(res_rr.eS),
+              report::TextTable::num(res_rr.yieldValue, 2),
+              std::to_string(res_rr.violations)});
+    t.addRow({"entropy-greedy",
+              report::TextTable::num(res_greedy.eLc),
+              report::TextTable::num(res_greedy.eBe),
+              report::TextTable::num(res_greedy.eS),
+              report::TextTable::num(res_greedy.yieldValue, 2),
+              std::to_string(res_greedy.violations)});
+    std::cout << "\n";
+    t.print(std::cout);
+
+    std::cout << "\nThe greedy placement separates the two STREAM "
+                 "hogs and balances LC demand, which\nthe "
+                 "datacenter-wide E_S captures as a single number."
+              << "\n";
+    return 0;
+}

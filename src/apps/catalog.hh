@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The workload catalogue: profiles of the six Tailbench LC
+ * applications and three BE applications the paper evaluates with
+ * (Section V), calibrated against Table II / Table IV.
+ *
+ * These are synthetic analogues, not the real binaries: each profile
+ * reproduces the published latency/load/threshold constants and a
+ * first-order cache/bandwidth behaviour consistent with the
+ * workload's published characterisation (e.g. STREAM is a flat-MRC
+ * high-MLP bandwidth hog; Streamcluster is cache-hungry).
+ */
+
+#ifndef AHQ_APPS_CATALOG_HH
+#define AHQ_APPS_CATALOG_HH
+
+#include <string>
+#include <vector>
+
+#include "apps/profile.hh"
+
+namespace ahq::apps
+{
+
+/** Xapian search engine (LC; Zipfian Wikipedia queries). */
+AppProfile xapian();
+
+/** Moses statistical machine translation (LC). */
+AppProfile moses();
+
+/** Img-dnn handwriting recognition (LC; MNIST). */
+AppProfile imgDnn();
+
+/** Masstree in-memory key-value store (LC; YCSB-driven). */
+AppProfile masstree();
+
+/** Sphinx speech recognition (LC; second-scale requests). */
+AppProfile sphinx();
+
+/** Silo in-memory transactional database (LC). */
+AppProfile silo();
+
+/** PARSEC Fluidanimate liquid simulation (BE, compute-leaning). */
+AppProfile fluidanimate();
+
+/** PARSEC Streamcluster online clustering (BE, cache-sensitive). */
+AppProfile streamcluster();
+
+/** STREAM memory bandwidth benchmark (BE, 10 threads, bw-bound). */
+AppProfile stream();
+
+/** All profile names known to the catalogue. */
+std::vector<std::string> allNames();
+
+/**
+ * Look up a profile by its catalogue name (case-sensitive, e.g.
+ * "xapian", "img-dnn", "stream").
+ *
+ * @throws std::invalid_argument for unknown names.
+ */
+AppProfile byName(const std::string &name);
+
+} // namespace ahq::apps
+
+#endif // AHQ_APPS_CATALOG_HH

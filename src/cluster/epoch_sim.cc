@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Epoch simulator implementation.
+ */
+
+#include "cluster/epoch_sim.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "perf/queueing.hh"
+#include "stats/rng.hh"
+
+namespace ahq::cluster
+{
+
+using machine::AppId;
+using machine::ResourceKind;
+
+EpochSimulator::EpochSimulator(Node node, SimulationConfig config)
+    : node_(std::move(node)), cfg(config)
+{
+    assert(cfg.epochSeconds > 0.0);
+    assert(cfg.durationSeconds >= cfg.epochSeconds);
+    assert(cfg.warmupEpochs >= 0);
+}
+
+SimulationResult
+EpochSimulator::run(sched::Scheduler &scheduler) const
+{
+    const int n = node_.numApps();
+    const int epochs = static_cast<int>(
+        std::round(cfg.durationSeconds / cfg.epochSeconds));
+    const double dt = cfg.epochSeconds;
+
+    stats::Rng rng(cfg.seed);
+    perf::ContentionModel contention(node_.config(), cfg.contention);
+
+    scheduler.reset();
+    auto static_obs = node_.staticObservations();
+    machine::RegionLayout layout =
+        scheduler.initialLayout(node_.config(), static_obs);
+    assert(layout.valid());
+
+    std::vector<double> backlog(static_cast<std::size_t>(n), 0.0);
+    std::vector<int> prev_ways(static_cast<std::size_t>(n), -1);
+    std::vector<int> prev_cores(static_cast<std::size_t>(n), -1);
+    std::vector<sched::AppObservation> last_obs;
+
+    SimulationResult result;
+    result.warmupEpochs = std::min(cfg.warmupEpochs, epochs);
+    result.epochs.reserve(static_cast<std::size_t>(epochs));
+
+    for (int e = 0; e < epochs; ++e) {
+        const double t = e * dt;
+
+        // 1) Scheduler reacts to last epoch's measurements.
+        if (e > 0) {
+            scheduler.adjust(layout, last_obs, t);
+            assert(layout.valid());
+        }
+
+        // 2) Contention model under the current layout and loads.
+        const auto demands = node_.demandsAt(t);
+        const auto outcomes = contention.evaluate(
+            layout, demands, scheduler.corePolicy());
+
+        // 3+4) Advance queues and produce measurements.
+        EpochRecord rec;
+        rec.time = t;
+        rec.obs = static_obs;
+        rec.outcomes = outcomes;
+
+        std::vector<core::LcObservation> lc_obs;
+        std::vector<core::BeObservation> be_obs;
+
+        for (AppId i = 0; i < n; ++i) {
+            const auto ui = static_cast<std::size_t>(i);
+            auto &o = rec.obs[ui];
+            const auto &out = outcomes[ui];
+            const auto &prof = node_.profile(i);
+
+            const int ways_now = layout.reachable(
+                i, ResourceKind::LlcWays);
+            const int cores_now = layout.reachable(
+                i, ResourceKind::Cores);
+            double overhead = 1.0;
+            if (cfg.overheadEnabled && prev_ways[ui] >= 0) {
+                const int d_ways =
+                    std::abs(ways_now - prev_ways[ui]);
+                const int d_cores =
+                    std::abs(cores_now - prev_cores[ui]);
+                overhead = std::min(
+                    2.0, 1.0 + cfg.overheadWaysFactor * d_ways +
+                        cfg.overheadCoresFactor * d_cores);
+            }
+            prev_ways[ui] = ways_now;
+            prev_cores[ui] = cores_now;
+
+            if (prof.latencyCritical) {
+                const double load = node_.loadAt(i, t);
+                const double lambda = prof.arrivalRate(load);
+                const double cap = out.serviceRate;
+
+                // Explicit backlog dynamics with a generator-side
+                // cap on outstanding work.
+                const double queue_cap =
+                    lambda * cfg.queueCapSeconds + 32.0;
+                double b_new = backlog[ui] + (lambda - cap) * dt;
+                b_new = std::clamp(b_new, 0.0, queue_cap);
+                const double b_mid = 0.5 * (backlog[ui] + b_new);
+                backlog[ui] = b_new;
+
+                // Steady queueing term at a stabilised arrival rate
+                // plus the drain time of the carried backlog.
+                const double lam_eff =
+                    std::min(lambda, 0.98 * cap);
+                // Timeslice stretching (FairShare oversubscription)
+                // inflates the whole service tail.
+                const double svc_tail =
+                    prof.svcMultAt(cfg.tailPercentile) *
+                    out.serviceStretch;
+                double t95 = perf::sojournPercentileApprox(
+                    out.coreEquivalents, lam_eff, out.perServerRate,
+                    svc_tail, cfg.tailPercentile);
+                if (!std::isfinite(t95)) {
+                    t95 = svc_tail / out.perServerRate;
+                }
+                t95 += b_mid / std::max(cap, 1e-9);
+
+                double p95 = prof.baseLatencyMs + 1000.0 * t95;
+                p95 *= overhead;
+                p95 *= rng.lognormalNoise(cfg.noiseSigma);
+
+                o.loadFraction = load;
+                o.arrivalRate = lambda;
+                o.p95Ms = p95;
+                o.idealP95Ms = prof.soloTailPercentileMs(
+                    load, cfg.tailPercentile);
+                lc_obs.push_back(
+                    {o.idealP95Ms, o.p95Ms, o.thresholdMs});
+            } else {
+                double ipc = out.ipc;
+                // Repartitioning costs BE throughput too (cold ways
+                // and thread migrations), at half the latency rate.
+                ipc /= 1.0 + 0.5 * (overhead - 1.0);
+                ipc *= rng.lognormalNoise(cfg.noiseSigma);
+                o.ipc = ipc;
+                be_obs.push_back({o.ipcSolo, o.ipc});
+            }
+        }
+
+        rec.entropy = core::computeEntropy(lc_obs, be_obs, cfg.ri);
+        rec.regionRes.reserve(
+            static_cast<std::size_t>(layout.numRegions()));
+        for (int r = 0; r < layout.numRegions(); ++r)
+            rec.regionRes.push_back(layout.region(r).res);
+        rec.layout = layout;
+
+        last_obs = rec.obs;
+        result.epochs.push_back(std::move(rec));
+    }
+
+    // ---- steady-state aggregation --------------------------------
+    result.meanP95Ms.assign(static_cast<std::size_t>(n), 0.0);
+    result.meanIpc.assign(static_cast<std::size_t>(n), 0.0);
+    int steady = 0;
+    for (int e = result.warmupEpochs; e < epochs; ++e) {
+        const auto &rec =
+            result.epochs[static_cast<std::size_t>(e)];
+        result.meanELc += rec.entropy.eLc;
+        result.meanEBe += rec.entropy.eBe;
+        result.meanES += rec.entropy.eS;
+        for (AppId i = 0; i < n; ++i) {
+            const auto &o = rec.obs[static_cast<std::size_t>(i)];
+            if (o.latencyCritical) {
+                result.meanP95Ms[static_cast<std::size_t>(i)] +=
+                    o.p95Ms;
+                if (o.p95Ms > o.thresholdMs *
+                        (1.0 + core::kThresholdElasticity)) {
+                    ++result.violations;
+                }
+            } else {
+                result.meanIpc[static_cast<std::size_t>(i)] += o.ipc;
+            }
+        }
+        ++steady;
+    }
+    if (steady > 0) {
+        result.meanELc /= steady;
+        result.meanEBe /= steady;
+        result.meanES /= steady;
+        for (auto &v : result.meanP95Ms)
+            v /= steady;
+        for (auto &v : result.meanIpc)
+            v /= steady;
+    }
+
+    int lc_total = 0, lc_ok = 0;
+    for (AppId i = 0; i < n; ++i) {
+        const auto &prof = node_.profile(i);
+        if (!prof.latencyCritical)
+            continue;
+        ++lc_total;
+        if (result.meanP95Ms[static_cast<std::size_t>(i)] <=
+            prof.tailThresholdMs *
+                (1.0 + core::kThresholdElasticity)) {
+            ++lc_ok;
+        }
+    }
+    result.yieldValue = lc_total > 0 ?
+        static_cast<double>(lc_ok) / lc_total : 1.0;
+    return result;
+}
+
+} // namespace ahq::cluster

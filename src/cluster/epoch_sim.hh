@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The epoch-level node simulator.
+ *
+ * One epoch is one monitoring interval (the paper uses 500 ms). Each
+ * epoch the simulator (1) lets the scheduler react to the previous
+ * epoch's measurements, (2) evaluates the contention model under the
+ * resulting layout and the current loads, (3) advances each LC app's
+ * queue backlog explicitly (overload in one epoch spills into the
+ * next), (4) produces the measured p95 / IPC including repartition
+ * overhead and measurement noise, and (5) computes the entropy
+ * report for the interval.
+ */
+
+#ifndef AHQ_CLUSTER_EPOCH_SIM_HH
+#define AHQ_CLUSTER_EPOCH_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/node.hh"
+#include "core/entropy.hh"
+#include "machine/layout.hh"
+#include "perf/contention.hh"
+#include "sched/scheduler.hh"
+
+namespace ahq::cluster
+{
+
+/** Simulator configuration (defaults match the paper's setup). */
+struct SimulationConfig
+{
+    /** Monitoring interval, seconds (the paper uses 500 ms). */
+    double epochSeconds = 0.5;
+
+    /** Total simulated time, seconds. */
+    double durationSeconds = 60.0;
+
+    /** Leading epochs excluded from steady-state aggregates. */
+    int warmupEpochs = 20;
+
+    /** Lognormal sigma of tail-latency / IPC measurement noise. */
+    double noiseSigma = 0.05;
+
+    /**
+     * Tail percentile monitored and fed to the entropy metric. The
+     * paper uses the 95th "without losing generality"; p99-oriented
+     * deployments can raise it. Observation fields named p95Ms hold
+     * this percentile.
+     */
+    double tailPercentile = 0.95;
+
+    /** Relative importance of LC over BE in E_S. */
+    double ri = core::kDefaultRelativeImportance;
+
+    /** RNG seed. */
+    std::uint64_t seed = 42;
+
+    /** Model repartitioning overhead (cache warm-up, migrations). */
+    bool overheadEnabled = true;
+
+    /** p95 inflation per LLC way an app gained or lost this epoch. */
+    double overheadWaysFactor = 0.03;
+
+    /** p95 inflation per core an app gained or lost this epoch. */
+    double overheadCoresFactor = 0.06;
+
+    /**
+     * Queue backlog cap, expressed in seconds of offered work
+     * (Tailbench-style load generators bound outstanding requests,
+     * so overloaded tails saturate instead of diverging).
+     */
+    double queueCapSeconds = 0.10;
+
+    /** Contention model tunables. */
+    perf::ContentionTraits contention;
+};
+
+/** Everything recorded about one epoch. */
+struct EpochRecord
+{
+    double time = 0.0;
+
+    /** Observations with measurements filled (indexed by AppId). */
+    std::vector<sched::AppObservation> obs;
+
+    /** Contention-model outcomes (indexed by AppId). */
+    std::vector<perf::PerfOutcome> outcomes;
+
+    /** Entropy accounting for the interval. */
+    core::EntropyReport entropy;
+
+    /** Per-region resources at the end of the epoch. */
+    std::vector<machine::ResourceVector> regionRes;
+
+    /** Copy of the layout in force during the epoch. */
+    machine::RegionLayout layout{machine::ResourceVector{}};
+};
+
+/** Aggregated outcome of one simulation run. */
+struct SimulationResult
+{
+    std::vector<EpochRecord> epochs;
+    int warmupEpochs = 0;
+
+    // Steady-state (post-warmup) aggregates.
+    double meanELc = 0.0;
+    double meanEBe = 0.0;
+    double meanES = 0.0;
+
+    /** Fraction of LC apps whose steady-state mean p95 meets QoS. */
+    double yieldValue = 1.0;
+
+    /** (LC app, epoch) pairs violating the elastic QoS target. */
+    int violations = 0;
+
+    /** Steady-state mean p95 per app (0 for BE), ms. */
+    std::vector<double> meanP95Ms;
+
+    /** Steady-state mean IPC per app (0 for LC). */
+    std::vector<double> meanIpc;
+};
+
+/**
+ * Runs a scheduling strategy on a node for a configured duration.
+ */
+class EpochSimulator
+{
+  public:
+    EpochSimulator(Node node, SimulationConfig config = {});
+
+    /**
+     * Simulate one full run. The scheduler is reset() first, so a
+     * scheduler instance can be reused across runs.
+     */
+    SimulationResult run(sched::Scheduler &scheduler) const;
+
+    const Node &node() const { return node_; }
+    const SimulationConfig &config() const { return cfg; }
+
+  private:
+    Node node_;
+    SimulationConfig cfg;
+};
+
+} // namespace ahq::cluster
+
+#endif // AHQ_CLUSTER_EPOCH_SIM_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Fleet and placement advisor implementation.
+ */
+
+#include "cluster/fleet.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace ahq::cluster
+{
+
+void
+Fleet::addNode(Node node, std::unique_ptr<sched::Scheduler> scheduler)
+{
+    assert(scheduler != nullptr);
+    nodes_.push_back({std::move(node), std::move(scheduler)});
+}
+
+core::EntropyReport
+fleetEntropy(const std::vector<const Node *> &nodes,
+             const std::vector<const SimulationResult *> &results,
+             double ri)
+{
+    assert(nodes.size() == results.size());
+    std::vector<core::LcObservation> lc;
+    std::vector<core::BeObservation> be;
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+        const Node &node = *nodes[n];
+        const SimulationResult &res = *results[n];
+        for (machine::AppId i = 0; i < node.numApps(); ++i) {
+            const auto &p = node.profile(i);
+            const auto ui = static_cast<std::size_t>(i);
+            if (p.latencyCritical) {
+                // Pool against the app's mean load over the run.
+                double load_sum = 0.0;
+                for (const auto &rec : res.epochs)
+                    load_sum += rec.obs[ui].loadFraction;
+                const double mean_load = res.epochs.empty() ? 0.0 :
+                    load_sum / static_cast<double>(
+                                   res.epochs.size());
+                lc.push_back({p.soloTailP95Ms(mean_load),
+                              res.meanP95Ms[ui],
+                              p.tailThresholdMs});
+            } else {
+                be.push_back({p.ipcSolo, res.meanIpc[ui]});
+            }
+        }
+    }
+    return core::computeEntropy(lc, be, ri);
+}
+
+Fleet::FleetResult
+Fleet::run(const SimulationConfig &config)
+{
+    FleetResult out;
+    std::vector<const Node *> node_ptrs;
+    std::vector<const SimulationResult *> result_ptrs;
+
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+        SimulationConfig per_node = config;
+        per_node.seed = config.seed + 0x9e37 * (n + 1);
+        EpochSimulator sim(nodes_[n].node, per_node);
+        out.nodes.push_back(sim.run(*nodes_[n].scheduler));
+        out.violations += out.nodes.back().violations;
+    }
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+        node_ptrs.push_back(&nodes_[n].node);
+        result_ptrs.push_back(&out.nodes[n]);
+    }
+
+    const auto rep = fleetEntropy(node_ptrs, result_ptrs, config.ri);
+    out.eLc = rep.eLc;
+    out.eBe = rep.eBe;
+    out.eS = rep.eS;
+    out.yieldValue = rep.yieldValue;
+    return out;
+}
+
+PlacementAdvisor::PlacementAdvisor(
+    machine::MachineConfig node_config, int num_nodes,
+    std::function<std::unique_ptr<sched::Scheduler>()> make_scheduler)
+    : nodeConfig(std::move(node_config)), numNodes_(num_nodes),
+      makeScheduler(std::move(make_scheduler))
+{
+    assert(num_nodes >= 1);
+    assert(makeScheduler != nullptr);
+}
+
+PlacementAdvisor::Placement
+PlacementAdvisor::place(const std::vector<ColocatedApp> &apps,
+                        const SimulationConfig &trial_config) const
+{
+    // Hungriest first: LC apps by mean core demand at their initial
+    // load, then BE apps by thread count.
+    std::vector<std::size_t> order(apps.size());
+    for (std::size_t i = 0; i < apps.size(); ++i)
+        order[i] = i;
+    auto hunger = [&](std::size_t i) {
+        const auto &a = apps[i];
+        if (a.profile.latencyCritical) {
+            const double load = a.load ? a.load->at(0.0) : 0.0;
+            return a.profile.arrivalRate(load) *
+                a.profile.serviceTimeMs / 1000.0;
+        }
+        return static_cast<double>(a.profile.threads);
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return hunger(a) > hunger(b);
+                     });
+
+    std::vector<std::vector<ColocatedApp>> per_node(
+        static_cast<std::size_t>(numNodes_));
+    Placement placement;
+    placement.assignment.assign(apps.size(), -1);
+    placement.nodeEntropy.assign(
+        static_cast<std::size_t>(numNodes_), 0.0);
+
+    auto node_entropy = [&](const std::vector<ColocatedApp> &set) {
+        if (set.empty())
+            return 0.0;
+        Node node(nodeConfig, set);
+        EpochSimulator sim(node, trial_config);
+        const auto sched = makeScheduler();
+        return sim.run(*sched).meanES;
+    };
+
+    for (std::size_t oi : order) {
+        int best_node = 0;
+        double best_es = std::numeric_limits<double>::infinity();
+        for (int n = 0; n < numNodes_; ++n) {
+            auto trial = per_node[static_cast<std::size_t>(n)];
+            trial.push_back(apps[oi]);
+            const double es = node_entropy(trial);
+            if (es < best_es) {
+                best_es = es;
+                best_node = n;
+            }
+        }
+        per_node[static_cast<std::size_t>(best_node)].push_back(
+            apps[oi]);
+        placement.assignment[oi] = best_node;
+        placement.nodeEntropy[static_cast<std::size_t>(best_node)] =
+            best_es;
+    }
+
+    double sum = 0.0;
+    for (double e : placement.nodeEntropy)
+        sum += e;
+    placement.meanEntropy = sum / numNodes_;
+    return placement;
+}
+
+} // namespace ahq::cluster

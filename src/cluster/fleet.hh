@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Datacenter-level composition: a fleet of nodes, the pooled
+ * system-entropy of all their applications (the paper consistently
+ * frames E_S as a *datacenter* metric, with the node as the
+ * contention domain), and a greedy entropy-driven placement advisor
+ * that demonstrates using E_S as a placement objective.
+ */
+
+#ifndef AHQ_CLUSTER_FLEET_HH
+#define AHQ_CLUSTER_FLEET_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/epoch_sim.hh"
+#include "sched/scheduler.hh"
+
+namespace ahq::cluster
+{
+
+/**
+ * A fleet of independently scheduled nodes sharing one entropy
+ * accounting.
+ */
+class Fleet
+{
+  public:
+    Fleet() = default;
+
+    /** Add a node managed by the given strategy (takes ownership). */
+    void addNode(Node node,
+                 std::unique_ptr<sched::Scheduler> scheduler);
+
+    /** Number of nodes. */
+    int numNodes() const { return static_cast<int>(nodes_.size()); }
+
+    /** Result of one fleet run. */
+    struct FleetResult
+    {
+        /** Per-node simulation results, in node order. */
+        std::vector<SimulationResult> nodes;
+
+        /** Datacenter-wide entropy over all apps of all nodes. */
+        double eLc = 0.0;
+        double eBe = 0.0;
+        double eS = 0.0;
+
+        /** Datacenter-wide yield over all LC apps. */
+        double yieldValue = 1.0;
+
+        /** Total QoS violations across nodes. */
+        int violations = 0;
+    };
+
+    /**
+     * Simulate every node under the shared configuration and pool
+     * the steady-state observations into one datacenter entropy.
+     * Per-node seeds are derived from config.seed so runs stay
+     * deterministic yet nodes see independent noise.
+     */
+    FleetResult run(const SimulationConfig &config);
+
+  private:
+    struct Entry
+    {
+        Node node;
+        std::unique_ptr<sched::Scheduler> scheduler;
+    };
+    std::vector<Entry> nodes_;
+};
+
+/**
+ * Pool per-node steady-state measurements into a datacenter-wide
+ * entropy report (exposed for tests and custom aggregation).
+ *
+ * @param nodes The colocations, in the same order as results.
+ * @param results Their simulation results.
+ * @param ri Relative importance for the pooled E_S.
+ */
+core::EntropyReport
+fleetEntropy(const std::vector<const Node *> &nodes,
+             const std::vector<const SimulationResult *> &results,
+             double ri = core::kDefaultRelativeImportance);
+
+/**
+ * Greedy entropy-driven placement: assign applications to a fixed
+ * number of identical nodes, placing the hungriest applications
+ * first and each on the node where a short trial simulation yields
+ * the lowest node E_S.
+ */
+class PlacementAdvisor
+{
+  public:
+    /**
+     * @param node_config The (identical) node hardware.
+     * @param num_nodes Number of nodes available.
+     * @param make_scheduler Factory for the strategy evaluating each
+     *        trial placement (a fresh instance per trial).
+     */
+    PlacementAdvisor(
+        machine::MachineConfig node_config, int num_nodes,
+        std::function<std::unique_ptr<sched::Scheduler>()>
+            make_scheduler);
+
+    /** One placement decision. */
+    struct Placement
+    {
+        /** apps[i] was placed on node assignment[i]. */
+        std::vector<int> assignment;
+
+        /** Predicted E_S per node after placement. */
+        std::vector<double> nodeEntropy;
+
+        /** Mean predicted node E_S. */
+        double meanEntropy = 0.0;
+    };
+
+    /**
+     * Place the given applications.
+     *
+     * @param apps The applications (with their load traces).
+     * @param trial_config Simulation settings for trial runs; keep
+     *        short — the advisor runs O(apps x nodes) trials.
+     */
+    Placement place(const std::vector<ColocatedApp> &apps,
+                    const SimulationConfig &trial_config) const;
+
+  private:
+    machine::MachineConfig nodeConfig;
+    int numNodes_;
+    std::function<std::unique_ptr<sched::Scheduler>()> makeScheduler;
+};
+
+} // namespace ahq::cluster
+
+#endif // AHQ_CLUSTER_FLEET_HH

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Oracle search implementation.
+ */
+
+#include "cluster/oracle.hh"
+
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "perf/queueing.hh"
+
+namespace ahq::cluster
+{
+
+using machine::AppId;
+using machine::Region;
+using machine::RegionLayout;
+
+namespace
+{
+
+/**
+ * Enumerate compositions: parts[i] = mins[i] + step * k_i with the
+ * total exactly `total` when reachable; the remainder that cannot
+ * be expressed in whole steps is added to part 0.
+ */
+void
+forEachComposition(int total, const std::vector<int> &mins, int step,
+                   const std::function<void(
+                       const std::vector<int> &)> &visit)
+{
+    const int parts = static_cast<int>(mins.size());
+    int base = 0;
+    for (int m : mins)
+        base += m;
+    if (base > total)
+        return;
+    const int extra_units = (total - base) / step;
+    const int leftover = (total - base) % step;
+
+    std::vector<int> units(static_cast<std::size_t>(parts), 0);
+    std::function<void(int, int)> rec = [&](int idx,
+                                            int remaining) {
+        if (idx == parts - 1) {
+            units[static_cast<std::size_t>(idx)] = remaining;
+            std::vector<int> out(static_cast<std::size_t>(parts));
+            for (int i = 0; i < parts; ++i) {
+                out[static_cast<std::size_t>(i)] =
+                    mins[static_cast<std::size_t>(i)] +
+                    step * units[static_cast<std::size_t>(i)];
+            }
+            out[0] += leftover;
+            visit(out);
+            return;
+        }
+        for (int k = 0; k <= remaining; ++k) {
+            units[static_cast<std::size_t>(idx)] = k;
+            rec(idx + 1, remaining - k);
+        }
+    };
+    rec(0, extra_units);
+}
+
+/** Distribute bandwidth units proportionally to cores. */
+std::vector<int>
+bwProportionalToCores(const std::vector<int> &cores, int total_bw)
+{
+    int total_cores = 0;
+    for (int c : cores)
+        total_cores += c;
+    std::vector<int> bw(cores.size(), 0);
+    int assigned = 0;
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        bw[i] = total_cores > 0 ?
+            total_bw * cores[i] / total_cores : 0;
+        assigned += bw[i];
+    }
+    bw[0] += total_bw - assigned;
+    return bw;
+}
+
+} // namespace
+
+core::EntropyReport
+steadyStateEntropy(const Node &node, const RegionLayout &layout,
+                   perf::CoreSharePolicy policy,
+                   const OracleConfig &cfg)
+{
+    perf::ContentionModel model(node.config(), cfg.contention);
+    const auto demands = node.demandsAt(0.0);
+    const auto out = model.evaluate(layout, demands, policy);
+
+    std::vector<core::LcObservation> lc;
+    std::vector<core::BeObservation> be;
+    for (AppId i = 0; i < node.numApps(); ++i) {
+        const auto &p = node.profile(i);
+        const auto ui = static_cast<std::size_t>(i);
+        if (p.latencyCritical) {
+            const double load = node.loadAt(i, 0.0);
+            const double lambda = p.arrivalRate(load);
+            const double cap = out[ui].serviceRate;
+            const double svc_tail =
+                p.svcMultAt(cfg.tailPercentile) *
+                out[ui].serviceStretch;
+            const double lam_eff = std::min(lambda, 0.98 * cap);
+            double t = perf::sojournPercentileApprox(
+                out[ui].coreEquivalents, lam_eff,
+                out[ui].perServerRate, svc_tail,
+                cfg.tailPercentile);
+            if (!std::isfinite(t))
+                t = svc_tail / out[ui].perServerRate;
+            if (lambda > cap) {
+                // Saturated: the generator-capped backlog drains
+                // ahead of every request (cf. the epoch simulator).
+                const double backlog = lambda * 0.10 + 32.0;
+                t += backlog / std::max(cap, 1e-9);
+            }
+            lc.push_back(
+                {p.soloTailPercentileMs(load, cfg.tailPercentile),
+                 p.baseLatencyMs + 1000.0 * t,
+                 p.tailThresholdMs});
+        } else {
+            be.push_back({p.ipcSolo, out[ui].ipc});
+        }
+    }
+    return core::computeEntropy(lc, be, cfg.ri);
+}
+
+OracleResult
+bestIsolatedPartition(const Node &node, const OracleConfig &cfg)
+{
+    const auto avail = node.config().availableResources();
+    const auto &lc = node.lcApps();
+    const bool has_be = !node.beApps().empty();
+    const int groups =
+        static_cast<int>(lc.size()) + (has_be ? 1 : 0);
+    assert(groups >= 1);
+
+    OracleResult best;
+    double best_es = std::numeric_limits<double>::infinity();
+
+    const std::vector<int> core_mins(
+        static_cast<std::size_t>(groups), 1);
+    const std::vector<int> way_mins(
+        static_cast<std::size_t>(groups), 1);
+
+    forEachComposition(avail.cores, core_mins, cfg.coreStep,
+                       [&](const std::vector<int> &cores) {
+        const auto bw = bwProportionalToCores(cores, avail.memBw);
+        forEachComposition(avail.llcWays, way_mins, cfg.wayStep,
+                           [&](const std::vector<int> &ways) {
+            RegionLayout layout(avail);
+            for (std::size_t g = 0; g < lc.size(); ++g) {
+                Region r;
+                r.name = "iso" + std::to_string(lc[g]);
+                r.shared = false;
+                r.members = {lc[g]};
+                r.res = {cores[g], ways[g], bw[g]};
+                layout.addRegion(std::move(r));
+            }
+            if (has_be) {
+                Region pool;
+                pool.name = "bepool";
+                pool.shared = true;
+                pool.members = node.beApps();
+                const auto g = lc.size();
+                pool.res = {cores[g], ways[g], bw[g]};
+                layout.addRegion(std::move(pool));
+            }
+            const auto rep = steadyStateEntropy(
+                node, layout, perf::CoreSharePolicy::FairShare,
+                cfg);
+            ++best.evaluated;
+            if (rep.eS < best_es) {
+                best_es = rep.eS;
+                best.layout = layout;
+                best.report = rep;
+            }
+        });
+    });
+    return best;
+}
+
+OracleResult
+bestHybridPartition(const Node &node, const OracleConfig &cfg)
+{
+    const auto avail = node.config().availableResources();
+    const auto &lc = node.lcApps();
+    const int groups = static_cast<int>(lc.size()) + 1;
+
+    OracleResult best;
+    double best_es = std::numeric_limits<double>::infinity();
+
+    // Group 0 is the shared region (min 1 core / 1 way so that BE
+    // members stay viable); iso regions may be empty.
+    std::vector<int> core_mins(static_cast<std::size_t>(groups), 0);
+    std::vector<int> way_mins(static_cast<std::size_t>(groups), 0);
+    core_mins[0] = 1;
+    way_mins[0] = 1;
+
+    std::vector<AppId> everyone = lc;
+    everyone.insert(everyone.end(), node.beApps().begin(),
+                    node.beApps().end());
+
+    forEachComposition(avail.cores, core_mins, cfg.coreStep,
+                       [&](const std::vector<int> &cores) {
+        const auto bw = bwProportionalToCores(cores, avail.memBw);
+        forEachComposition(avail.llcWays, way_mins, cfg.wayStep,
+                           [&](const std::vector<int> &ways) {
+            RegionLayout layout(avail);
+            Region shared;
+            shared.name = "shared";
+            shared.shared = true;
+            shared.members = everyone;
+            shared.res = {cores[0], ways[0], bw[0]};
+            layout.addRegion(std::move(shared));
+            for (std::size_t g = 0; g < lc.size(); ++g) {
+                Region r;
+                r.name = "iso" + std::to_string(lc[g]);
+                r.shared = false;
+                r.members = {lc[g]};
+                r.res = {cores[g + 1], ways[g + 1], bw[g + 1]};
+                layout.addRegion(std::move(r));
+            }
+            const auto rep = steadyStateEntropy(
+                node, layout, perf::CoreSharePolicy::LcPriority,
+                cfg);
+            ++best.evaluated;
+            if (rep.eS < best_es) {
+                best_es = rep.eS;
+                best.layout = layout;
+                best.report = rep;
+            }
+        });
+    });
+    return best;
+}
+
+} // namespace ahq::cluster

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Oracle search over static partitions.
+ *
+ * The paper's key insight (Section IV-A) is that neither complete
+ * isolation nor complete sharing is optimal. This module makes that
+ * quantitative: it exhaustively searches static layouts of two
+ * families — full isolation (one exclusive region per application
+ * group, the PARTIES/CLITE shape) and hybrid (per-LC isolated
+ * regions plus one shared region, the ARQ shape) — under the
+ * steady-state performance model, and returns the entropy-optimal
+ * layout of each. The gap between the two optima is exactly the
+ * value of resource sharing; the gap between a live controller and
+ * its family's oracle measures the controller's convergence.
+ *
+ * The search is deliberately noise-free and backlog-free (steady
+ * state), so it bounds what any feedback controller could converge
+ * to under the same model.
+ */
+
+#ifndef AHQ_CLUSTER_ORACLE_HH
+#define AHQ_CLUSTER_ORACLE_HH
+
+#include <vector>
+
+#include "cluster/node.hh"
+#include "core/entropy.hh"
+#include "machine/layout.hh"
+
+namespace ahq::cluster
+{
+
+/** Search configuration. */
+struct OracleConfig
+{
+    /** Granularity of way enumeration (ways move in these steps). */
+    int wayStep = 2;
+
+    /** Granularity of core enumeration. */
+    int coreStep = 1;
+
+    /** Relative importance for the entropy objective. */
+    double ri = core::kDefaultRelativeImportance;
+
+    /** Tail percentile of the latency model. */
+    double tailPercentile = 0.95;
+
+    /** Contention model tunables. */
+    perf::ContentionTraits contention;
+};
+
+/** The outcome of one oracle search. */
+struct OracleResult
+{
+    machine::RegionLayout layout{machine::ResourceVector{}};
+    core::EntropyReport report;
+
+    /** Layouts evaluated during the search. */
+    long evaluated = 0;
+};
+
+/**
+ * Steady-state entropy of one candidate layout (no noise, no
+ * backlog, no repartition overhead) — the objective the oracle
+ * minimises, exposed for tests and custom searches.
+ *
+ * @param node The colocation.
+ * @param layout Candidate layout.
+ * @param policy Core-sharing policy for shared regions.
+ * @param cfg Search configuration (model knobs).
+ */
+core::EntropyReport
+steadyStateEntropy(const Node &node,
+                   const machine::RegionLayout &layout,
+                   perf::CoreSharePolicy policy,
+                   const OracleConfig &cfg = {});
+
+/**
+ * Best fully-isolated static partition: one exclusive region per LC
+ * app plus one BE pool (FairShare inside the pool).
+ */
+OracleResult bestIsolatedPartition(const Node &node,
+                                   const OracleConfig &cfg = {});
+
+/**
+ * Best hybrid partition: one (possibly empty) isolated region per
+ * LC app plus one shared region holding everyone, with LC priority
+ * in the shared region (the ARQ family).
+ */
+OracleResult bestHybridPartition(const Node &node,
+                                 const OracleConfig &cfg = {});
+
+} // namespace ahq::cluster
+
+#endif // AHQ_CLUSTER_ORACLE_HH

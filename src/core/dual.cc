@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Dual-metric entropy implementation.
+ */
+
+#include "core/dual.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ahq::core
+{
+
+double
+dualIntolerable(const DualObservation &obs, DualPolicy policy)
+{
+    const double q_lat = lcBreakdown(obs.latency).intolerable;
+
+    assert(obs.throughput.ipcSolo > 0.0);
+    const double real = std::max(obs.throughput.ipcReal, 1e-9);
+    const double q_thr = std::clamp(
+        1.0 - real / obs.throughput.ipcSolo, 0.0, 1.0);
+
+    switch (policy) {
+      case DualPolicy::MoreCritical:
+        return std::max(q_lat, q_thr);
+      case DualPolicy::WeightedAggregate: {
+        const double w = std::clamp(obs.latencyWeight, 0.0, 1.0);
+        return w * q_lat + (1.0 - w) * q_thr;
+      }
+    }
+    return 0.0;
+}
+
+double
+dualEntropy(const std::vector<DualObservation> &apps,
+            DualPolicy policy)
+{
+    if (apps.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &o : apps)
+        sum += dualIntolerable(o, policy);
+    return sum / static_cast<double>(apps.size());
+}
+
+double
+mixedSystemEntropy(const std::vector<LcObservation> &lc,
+                   const std::vector<BeObservation> &be,
+                   const std::vector<DualObservation> &dual,
+                   DualPolicy policy, double ri)
+{
+    // Dual apps have QoS expectations, so they average into the LC
+    // side of Eq. 7.
+    double lc_sum = 0.0;
+    for (const auto &o : lc)
+        lc_sum += lcBreakdown(o).intolerable;
+    for (const auto &o : dual)
+        lc_sum += dualIntolerable(o, policy);
+    const std::size_t lc_n = lc.size() + dual.size();
+    const double e_lc =
+        lc_n > 0 ? lc_sum / static_cast<double>(lc_n) : 0.0;
+
+    const double e_be = beEntropy(be);
+    return systemEntropy(e_lc, e_be, ri, lc_n > 0, !be.empty());
+}
+
+} // namespace ahq::core

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Dual-metric applications — the future work Section VII names:
+ * "There may be applications that care about both latency and IPC.
+ * In that case, we could either choose a more critical performance
+ * metric, or come up with an aggregated metric that takes various
+ * metrics into account."
+ *
+ * Both options are provided. A dual observation carries a latency
+ * view (ideal/actual/threshold, like an LC app) and a throughput
+ * view (solo/real IPC, like a BE app); its contribution to the
+ * entropy is either the more critical of the two intolerable
+ * components (MoreCritical) or their convex combination
+ * (WeightedAggregate).
+ */
+
+#ifndef AHQ_CORE_DUAL_HH
+#define AHQ_CORE_DUAL_HH
+
+#include <vector>
+
+#include "core/entropy.hh"
+
+namespace ahq::core
+{
+
+/** How a dual-metric app folds its two views into one number. */
+enum class DualPolicy
+{
+    /** Take the worse of the two intolerable components. */
+    MoreCritical,
+
+    /** Weighted aggregate: w * latency + (1-w) * throughput. */
+    WeightedAggregate,
+};
+
+/** One application observed through both lenses. */
+struct DualObservation
+{
+    /** The latency view (TL_i0 / TL_i1 / M_i). */
+    LcObservation latency;
+
+    /** The throughput view (IPC solo / real). */
+    BeObservation throughput;
+
+    /**
+     * Weight of the latency view under WeightedAggregate, in
+     * [0, 1]. Ignored under MoreCritical.
+     */
+    double latencyWeight = 0.5;
+};
+
+/**
+ * The app's intolerable-interference contribution in [0, 1]:
+ * the latency component is Q_i (Eq. 4); the throughput component is
+ * the app's normalised slowdown excess 1 - IPC_real/IPC_solo.
+ */
+double dualIntolerable(const DualObservation &obs, DualPolicy policy);
+
+/**
+ * Entropy of a set of dual-metric applications: the mean of their
+ * intolerable contributions (the Eq. 5 shape). Returns 0 when empty.
+ */
+double dualEntropy(const std::vector<DualObservation> &apps,
+                   DualPolicy policy);
+
+/**
+ * System entropy over a mixed population: classic LC apps, classic
+ * BE apps, and dual-metric apps. The dual apps join the LC side of
+ * Eq. 7 (they have QoS expectations), with their contributions
+ * averaged into E_LC.
+ */
+double mixedSystemEntropy(const std::vector<LcObservation> &lc,
+                          const std::vector<BeObservation> &be,
+                          const std::vector<DualObservation> &dual,
+                          DualPolicy policy,
+                          double ri = kDefaultRelativeImportance);
+
+} // namespace ahq::core
+
+#endif // AHQ_CORE_DUAL_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Resource equivalence implementation.
+ */
+
+#include "core/equivalence.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ahq::core
+{
+
+EntropyCurve
+monotoneEnvelope(EntropyCurve curve)
+{
+    // Running minimum from the right: with more resources the
+    // achievable entropy can only stay equal or drop.
+    for (std::size_t i = curve.size(); i-- > 1;) {
+        curve[i - 1].second =
+            std::max(curve[i - 1].second, curve[i].second);
+    }
+    return curve;
+}
+
+std::optional<double>
+resourceForEntropy(const EntropyCurve &curve, double target_entropy)
+{
+    if (curve.empty())
+        return std::nullopt;
+    for (std::size_t i = 1; i < curve.size(); ++i)
+        assert(curve[i].first >= curve[i - 1].first);
+
+    const EntropyCurve env = monotoneEnvelope(curve);
+
+    // Entropy decreases left-to-right; find the first point at or
+    // below the target.
+    if (env.front().second <= target_entropy)
+        return env.front().first;
+    for (std::size_t i = 1; i < env.size(); ++i) {
+        if (env[i].second <= target_entropy) {
+            const auto &[r0, e0] = env[i - 1];
+            const auto &[r1, e1] = env[i];
+            if (e0 == e1)
+                return r1;
+            const double frac = (e0 - target_entropy) / (e0 - e1);
+            return r0 + frac * (r1 - r0);
+        }
+    }
+    return std::nullopt; // target unreachable in the sampled range
+}
+
+std::optional<double>
+resourceEquivalence(const EntropyCurve &p1, const EntropyCurve &p2,
+                    double target_entropy)
+{
+    const auto r1 = resourceForEntropy(p1, target_entropy);
+    const auto r2 = resourceForEntropy(p2, target_entropy);
+    if (!r1 || !r2)
+        return std::nullopt;
+    return *r1 - *r2;
+}
+
+std::vector<IsentropicPoint>
+isentropicLine(const std::vector<double> &secondaries,
+               const std::vector<EntropyCurve> &curves,
+               double target_entropy)
+{
+    assert(secondaries.size() == curves.size());
+    std::vector<IsentropicPoint> line;
+    line.reserve(curves.size());
+    for (std::size_t k = 0; k < curves.size(); ++k) {
+        line.push_back({secondaries[k],
+                        resourceForEntropy(curves[k],
+                                           target_entropy)});
+    }
+    return line;
+}
+
+} // namespace ahq::core

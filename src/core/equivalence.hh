@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Resource equivalence (Section II-C / III-B).
+ *
+ * A scheduling strategy p2 has resource equivalence dR relative to p1
+ * when p1 needs R + dR resources to reach the same E_S that p2
+ * reaches with R. The solver works over empirically sampled
+ * (resource, E_S) curves: it enforces a monotone envelope (E_S is
+ * non-increasing in resources by required property 2, but sampled
+ * curves can wiggle) and interpolates linearly, which is how the
+ * paper reads fractional values such as "7.61 cores" off Fig. 3(a).
+ */
+
+#ifndef AHQ_CORE_EQUIVALENCE_HH
+#define AHQ_CORE_EQUIVALENCE_HH
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace ahq::core
+{
+
+/** A sampled (resource amount, E_S) point. */
+using EntropyPoint = std::pair<double, double>;
+
+/** A sampled E_S-vs-resource curve; resource values must ascend. */
+using EntropyCurve = std::vector<EntropyPoint>;
+
+/**
+ * Replace the entropy values with their running minimum from the
+ * right, producing a non-increasing curve (the monotone envelope).
+ * Sampled curves can wiggle due to measurement noise; property 2
+ * guarantees the underlying relation is monotone.
+ */
+EntropyCurve monotoneEnvelope(EntropyCurve curve);
+
+/**
+ * The resource amount at which the curve reaches the target entropy,
+ * by linear interpolation on the monotone envelope.
+ *
+ * @param curve Sampled curve (resource ascending).
+ * @param target_entropy Target E_S.
+ * @return The interpolated resource amount, or nullopt when the
+ *         target is unreachable within the sampled range.
+ */
+std::optional<double> resourceForEntropy(const EntropyCurve &curve,
+                                         double target_entropy);
+
+/**
+ * Resource equivalence of strategy p2 relative to p1 at the target
+ * entropy: resources p1 needs minus resources p2 needs (positive
+ * means p2 is the better strategy).
+ *
+ * @return nullopt when either strategy cannot reach the target in
+ *         the sampled range.
+ */
+std::optional<double> resourceEquivalence(const EntropyCurve &p1,
+                                          const EntropyCurve &p2,
+                                          double target_entropy);
+
+/**
+ * One point of an isentropic line (Fig. 3(b)): for a fixed secondary
+ * resource amount (e.g. LLC ways), the primary resource (e.g. cores)
+ * needed to reach the target entropy.
+ */
+struct IsentropicPoint
+{
+    double secondary;             // e.g. LLC ways
+    std::optional<double> primary; // e.g. cores needed
+};
+
+/**
+ * Compute an isentropic line from a family of curves: curves[k] is
+ * the (primary resource, E_S) curve at secondary amount
+ * secondaries[k].
+ */
+std::vector<IsentropicPoint>
+isentropicLine(const std::vector<double> &secondaries,
+               const std::vector<EntropyCurve> &curves,
+               double target_entropy);
+
+} // namespace ahq::core
+
+#endif // AHQ_CORE_EQUIVALENCE_HH

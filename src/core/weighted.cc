@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Weighted entropy implementation.
+ */
+
+#include "core/weighted.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ahq::core
+{
+
+double
+weightedLcEntropy(const std::vector<WeightedLcObservation> &lc)
+{
+    if (lc.empty())
+        return 0.0;
+    double num = 0.0, den = 0.0;
+    for (const auto &w : lc) {
+        assert(w.weight > 0.0);
+        num += w.weight * lcBreakdown(w.obs).intolerable;
+        den += w.weight;
+    }
+    return num / den;
+}
+
+double
+weightedBeEntropy(const std::vector<WeightedBeObservation> &be)
+{
+    if (be.empty())
+        return 0.0;
+    double w_sum = 0.0, slow_sum = 0.0;
+    for (const auto &w : be) {
+        assert(w.weight > 0.0);
+        assert(w.obs.ipcSolo > 0.0);
+        const double real = std::max(w.obs.ipcReal, 1e-9);
+        const double slowdown =
+            std::max(1.0, w.obs.ipcSolo / real);
+        w_sum += w.weight;
+        slow_sum += w.weight * slowdown;
+    }
+    return std::clamp(1.0 - w_sum / slow_sum, 0.0, 1.0);
+}
+
+double
+weightedSystemEntropy(const std::vector<WeightedLcObservation> &lc,
+                      const std::vector<WeightedBeObservation> &be,
+                      double ri)
+{
+    return systemEntropy(weightedLcEntropy(lc),
+                         weightedBeEntropy(be), ri, !lc.empty(),
+                         !be.empty());
+}
+
+} // namespace ahq::core

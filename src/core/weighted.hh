@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Weighted system entropy — the extension Section II-B sketches:
+ * "If necessary, the E_S model can be extended to involve different
+ * RI factors among the same type of applications."
+ *
+ * Each LC application gets a criticality weight (its share of E_LC)
+ * and each BE application a value weight (its share of the harmonic
+ * slowdown). With uniform weights the definitions reduce exactly to
+ * Eqs. (5)-(7), which the tests assert.
+ */
+
+#ifndef AHQ_CORE_WEIGHTED_HH
+#define AHQ_CORE_WEIGHTED_HH
+
+#include <vector>
+
+#include "core/entropy.hh"
+
+namespace ahq::core
+{
+
+/** An LC observation with a criticality weight (> 0). */
+struct WeightedLcObservation
+{
+    LcObservation obs;
+    double weight = 1.0;
+};
+
+/** A BE observation with a value weight (> 0). */
+struct WeightedBeObservation
+{
+    BeObservation obs;
+    double weight = 1.0;
+};
+
+/**
+ * Weighted LC entropy: the weight-normalised mean of the Q_i.
+ *
+ *   E_LC^w = sum_i w_i Q_i / sum_i w_i
+ *
+ * Reduces to Eq. (5) for uniform weights. Returns 0 when empty.
+ */
+double weightedLcEntropy(const std::vector<WeightedLcObservation> &lc);
+
+/**
+ * Weighted BE entropy: the weighted harmonic slowdown,
+ *
+ *   E_BE^w = 1 - (sum_i w_i) / (sum_i w_i * slowdown_i)
+ *
+ * Reduces to Eq. (6) for uniform weights. Returns 0 when empty.
+ */
+double weightedBeEntropy(const std::vector<WeightedBeObservation> &be);
+
+/**
+ * Weighted system entropy, Eq. (7) over the weighted class
+ * entropies, degenerating to a single class exactly as
+ * systemEntropy() does.
+ */
+double
+weightedSystemEntropy(const std::vector<WeightedLcObservation> &lc,
+                      const std::vector<WeightedBeObservation> &be,
+                      double ri = kDefaultRelativeImportance);
+
+} // namespace ahq::core
+
+#endif // AHQ_CORE_WEIGHTED_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * MachineConfig implementation.
+ */
+
+#include "machine/config.hh"
+
+#include <cassert>
+
+namespace ahq::machine
+{
+
+MachineConfig
+MachineConfig::withAvailable(int cores, int ways, int bw_units) const
+{
+    MachineConfig c = *this;
+    c.availableCores = cores;
+    c.availableLlcWays = ways;
+    c.availableMemBwUnits = bw_units;
+    assert(c.valid());
+    return c;
+}
+
+bool
+MachineConfig::valid() const
+{
+    return totalCores > 0 && totalLlcWays > 0 && totalMemBwUnits > 0 &&
+        llcSizeMib > 0.0 && memBandwidthGibps > 0.0 &&
+        availableCores > 0 && availableCores <= totalCores &&
+        availableLlcWays > 0 && availableLlcWays <= totalLlcWays &&
+        availableMemBwUnits > 0 &&
+        availableMemBwUnits <= totalMemBwUnits;
+}
+
+MachineConfig
+MachineConfig::xeonGold6248()
+{
+    MachineConfig c;
+    c.name = "Intel Xeon Gold 6248";
+    c.totalCores = 20;
+    c.totalLlcWays = 11;
+    c.llcSizeMib = 27.5;
+    // 6-channel DDR4-2933 is ~140 GiB/s theoretical; ~110 usable.
+    c.memBandwidthGibps = 110.0;
+    c.totalMemBwUnits = 10;
+    c.availableCores = c.totalCores;
+    c.availableLlcWays = c.totalLlcWays;
+    c.availableMemBwUnits = c.totalMemBwUnits;
+    return c;
+}
+
+MachineConfig
+MachineConfig::xeonE52630v4()
+{
+    MachineConfig c;
+    c.name = "Intel Xeon E5-2630 v4";
+    c.totalCores = 10;
+    c.totalLlcWays = 20;
+    c.llcSizeMib = 25.0;
+    // 4-channel DDR4-2400 is ~76.8 GiB/s theoretical; ~60 GiB/s usable.
+    c.memBandwidthGibps = 60.0;
+    c.totalMemBwUnits = 10;
+    c.availableCores = c.totalCores;
+    c.availableLlcWays = c.totalLlcWays;
+    c.availableMemBwUnits = c.totalMemBwUnits;
+    return c;
+}
+
+} // namespace ahq::machine

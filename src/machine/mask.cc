@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Core and way mask implementations.
+ */
+
+#include "machine/mask.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdio>
+
+namespace ahq::machine
+{
+
+CoreMask
+CoreMask::firstN(int n, int offset)
+{
+    assert(n >= 0 && offset >= 0 && n + offset <= 64);
+    if (n == 0)
+        return CoreMask(0);
+    const std::uint64_t run =
+        n == 64 ? ~0ull : ((1ull << n) - 1ull);
+    return CoreMask(run << offset);
+}
+
+int
+CoreMask::count() const
+{
+    return std::popcount(bits_);
+}
+
+bool
+CoreMask::contains(int core) const
+{
+    assert(core >= 0 && core < 64);
+    return (bits_ >> core) & 1ull;
+}
+
+void
+CoreMask::add(int core)
+{
+    assert(core >= 0 && core < 64);
+    bits_ |= (1ull << core);
+}
+
+void
+CoreMask::remove(int core)
+{
+    assert(core >= 0 && core < 64);
+    bits_ &= ~(1ull << core);
+}
+
+int
+CoreMask::lowest() const
+{
+    if (bits_ == 0)
+        return -1;
+    return std::countr_zero(bits_);
+}
+
+CoreMask
+CoreMask::operator&(const CoreMask &o) const
+{
+    return CoreMask(bits_ & o.bits_);
+}
+
+CoreMask
+CoreMask::operator|(const CoreMask &o) const
+{
+    return CoreMask(bits_ | o.bits_);
+}
+
+std::string
+CoreMask::toString() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(bits_));
+    return buf;
+}
+
+WayMask::WayMask(int first_way, int num_ways)
+    : firstWay(first_way), numWays(num_ways)
+{
+    assert(first_way >= 0 && num_ways >= 0);
+    assert(first_way + num_ways <= 64);
+}
+
+bool
+WayMask::contains(int way) const
+{
+    return way >= firstWay && way < firstWay + numWays;
+}
+
+int
+WayMask::overlapWays(const WayMask &o) const
+{
+    if (empty() || o.empty())
+        return 0;
+    const int lo = std::max(firstWay, o.firstWay);
+    const int hi = std::min(firstWay + numWays, o.firstWay + o.numWays);
+    return std::max(0, hi - lo);
+}
+
+std::uint64_t
+WayMask::bits() const
+{
+    if (numWays == 0)
+        return 0;
+    const std::uint64_t run =
+        numWays == 64 ? ~0ull : ((1ull << numWays) - 1ull);
+    return run << firstWay;
+}
+
+std::string
+WayMask::toString() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(bits()));
+    return buf;
+}
+
+} // namespace ahq::machine

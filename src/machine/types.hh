@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Shared elementary types for the machine model.
+ */
+
+#ifndef AHQ_MACHINE_TYPES_HH
+#define AHQ_MACHINE_TYPES_HH
+
+namespace ahq::machine
+{
+
+/** Index of an application colocated on the node. */
+using AppId = int;
+
+/** Sentinel for "no application". */
+inline constexpr AppId kNoApp = -1;
+
+/** Index of a resource region within a RegionLayout. */
+using RegionId = int;
+
+/** Sentinel for "no region". */
+inline constexpr RegionId kNoRegion = -1;
+
+} // namespace ahq::machine
+
+#endif // AHQ_MACHINE_TYPES_HH

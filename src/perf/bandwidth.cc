@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Bandwidth model implementation.
+ */
+
+#include "perf/bandwidth.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ahq::perf
+{
+
+BandwidthModel::BandwidthModel(BandwidthTraits traits)
+    : traits_(traits)
+{
+    assert(traits.contentionK >= 0.0);
+    assert(traits.rhoCap > 0.0 && traits.rhoCap < 1.0);
+    assert(traits.maxDilation >= 1.0);
+}
+
+double
+BandwidthModel::dilation(double rho) const
+{
+    if (rho <= 0.0)
+        return 1.0;
+    const double r = std::min(rho, traits_.rhoCap);
+    const double d = 1.0 + traits_.contentionK * r * r / (1.0 - r);
+    return std::min(d, traits_.maxDilation);
+}
+
+double
+BandwidthModel::throughputScale(double demand, double capacity) const
+{
+    assert(capacity > 0.0);
+    if (demand <= capacity)
+        return 1.0;
+    return capacity / demand;
+}
+
+} // namespace ahq::perf

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Memory-bandwidth contention model.
+ *
+ * When the aggregate bandwidth demand of the colocated applications
+ * approaches the node's (or an MBA partition's) capacity, memory
+ * access latency dilates, inflating every consumer's CPI. The model
+ * uses the standard queueing-flavoured dilation
+ *
+ *     d(rho) = 1 + k * rho^2 / (1 - rho)      (rho capped below 1)
+ *
+ * which is ~1 at low utilisation and grows sharply near saturation —
+ * the behaviour STREAM-style colocations exhibit on real parts.
+ */
+
+#ifndef AHQ_PERF_BANDWIDTH_HH
+#define AHQ_PERF_BANDWIDTH_HH
+
+namespace ahq::perf
+{
+
+/** Parameters of the bandwidth dilation curve. */
+struct BandwidthTraits
+{
+    /** Dilation curvature constant. */
+    double contentionK = 0.8;
+
+    /** Utilisation is clamped to this before the 1/(1-rho) pole. */
+    double rhoCap = 0.97;
+
+    /** Upper bound on dilation to keep the fixed point well-behaved. */
+    double maxDilation = 8.0;
+};
+
+/**
+ * Memory bandwidth dilation model.
+ */
+class BandwidthModel
+{
+  public:
+    explicit BandwidthModel(BandwidthTraits traits = {});
+
+    /**
+     * Latency dilation (>= 1) at the given utilisation.
+     * @param rho Demand / capacity; values above rhoCap are clamped.
+     */
+    double dilation(double rho) const;
+
+    /**
+     * Throughput scale factor in (0, 1]: when demand exceeds
+     * capacity, consumers are collectively throttled to fit.
+     */
+    double throughputScale(double demand, double capacity) const;
+
+    const BandwidthTraits &traits() const { return traits_; }
+
+  private:
+    BandwidthTraits traits_;
+};
+
+} // namespace ahq::perf
+
+#endif // AHQ_PERF_BANDWIDTH_HH

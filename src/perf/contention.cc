@@ -1,0 +1,456 @@
+/**
+ * @file
+ * Contention model implementation.
+ */
+
+#include "perf/contention.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace ahq::perf
+{
+
+using machine::AppId;
+using machine::Region;
+using machine::RegionId;
+using machine::RegionLayout;
+using machine::ResourceKind;
+
+namespace
+{
+
+/** Mutable per-app state threaded through the fixed point. */
+struct AppState
+{
+    double speed = 1.0;       // cache+memory speed factor
+    double ways = 1.0;        // effective LLC ways
+    double dilation = 1.0;    // memory latency dilation
+    double isoCores = 0.0;    // cores from isolated regions
+    double sharedGrant = 0.0; // core-equivalents from shared regions
+    double stretch = 1.0;     // PS service-time stretch
+    double beCores = 0.0;     // BE: granted cores (iso + shared)
+    double busyCores = 0.0;   // cores actively executing
+    double bwDemand = 0.0;    // GiB/s
+    double mbaScale = 1.0;    // throttle when demand exceeds MBA cap
+};
+
+double
+damp(double old_v, double new_v, double alpha)
+{
+    return (1.0 - alpha) * old_v + alpha * new_v;
+}
+
+/**
+ * Weighted max-min water-filling: distribute capacity among demands
+ * with the given weights, never exceeding a consumer's cap.
+ */
+std::vector<double>
+waterFill(double capacity, const std::vector<double> &caps,
+          const std::vector<double> &weights)
+{
+    const std::size_t n = caps.size();
+    std::vector<double> grant(n, 0.0);
+    std::vector<bool> frozen(n, false);
+    double remaining = capacity;
+    for (int round = 0; round < static_cast<int>(n) + 1; ++round) {
+        double weight_sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!frozen[i])
+                weight_sum += weights[i];
+        }
+        if (weight_sum <= 0.0 || remaining <= 1e-12)
+            break;
+        bool saturated = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (frozen[i])
+                continue;
+            const double offer = remaining * weights[i] / weight_sum;
+            if (grant[i] + offer >= caps[i] - 1e-12) {
+                saturated = true;
+            }
+        }
+        double consumed = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (frozen[i])
+                continue;
+            const double offer = remaining * weights[i] / weight_sum;
+            const double take = std::min(offer, caps[i] - grant[i]);
+            grant[i] += take;
+            consumed += take;
+            if (grant[i] >= caps[i] - 1e-12)
+                frozen[i] = true;
+        }
+        remaining -= consumed;
+        if (!saturated)
+            break;
+    }
+    return grant;
+}
+
+} // namespace
+
+ContentionModel::ContentionModel(machine::MachineConfig config,
+                                 ContentionTraits traits)
+    : config_(std::move(config)), traits_(traits),
+      bwModel(traits.bandwidth)
+{
+    assert(config_.valid());
+    assert(traits_.iterations > 0);
+    assert(traits_.damping > 0.0 && traits_.damping <= 1.0);
+}
+
+std::vector<PerfOutcome>
+ContentionModel::evaluate(const RegionLayout &layout,
+                          const std::vector<AppDemand> &demands,
+                          CoreSharePolicy policy) const
+{
+    assert(layout.valid());
+    const std::size_t n = demands.size();
+    // "Ideal" conditions use the machine's full physical cache, as the
+    // paper measures TL_i0 / IPC_solo with ample resources.
+    const double ideal_ways = static_cast<double>(config_.totalLlcWays);
+    const double bw_per_unit = config_.gibpsPerBwUnit();
+    const double machine_bw_cap =
+        config_.availableMemBwUnits * bw_per_unit;
+
+    std::vector<AppState> st(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        st[i].ways = std::max(
+            1.0, static_cast<double>(layout.reachable(
+                     static_cast<AppId>(i), ResourceKind::LlcWays)));
+        st[i].speed = demands[i].cpi.speed(st[i].ways, 1.0, ideal_ways);
+    }
+
+    const double alpha = traits_.damping;
+
+    for (int iter = 0; iter < traits_.iterations; ++iter) {
+        // ---- isolated core grants -------------------------------
+        std::vector<double> prev_stretch(n, 1.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            prev_stretch[i] = st[i].stretch;
+            st[i].isoCores = 0.0;
+            st[i].sharedGrant = 0.0;
+            st[i].stretch = 1.0;
+            st[i].beCores = 0.0;
+        }
+        for (RegionId r = 0; r < layout.numRegions(); ++r) {
+            const Region &reg = layout.region(r);
+            if (reg.shared || reg.members.empty())
+                continue;
+            // Non-shared regions are single-member by construction of
+            // all scheduler layouts; split evenly if not.
+            const double per = static_cast<double>(reg.res.cores) /
+                static_cast<double>(reg.members.size());
+            for (AppId m : reg.members) {
+                auto &s = st[static_cast<std::size_t>(m)];
+                const auto &d = demands[static_cast<std::size_t>(m)];
+                if (d.latencyCritical)
+                    s.isoCores += per;
+                else
+                    s.beCores += per;
+            }
+        }
+
+        // ---- shared region core sharing -------------------------
+        for (RegionId r = 0; r < layout.numRegions(); ++r) {
+            const Region &reg = layout.region(r);
+            if (!reg.shared || reg.members.empty())
+                continue;
+            const double c_r = static_cast<double>(reg.res.cores);
+
+            std::vector<AppId> lc, be;
+            for (AppId m : reg.members) {
+                if (demands[static_cast<std::size_t>(m)].latencyCritical)
+                    lc.push_back(m);
+                else
+                    be.push_back(m);
+            }
+
+            // Mean work each LC member pushes into this region.
+            std::vector<double> resid(lc.size(), 0.0);
+            std::vector<double> burst_cap(lc.size(), 0.0);
+            for (std::size_t k = 0; k < lc.size(); ++k) {
+                const auto i = static_cast<std::size_t>(lc[k]);
+                const auto &d = demands[i];
+                // Timeslice stretching (previous iterate) inflates
+                // the occupancy, which feeds back into the stretch —
+                // the compounding that makes heavy oversubscription
+                // catastrophic on real CFS nodes.
+                const double util = d.arrivalRate * d.serviceTimeMs /
+                    1000.0 / std::max(1e-9, st[i].speed) *
+                    traits_.lcOccupancyHeadroom * prev_stretch[i];
+                resid[k] = std::max(0.0, util - st[i].isoCores);
+                burst_cap[k] = std::max(
+                    0.0, static_cast<double>(d.threads) -
+                        st[i].isoCores);
+            }
+
+            if (policy == CoreSharePolicy::LcPriority) {
+                double occupied = 0.0;
+                for (std::size_t k = 0; k < lc.size(); ++k)
+                    occupied += std::min(resid[k], burst_cap[k]);
+                if (occupied <= c_r) {
+                    // Stable: each LC app can burst into whatever the
+                    // other LC apps leave idle on average.
+                    for (std::size_t k = 0; k < lc.size(); ++k) {
+                        const double own =
+                            std::min(resid[k], burst_cap[k]);
+                        const double avail = c_r - (occupied - own);
+                        st[static_cast<std::size_t>(lc[k])]
+                            .sharedGrant += std::min(burst_cap[k],
+                                                     avail);
+                    }
+                } else if (occupied > 0.0) {
+                    // Overload: ration proportionally to demand.
+                    for (std::size_t k = 0; k < lc.size(); ++k) {
+                        const double own =
+                            std::min(resid[k], burst_cap[k]);
+                        st[static_cast<std::size_t>(lc[k])]
+                            .sharedGrant += c_r * own / occupied;
+                    }
+                }
+                // BE apps get the leftover, water-filled by threads.
+                const double c_be = std::max(0.0, c_r - occupied);
+                if (!be.empty() && c_be > 0.0) {
+                    std::vector<double> caps, weights;
+                    for (AppId m : be) {
+                        const auto &d =
+                            demands[static_cast<std::size_t>(m)];
+                        const double cap =
+                            std::max(0.0,
+                                     static_cast<double>(d.threads) -
+                                         st[static_cast<std::size_t>(m)]
+                                             .beCores);
+                        caps.push_back(cap);
+                        weights.push_back(
+                            static_cast<double>(d.threads));
+                    }
+                    const auto grants = waterFill(c_be, caps, weights);
+                    for (std::size_t k = 0; k < be.size(); ++k) {
+                        st[static_cast<std::size_t>(be[k])].beCores +=
+                            grants[k];
+                    }
+                }
+            } else {
+                // FairShare (CFS). Each LC app keeps roughly its
+                // mean occupancy plus a partially-awake burst thread
+                // runnable; BE threads are always runnable. When the
+                // region is over-subscribed, cores are granted by
+                // thread-weighted water-filling (the CFS weight) and
+                // every request's service stretches by the runnable/
+                // cores ratio (timeslicing + wake-up latency).
+                double active_total = 0.0;
+                std::vector<double> active_lc(lc.size(), 0.0);
+                for (std::size_t k = 0; k < lc.size(); ++k) {
+                    if (resid[k] > 0.0) {
+                        active_lc[k] = std::min(
+                            burst_cap[k], 1.2 * resid[k] + 0.5);
+                    }
+                    active_total += active_lc[k];
+                }
+                for (AppId m : be) {
+                    active_total += static_cast<double>(
+                        demands[static_cast<std::size_t>(m)].threads);
+                }
+                if (active_total <= c_r) {
+                    // Enough cores: everyone can burst into the
+                    // average idle capacity of the others.
+                    for (std::size_t k = 0; k < lc.size(); ++k) {
+                        const double avail =
+                            c_r - (active_total - active_lc[k]);
+                        st[static_cast<std::size_t>(lc[k])]
+                            .sharedGrant += std::min(burst_cap[k],
+                                                     avail);
+                    }
+                    for (AppId m : be) {
+                        const auto i = static_cast<std::size_t>(m);
+                        st[i].beCores += static_cast<double>(
+                            demands[i].threads);
+                    }
+                } else {
+                    const double region_stretch = active_total / c_r;
+                    // Thread-weighted fair sharing, capped at what
+                    // each member's runnable threads can occupy.
+                    std::vector<double> caps, weights;
+                    for (std::size_t k = 0; k < lc.size(); ++k) {
+                        caps.push_back(
+                            std::min(burst_cap[k],
+                                     1.3 * active_lc[k]));
+                        weights.push_back(static_cast<double>(
+                            demands[static_cast<std::size_t>(lc[k])]
+                                .threads));
+                    }
+                    for (AppId m : be) {
+                        const auto i = static_cast<std::size_t>(m);
+                        caps.push_back(static_cast<double>(
+                            demands[i].threads));
+                        weights.push_back(static_cast<double>(
+                            demands[i].threads));
+                    }
+                    const auto grants =
+                        waterFill(c_r, caps, weights);
+                    for (std::size_t k = 0; k < lc.size(); ++k) {
+                        const auto i =
+                            static_cast<std::size_t>(lc[k]);
+                        st[i].sharedGrant += grants[k];
+                        st[i].stretch =
+                            std::max(st[i].stretch, region_stretch);
+                    }
+                    for (std::size_t k = 0; k < be.size(); ++k) {
+                        const auto i =
+                            static_cast<std::size_t>(be[k]);
+                        st[i].beCores += grants[lc.size() + k];
+                    }
+                }
+            }
+        }
+
+        // Cap LC server counts at thread counts and compute busy
+        // cores; stretched servers provide proportionally less
+        // capacity, which the per-server rate accounts for below.
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto &d = demands[i];
+            if (d.latencyCritical) {
+                const double kappa = std::min(
+                    static_cast<double>(d.threads),
+                    st[i].isoCores + st[i].sharedGrant);
+                const double util = d.arrivalRate * d.serviceTimeMs /
+                    1000.0 / std::max(1e-9, st[i].speed);
+                st[i].busyCores = std::min(util, kappa);
+            } else {
+                st[i].beCores = std::min(
+                    st[i].beCores, static_cast<double>(d.threads));
+                st[i].busyCores = st[i].beCores;
+            }
+        }
+
+        // ---- LLC way sharing -------------------------------------
+        std::vector<double> new_ways(n, 0.0);
+        for (RegionId r = 0; r < layout.numRegions(); ++r) {
+            const Region &reg = layout.region(r);
+            if (reg.members.empty() || reg.res.llcWays == 0)
+                continue;
+            if (!reg.shared) {
+                const double per =
+                    static_cast<double>(reg.res.llcWays) /
+                    static_cast<double>(reg.members.size());
+                for (AppId m : reg.members)
+                    new_ways[static_cast<std::size_t>(m)] += per;
+                continue;
+            }
+            double intensity_sum = 0.0;
+            std::vector<double> intensity(reg.members.size(), 0.0);
+            for (std::size_t k = 0; k < reg.members.size(); ++k) {
+                const auto i =
+                    static_cast<std::size_t>(reg.members[k]);
+                const double occ = std::max(0.02, st[i].busyCores);
+                intensity[k] =
+                    demands[i].cpi.mrc().accessIntensity(st[i].ways) *
+                    occ;
+                intensity_sum += intensity[k];
+            }
+            if (intensity_sum <= 0.0)
+                continue;
+            for (std::size_t k = 0; k < reg.members.size(); ++k) {
+                const auto i =
+                    static_cast<std::size_t>(reg.members[k]);
+                new_ways[i] += static_cast<double>(reg.res.llcWays) *
+                    intensity[k] / intensity_sum;
+            }
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            st[i].ways = damp(st[i].ways,
+                              std::max(0.25, new_ways[i]), alpha);
+        }
+
+        // ---- memory bandwidth ------------------------------------
+        // Machine pressure counts MBA-throttled traffic: a capped
+        // consumer stops pressuring the bus beyond its partition.
+        double total_demand = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            st[i].bwDemand = st[i].busyCores *
+                demands[i].cpi.bwDemandPerCore(st[i].ways,
+                                               st[i].dilation);
+            total_demand += st[i].bwDemand * st[i].mbaScale;
+        }
+        const double rho_machine = total_demand / machine_bw_cap;
+
+        for (std::size_t i = 0; i < n; ++i) {
+            // MBA cap of the app: sum of its regions' bandwidth
+            // units; shared-region units count fully (they are a cap,
+            // not a grant — contention shows up through rho).
+            double cap_units = 0.0;
+            for (RegionId r :
+                 layout.regionsOf(static_cast<AppId>(i))) {
+                cap_units += layout.region(r).res.memBw;
+            }
+            const double cap_gibps =
+                std::max(0.25, cap_units) * bw_per_unit;
+            const double new_scale = bwModel.throughputScale(
+                st[i].bwDemand, cap_gibps);
+            const double new_dilation =
+                bwModel.dilation(rho_machine);
+            st[i].mbaScale = damp(st[i].mbaScale, new_scale, alpha);
+            st[i].dilation =
+                damp(st[i].dilation, new_dilation, alpha);
+        }
+
+        // ---- speed update ----------------------------------------
+        for (std::size_t i = 0; i < n; ++i) {
+            const double raw =
+                demands[i].cpi.speed(st[i].ways, st[i].dilation,
+                                     ideal_ways) *
+                st[i].mbaScale;
+            st[i].speed = damp(st[i].speed, raw, alpha);
+        }
+    }
+
+    // ---- produce outcomes ---------------------------------------
+    std::vector<PerfOutcome> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &d = demands[i];
+        PerfOutcome &o = out[i];
+        o.effectiveWays = st[i].ways;
+        o.bwDilation = st[i].dilation;
+        o.speed = st[i].speed;
+        o.serviceStretch = st[i].stretch;
+        o.bwDemandGibps = st[i].bwDemand;
+        if (d.latencyCritical) {
+            const double kappa = std::min(
+                static_cast<double>(d.threads),
+                st[i].isoCores + st[i].sharedGrant);
+            o.coreEquivalents = std::max(kappa, 1e-6);
+            // Base per-core rate, requests/s.
+            const double mu0 =
+                1000.0 * st[i].speed / d.serviceTimeMs;
+            // Timeslicing stretches latency, not throughput: the
+            // granted cores deliver their full service rate, and the
+            // stretch is surfaced separately for the latency model.
+            // Shared-region cores pay the context-switch/pollution
+            // penalty; the app's own thread count bounds capacity.
+            const double capacity = std::min(
+                static_cast<double>(d.threads) * mu0,
+                (st[i].isoCores +
+                 st[i].sharedGrant /
+                     traits_.sharedServicePenalty) * mu0);
+            o.serviceRate = std::max(capacity, 1e-9);
+            o.perServerRate = o.serviceRate / o.coreEquivalents;
+            o.utilization = d.arrivalRate / o.serviceRate;
+            o.ipc = 0.0;
+        } else {
+            o.coreEquivalents = st[i].beCores;
+            o.ipc = d.ipcSolo * st[i].speed *
+                std::min(1.0, st[i].beCores /
+                    std::max(1.0, static_cast<double>(d.threads)));
+            o.serviceRate = 0.0;
+            o.perServerRate = 0.0;
+            o.utilization = 0.0;
+        }
+    }
+    return out;
+}
+
+} // namespace ahq::perf

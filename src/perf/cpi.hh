@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Cycles-per-instruction model.
+ *
+ * CPI is decomposed into a core-bound base component plus a memory
+ * component proportional to the LLC miss rate and the (contention-
+ * dilated) effective miss penalty:
+ *
+ *     CPI(w, d) = cpi_base + mpki(w)/1000 * miss_penalty * d
+ *
+ * where w is the effective LLC way allocation and d >= 1 is the
+ * memory-latency dilation produced by bandwidth contention. The
+ * application's "speed" is CPI at ideal conditions divided by CPI at
+ * the current conditions, i.e. 1.0 when running solo with the full
+ * cache and an unloaded memory system.
+ */
+
+#ifndef AHQ_PERF_CPI_HH
+#define AHQ_PERF_CPI_HH
+
+#include "perf/mrc.hh"
+
+namespace ahq::perf
+{
+
+/** Per-application CPI/bandwidth traits. */
+struct CpiTraits
+{
+    /** Core-bound CPI component (no LLC misses). */
+    double cpiBase = 0.6;
+
+    /** Average LLC miss penalty at an unloaded memory system, cycles. */
+    double missPenaltyCycles = 180.0;
+
+    /**
+     * Memory-level parallelism: the number of outstanding misses the
+     * core overlaps. The effective per-miss CPI cost is
+     * missPenaltyCycles / mlp. Streaming codes with high MLP lose
+     * little CPI per miss yet demand large bandwidth.
+     */
+    double mlp = 2.0;
+
+    /** Core frequency in GHz (Table III: 2.2 GHz). */
+    double coreFreqGhz = 2.2;
+
+    /** Bytes transferred per LLC miss (one cache line). */
+    double bytesPerMiss = 64.0;
+};
+
+/**
+ * CPI model combining a miss-rate curve with CpiTraits.
+ */
+class CpiModel
+{
+  public:
+    CpiModel(MissRateCurve mrc, CpiTraits traits);
+
+    /** CPI at the given effective ways and memory dilation. */
+    double cpi(double ways, double dilation) const;
+
+    /** CPI under ideal conditions (full cache, no dilation). */
+    double cpiIdeal(double full_ways) const;
+
+    /**
+     * Speed factor relative to ideal conditions, in (0, 1].
+     *
+     * @param ways Effective LLC ways available to the app.
+     * @param dilation Memory latency dilation (>= 1).
+     * @param full_ways The way count that defines "ideal".
+     */
+    double speed(double ways, double dilation, double full_ways) const;
+
+    /**
+     * Memory bandwidth demand in GiB/s of one core running this app
+     * flat out at the given conditions.
+     */
+    double bwDemandPerCore(double ways, double dilation) const;
+
+    const MissRateCurve &mrc() const { return mrc_; }
+    const CpiTraits &traits() const { return traits_; }
+
+  private:
+    MissRateCurve mrc_;
+    CpiTraits traits_;
+};
+
+} // namespace ahq::perf
+
+#endif // AHQ_PERF_CPI_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Miss-rate curves (MRCs) over LLC way allocations.
+ *
+ * The contention model uses a hyperbolic MRC parameterisation: misses
+ * per kilo-instruction decay from a 1-way maximum towards a full-cache
+ * minimum with a half-saturation constant expressed in ways. This is
+ * the standard first-order shape of set-associative cache MRCs and is
+ * what way-partitioning studies (e.g. KPart, the paper's ref [14])
+ * observe for most workloads.
+ */
+
+#ifndef AHQ_PERF_MRC_HH
+#define AHQ_PERF_MRC_HH
+
+namespace ahq::perf
+{
+
+/**
+ * Hyperbolic miss-rate curve: mpki(w) decreasing and convex in the
+ * number of effective ways w.
+ */
+class MissRateCurve
+{
+  public:
+    /**
+     * @param mpki_max Misses per kilo-instruction with ~0 ways.
+     * @param mpki_min Misses per kilo-instruction with unlimited ways.
+     * @param ways_half Ways at which half of the reducible misses are
+     *                  eliminated; larger means more cache-hungry.
+     */
+    MissRateCurve(double mpki_max, double mpki_min, double ways_half);
+
+    /**
+     * Misses per kilo-instruction with the given (possibly
+     * fractional) effective ways. Clamped at w = 0.
+     */
+    double mpki(double ways) const;
+
+    /**
+     * Access intensity used for way-stealing in shared regions:
+     * the marginal cache appetite of the application, proportional to
+     * the reducible miss mass it still has at the given allocation.
+     */
+    double accessIntensity(double ways) const;
+
+    double mpkiMax() const { return mpkiMax_; }
+    double mpkiMin() const { return mpkiMin_; }
+    double waysHalf() const { return waysHalf_; }
+
+  private:
+    double mpkiMax_;
+    double mpkiMin_;
+    double waysHalf_;
+};
+
+} // namespace ahq::perf
+
+#endif // AHQ_PERF_MRC_HH

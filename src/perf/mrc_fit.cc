@@ -1,0 +1,105 @@
+/**
+ * @file
+ * MRC fitting implementation.
+ */
+
+#include "perf/mrc_fit.hh"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace ahq::perf
+{
+
+namespace
+{
+
+/**
+ * For a fixed half-saturation h the model is linear in
+ * (a, b) with basis x = h / (w + h):
+ *     mpki = b + (a - b) * x  =  b * (1 - x) + a * x
+ * Solve the 2x2 normal equations; return the SSE.
+ */
+double
+solveLinear(const std::vector<MrcSample> &samples, double h,
+            double &a, double &b)
+{
+    double sxx = 0.0, sx1 = 0.0, s11 = 0.0;
+    double sxy = 0.0, s1y = 0.0;
+    for (const auto &[w, y] : samples) {
+        const double x = h / (w + h);
+        const double u = 1.0 - x;
+        sxx += x * x;
+        sx1 += x * u;
+        s11 += u * u;
+        sxy += x * y;
+        s1y += u * y;
+    }
+    const double det = sxx * s11 - sx1 * sx1;
+    if (std::abs(det) < 1e-12) {
+        a = b = 0.0;
+        return std::numeric_limits<double>::infinity();
+    }
+    a = (sxy * s11 - s1y * sx1) / det;
+    b = (s1y * sxx - sxy * sx1) / det;
+
+    double sse = 0.0;
+    for (const auto &[w, y] : samples) {
+        const double x = h / (w + h);
+        const double pred = b + (a - b) * x;
+        sse += (y - pred) * (y - pred);
+    }
+    return sse;
+}
+
+} // namespace
+
+MrcFit
+fitMissRateCurve(const std::vector<MrcSample> &samples, double h_lo,
+                 double h_hi)
+{
+    if (samples.size() < 3)
+        throw std::invalid_argument("need at least 3 MRC samples");
+    std::set<double> distinct;
+    for (const auto &[w, y] : samples) {
+        if (w < 0.0 || y < 0.0)
+            throw std::invalid_argument("MRC samples must be >= 0");
+        distinct.insert(w);
+    }
+    if (distinct.size() < 3) {
+        throw std::invalid_argument(
+            "need at least 3 distinct way counts");
+    }
+
+    // Golden-section search over h (the SSE is smooth and
+    // unimodal-enough over the bracket for practical MRCs).
+    const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+    double lo = h_lo, hi = h_hi;
+    double a = 0.0, b = 0.0;
+    for (int it = 0; it < 80; ++it) {
+        const double m1 = hi - phi * (hi - lo);
+        const double m2 = lo + phi * (hi - lo);
+        double a1, b1, a2, b2;
+        const double f1 = solveLinear(samples, m1, a1, b1);
+        const double f2 = solveLinear(samples, m2, a2, b2);
+        if (f1 < f2)
+            hi = m2;
+        else
+            lo = m1;
+    }
+    const double h = 0.5 * (lo + hi);
+    const double sse = solveLinear(samples, h, a, b);
+
+    // Clamp into the MissRateCurve's domain.
+    const double mpki_min = std::max(0.0, std::min(a, b));
+    const double mpki_max = std::max({0.0, a, b});
+
+    MrcFit fit{MissRateCurve(mpki_max, mpki_min, h),
+               std::sqrt(sse / static_cast<double>(samples.size()))};
+    return fit;
+}
+
+} // namespace ahq::perf

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fitting miss-rate curves from measurements.
+ *
+ * Real deployments measure (ways, MPKI) points with CAT sweeps
+ * (pqos -e llc:... plus performance counters); this utility fits
+ * the library's hyperbolic MRC parameterisation to such samples so
+ * user workloads can be modelled without hand-tuning.
+ */
+
+#ifndef AHQ_PERF_MRC_FIT_HH
+#define AHQ_PERF_MRC_FIT_HH
+
+#include <utility>
+#include <vector>
+
+#include "perf/mrc.hh"
+
+namespace ahq::perf
+{
+
+/** One measured point: (allocated ways, observed MPKI). */
+using MrcSample = std::pair<double, double>;
+
+/** The result of a fit. */
+struct MrcFit
+{
+    MissRateCurve curve;
+
+    /** Root-mean-square error of the fit over the samples. */
+    double rmse = 0.0;
+};
+
+/**
+ * Fit mpki(w) = mpki_min + (mpki_max - mpki_min) * h / (w + h) to
+ * the samples by golden-section search on the half-saturation
+ * constant h with a closed-form linear least-squares solve of
+ * (mpki_max, mpki_min) at each h.
+ *
+ * @param samples At least three points with distinct way counts.
+ * @param h_lo Lower bound of the half-saturation search (> 0).
+ * @param h_hi Upper bound of the search.
+ * @throws std::invalid_argument on insufficient or degenerate
+ *         samples.
+ */
+MrcFit fitMissRateCurve(const std::vector<MrcSample> &samples,
+                        double h_lo = 0.1, double h_hi = 64.0);
+
+} // namespace ahq::perf
+
+#endif // AHQ_PERF_MRC_FIT_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ASCII charts: line series and heatmaps rendered to a stream, so
+ * the figure-reproducing benches show the paper's curve shapes
+ * directly in the terminal.
+ */
+
+#ifndef AHQ_REPORT_ASCII_CHART_HH
+#define AHQ_REPORT_ASCII_CHART_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ahq::report
+{
+
+/** One named series of (x, y) points. */
+struct Series
+{
+    std::string name;
+    std::vector<double> xs;
+    std::vector<double> ys;
+};
+
+/**
+ * Render one or more series as an ASCII scatter/line chart.
+ *
+ * @param os Output stream.
+ * @param series The series; each gets a distinct glyph.
+ * @param width Plot width in characters.
+ * @param height Plot height in characters.
+ * @param title Chart title.
+ */
+void lineChart(std::ostream &os, const std::vector<Series> &series,
+               int width = 72, int height = 18,
+               const std::string &title = "");
+
+/**
+ * Render a matrix as an ASCII heatmap (dark = high).
+ *
+ * @param os Output stream.
+ * @param rows rows[r][c] values; all rows equal length.
+ * @param row_labels Labels printed left of each row.
+ * @param title Heatmap title.
+ */
+void heatmap(std::ostream &os,
+             const std::vector<std::vector<double>> &rows,
+             const std::vector<std::string> &row_labels,
+             const std::string &title = "");
+
+} // namespace ahq::report
+
+#endif // AHQ_REPORT_ASCII_CHART_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * CSV writer implementation.
+ */
+
+#include "report/csv.hh"
+
+namespace ahq::report
+{
+
+CsvWriter::CsvWriter(const std::string &path,
+                     const std::vector<std::string> &header)
+    : out(path, std::ios::trunc)
+{
+    if (ok())
+        addRow(header);
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += "\"\"";
+        else
+            quoted += c;
+    }
+    quoted += "\"";
+    return quoted;
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string> &row)
+{
+    if (!ok())
+        return;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        if (i)
+            out << ",";
+        out << escape(row[i]);
+    }
+    out << "\n";
+}
+
+} // namespace ahq::report

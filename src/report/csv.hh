@@ -1,0 +1,46 @@
+/**
+ * @file
+ * CSV output so every bench can also dump machine-readable series
+ * (one CSV per table/figure) for external plotting.
+ */
+
+#ifndef AHQ_REPORT_CSV_HH
+#define AHQ_REPORT_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ahq::report
+{
+
+/**
+ * Minimal CSV writer with RFC-4180 quoting.
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * Open (truncate) the file and write the header row.
+     * Failure to open is non-fatal: writes become no-ops, so benches
+     * still run in read-only environments.
+     */
+    CsvWriter(const std::string &path,
+              const std::vector<std::string> &header);
+
+    /** Whether the file opened successfully. */
+    bool ok() const { return out.is_open() && out.good(); }
+
+    /** Write one row of string cells. */
+    void addRow(const std::vector<std::string> &row);
+
+    /** Escape a cell per RFC 4180. */
+    static std::string escape(const std::string &cell);
+
+  private:
+    std::ofstream out;
+};
+
+} // namespace ahq::report
+
+#endif // AHQ_REPORT_CSV_HH

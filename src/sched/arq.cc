@@ -1,0 +1,226 @@
+/**
+ * @file
+ * ARQ controller implementation.
+ */
+
+#include "sched/arq.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ahq::sched
+{
+
+using machine::AppId;
+using machine::kAllResourceKinds;
+using machine::kNoRegion;
+using machine::kNumResourceKinds;
+using machine::RegionId;
+using machine::RegionLayout;
+using machine::ResourceKind;
+
+Arq::Arq(ArqConfig config)
+    : cfg(config)
+{
+}
+
+void
+Arq::reset()
+{
+    prevEs = 1.0;
+    isAdjust = false;
+    settleLeft = 0;
+    lastMove = {};
+    banUntil.clear();
+    fsmIndex.clear();
+    report = {};
+}
+
+machine::RegionLayout
+Arq::initialLayout(const machine::MachineConfig &config,
+                   const std::vector<AppObservation> &apps)
+{
+    std::vector<AppId> lc, be;
+    splitKinds(apps, lc, be);
+    if (cfg.sharedRegionEnabled) {
+        return RegionLayout::arqInitial(config.availableResources(),
+                                        lc, be);
+    }
+
+    // Ablation: full isolation. LC apps get even isolated regions;
+    // the "shared" region holds only BE apps (an ordinary BE pool).
+    const auto avail = config.availableResources();
+    RegionLayout layout(avail);
+    const int groups =
+        static_cast<int>(lc.size()) + (be.empty() ? 0 : 1);
+    auto share = [&](ResourceKind kind, int index) {
+        const int total = avail.get(kind);
+        return total / groups + (index < total % groups ? 1 : 0);
+    };
+    machine::Region pool;
+    pool.name = "shared";
+    pool.shared = true;
+    pool.members = be;
+    for (ResourceKind kind : kAllResourceKinds)
+        pool.res.set(kind, share(kind, 0));
+    layout.addRegion(std::move(pool));
+    int index = 1;
+    for (AppId app : lc) {
+        machine::Region r;
+        r.name = "iso" + std::to_string(app);
+        r.shared = false;
+        r.members = {app};
+        for (ResourceKind kind : kAllResourceKinds)
+            r.res.set(kind, share(kind, index));
+        layout.addRegion(std::move(r));
+        ++index;
+    }
+    assert(layout.valid());
+    return layout;
+}
+
+std::map<AppId, Arq::Tolerance>
+Arq::remainingTolerance(const std::vector<AppObservation> &obs) const
+{
+    std::map<AppId, Tolerance> ret;
+    for (const auto &o : obs) {
+        if (!o.latencyCritical)
+            continue;
+        const core::LcBreakdown b = core::lcBreakdown(
+            {o.idealP95Ms, o.p95Ms, o.thresholdMs});
+        ret[o.id] = {b.remainingTolerance, b.intolerable};
+    }
+    return ret;
+}
+
+RegionId
+Arq::findVictimRegion(const RegionLayout &layout,
+                      const std::map<AppId, Tolerance> &ret,
+                      double now_s) const
+{
+    // Traverse the ReT array in descending order (Algorithm 1,
+    // FINDVICTIMREGION).
+    std::vector<std::pair<double, AppId>> order;
+    for (const auto &[app, t] : ret)
+        order.emplace_back(t.ret, app);
+    std::sort(order.rbegin(), order.rend());
+
+    for (const auto &[r, app] : order) {
+        if (r <= cfg.victimRetThreshold)
+            break;
+        const RegionId iso = layout.isolatedRegionOf(app);
+        if (iso == kNoRegion)
+            continue;
+        const auto ban = banUntil.find(iso);
+        if (ban != banUntil.end() && now_s < ban->second)
+            continue; // region is penalty-banned
+        if (layout.region(iso).res.empty())
+            continue; // nothing to donate
+        return iso;
+    }
+    // The shared region is the fallback donor, but it too can be
+    // penalty-banned after a rolled-back adjustment.
+    const RegionId shared = layout.sharedRegion();
+    if (shared != kNoRegion) {
+        const auto ban = banUntil.find(shared);
+        if (ban != banUntil.end() && now_s < ban->second)
+            return kNoRegion;
+    }
+    return shared;
+}
+
+RegionId
+Arq::findBeneficiaryRegion(const RegionLayout &layout,
+                           const std::map<AppId, Tolerance> &ret) const
+{
+    // Identify the application with the smallest ReT (Algorithm 1,
+    // FINDBENEFICIARYREGION). ReT saturates at 0 for every violated
+    // app, so ties are broken towards the largest intolerable
+    // interference Q_i — the app hurting the most.
+    AppId poorest = machine::kNoApp;
+    Tolerance worst{2.0, -1.0};
+    for (const auto &[app, t] : ret) {
+        const bool better = t.ret < worst.ret ||
+            (t.ret == worst.ret && t.q > worst.q);
+        if (better) {
+            worst = t;
+            poorest = app;
+        }
+    }
+    if (poorest != machine::kNoApp &&
+        worst.ret < cfg.beneficiaryRetThreshold) {
+        const RegionId iso = layout.isolatedRegionOf(poorest);
+        if (iso != kNoRegion)
+            return iso;
+    }
+    return layout.sharedRegion();
+}
+
+bool
+Arq::adjustResource(RegionLayout &layout,
+                    const std::map<AppId, Tolerance> &ret, double now_s)
+{
+    const RegionId victim = findVictimRegion(layout, ret, now_s);
+    const RegionId beneficiary = findBeneficiaryRegion(layout, ret);
+    if (victim == kNoRegion || beneficiary == kNoRegion)
+        return false;
+    if (victim == beneficiary)
+        return false; // equilibrium: nobody needs or donates
+
+    // FINDVICTIMRESOURCE: a PARTIES-style FSM over resource types,
+    // advancing when the current type cannot be penalised.
+    int &fsm = fsmIndex[victim];
+    for (int attempt = 0; attempt < kNumResourceKinds; ++attempt) {
+        const ResourceKind kind =
+            kAllResourceKinds[static_cast<std::size_t>(
+                (fsm + attempt) % kNumResourceKinds)];
+        if (layout.moveResource(kind, victim, beneficiary)) {
+            fsm = (fsm + attempt) % kNumResourceKinds;
+            lastMove = {kind, victim, beneficiary};
+            return true;
+        }
+    }
+    fsm = (fsm + 1) % kNumResourceKinds;
+    return false;
+}
+
+void
+Arq::adjust(RegionLayout &layout,
+            const std::vector<AppObservation> &obs, double now_s)
+{
+    // Monitor: compute E_S and the ReT array.
+    std::vector<core::LcObservation> lc;
+    std::vector<core::BeObservation> be;
+    for (const auto &o : obs) {
+        if (o.latencyCritical)
+            lc.push_back({o.idealP95Ms, o.p95Ms, o.thresholdMs});
+        else
+            be.push_back({o.ipcSolo, o.ipc});
+    }
+    report = core::computeEntropy(lc, be, cfg.relativeImportance);
+    const double es = report.eS;
+    const auto ret = remainingTolerance(obs);
+
+    // Let the last adjustment's one-off repartitioning overhead
+    // drain before judging it by E_S.
+    if (settleLeft > 0) {
+        --settleLeft;
+        return;
+    }
+
+    if (cfg.rollbackEnabled && isAdjust && es > prevEs) {
+        // Cancel the last adjustment and ban the victim region from
+        // being penalised again for banSeconds.
+        layout.moveResource(lastMove.kind, lastMove.to,
+                            lastMove.from);
+        banUntil[lastMove.from] = now_s + cfg.banSeconds;
+        isAdjust = false;
+    } else {
+        isAdjust = adjustResource(layout, ret, now_s);
+        if (isAdjust)
+            settleLeft = cfg.settleEpochs;
+    }
+    prevEs = es;
+}
+
+} // namespace ahq::sched

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * ARQ: the paper's scheduling strategy (Section IV, Algorithm 1).
+ *
+ * ARQ divides the node into one shared region (usable by everyone;
+ * LC apps take priority there) plus one isolated region per LC app
+ * (initially empty). Every monitoring interval it:
+ *
+ *  1. computes the system entropy E_S and the remaining-tolerance
+ *     array ReT from the observations;
+ *  2. if the previous adjustment *increased* E_S, cancels it and
+ *     bans the previous victim region from being penalised for the
+ *     next 60 s (escaping local optima);
+ *  3. otherwise moves one resource unit from a victim region (an LC
+ *     app with ReT > 0.1 that still owns isolated resources, else
+ *     the shared region) to a beneficiary region (the isolated
+ *     region of the LC app with the smallest ReT when that is below
+ *     0.05, else the shared region), choosing the resource type with
+ *     a PARTIES-style finite state machine;
+ *  4. when victim and beneficiary are both the shared region the
+ *     system is in equilibrium and nothing moves.
+ */
+
+#ifndef AHQ_SCHED_ARQ_HH
+#define AHQ_SCHED_ARQ_HH
+
+#include <map>
+#include <vector>
+
+#include "core/entropy.hh"
+#include "sched/scheduler.hh"
+
+namespace ahq::sched
+{
+
+/** Tunables of the ARQ controller (defaults are the paper's). */
+struct ArqConfig
+{
+    /** Relative importance of LC over BE in E_S. */
+    double relativeImportance = core::kDefaultRelativeImportance;
+
+    /** ReT above which an LC app may donate isolated resources. */
+    double victimRetThreshold = 0.10;
+
+    /**
+     * ReT below which an LC app's isolated region is grown. A bit
+     * above the paper's 0.05 wording so the controller leaves the
+     * app measurable headroom against monitoring noise instead of
+     * parking its tail latency exactly on the QoS threshold.
+     */
+    double beneficiaryRetThreshold = 0.08;
+
+    /** How long a cancelled victim region is banned, seconds. */
+    double banSeconds = 60.0;
+
+    /** Ablation: disable the rollback-on-entropy-increase step. */
+    bool rollbackEnabled = true;
+
+    /**
+     * Intervals to let the system settle after an adjustment before
+     * judging it by E_S: the adjustment interval itself carries the
+     * one-off repartitioning overhead (cache warm-up, migration),
+     * which would otherwise make every beneficial move look like an
+     * entropy increase and be rolled back.
+     */
+    int settleEpochs = 1;
+
+    /**
+     * Ablation: when false, LC apps may not use the shared region
+     * (the layout degenerates to PARTIES-style full isolation with a
+     * BE pool).
+     */
+    bool sharedRegionEnabled = true;
+};
+
+/**
+ * The ARQ feedback controller.
+ */
+class Arq : public Scheduler
+{
+  public:
+    explicit Arq(ArqConfig config = {});
+
+    std::string name() const override { return "ARQ"; }
+
+    machine::RegionLayout
+    initialLayout(const machine::MachineConfig &config,
+                  const std::vector<AppObservation> &apps) override;
+
+    perf::CoreSharePolicy
+    corePolicy() const override
+    {
+        return perf::CoreSharePolicy::LcPriority;
+    }
+
+    void adjust(machine::RegionLayout &layout,
+                const std::vector<AppObservation> &obs,
+                double now_s) override;
+
+    void reset() override;
+
+    /** Last computed entropy report (for introspection/tests). */
+    const core::EntropyReport &lastReport() const { return report; }
+
+  private:
+    ArqConfig cfg;
+
+    double prevEs = 1.0;
+    bool isAdjust = false;
+    int settleLeft = 0;
+
+    struct Move
+    {
+        machine::ResourceKind kind = machine::ResourceKind::Cores;
+        machine::RegionId from = machine::kNoRegion;
+        machine::RegionId to = machine::kNoRegion;
+    };
+    Move lastMove;
+
+    /** Region id -> time until which it may not be penalised. */
+    std::map<machine::RegionId, double> banUntil;
+
+    /** Per-region FSM position for findVictimResource. */
+    std::map<machine::RegionId, int> fsmIndex;
+
+    core::EntropyReport report;
+
+    /** Per-app (ReT_i, Q_i) pairs, by AppId. */
+    struct Tolerance
+    {
+        double ret = 0.0; // remaining tolerance
+        double q = 0.0;   // intolerable interference
+    };
+
+    std::map<machine::AppId, Tolerance>
+    remainingTolerance(const std::vector<AppObservation> &obs) const;
+
+    machine::RegionId
+    findVictimRegion(const machine::RegionLayout &layout,
+                     const std::map<machine::AppId, Tolerance> &ret,
+                     double now_s) const;
+
+    machine::RegionId
+    findBeneficiaryRegion(
+        const machine::RegionLayout &layout,
+        const std::map<machine::AppId, Tolerance> &ret) const;
+
+    /** Algorithm 1's AdjustResource; true when a unit moved. */
+    bool adjustResource(machine::RegionLayout &layout,
+                        const std::map<machine::AppId, Tolerance> &ret,
+                        double now_s);
+};
+
+} // namespace ahq::sched
+
+#endif // AHQ_SCHED_ARQ_HH

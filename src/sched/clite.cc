@@ -1,0 +1,420 @@
+/**
+ * @file
+ * CLITE controller implementation.
+ */
+
+#include "sched/clite.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ahq::sched
+{
+
+using machine::AppId;
+using machine::kAllResourceKinds;
+using machine::kNumResourceKinds;
+using machine::RegionLayout;
+using machine::ResourceKind;
+
+Clite::Clite(CliteConfig config)
+    : cfg(config), rng(config.seed)
+{
+}
+
+void
+Clite::reset()
+{
+    rng = stats::Rng(cfg.seed);
+    xs.clear();
+    ys.clear();
+    rawAllocs.clear();
+    currentAlloc.clear();
+    lastLoads.clear();
+    exploiting = false;
+    exploreCount = 0;
+    violationStreak = 0;
+    settleLeft = 0;
+    numGroups = 0;
+}
+
+machine::RegionLayout
+Clite::initialLayout(const machine::MachineConfig &config,
+                     const std::vector<AppObservation> &apps)
+{
+    std::vector<AppId> lc, be;
+    splitKinds(apps, lc, be);
+    available = config.availableResources();
+    numGroups = static_cast<int>(lc.size()) + (be.empty() ? 0 : 1);
+    assert(numGroups > 0);
+
+    RegionLayout layout(available);
+    for (AppId app : lc) {
+        machine::Region r;
+        r.name = "clite-iso" + std::to_string(app);
+        r.shared = false;
+        r.members = {app};
+        layout.addRegion(std::move(r));
+    }
+    if (!be.empty()) {
+        machine::Region pool;
+        pool.name = "clite-bepool";
+        pool.shared = true;
+        pool.members = be;
+        layout.addRegion(std::move(pool));
+    }
+
+    // Start from the even split; its score is the first sample.
+    std::vector<int> alloc(
+        static_cast<std::size_t>(numGroups) * kNumResourceKinds, 0);
+    for (int k = 0; k < kNumResourceKinds; ++k) {
+        const int total = available.get(kAllResourceKinds[
+            static_cast<std::size_t>(k)]);
+        for (int g = 0; g < numGroups; ++g) {
+            alloc[static_cast<std::size_t>(g * kNumResourceKinds +
+                                           k)] =
+                total / numGroups + (g < total % numGroups ? 1 : 0);
+        }
+    }
+    currentAlloc = alloc;
+    applyAlloc(layout, alloc);
+    assert(layout.valid());
+    return layout;
+}
+
+double
+Clite::objective(const std::vector<AppObservation> &obs) const
+{
+    int lc_total = 0, lc_met = 0;
+    double be_sum = 0.0;
+    int be_total = 0;
+    double slack_sum = 0.0;
+    double deficit_sum = 0.0;
+    for (const auto &o : obs) {
+        if (o.latencyCritical) {
+            ++lc_total;
+            if (o.p95Ms <= cfg.guardBand * o.thresholdMs)
+                ++lc_met;
+            slack_sum += std::clamp(o.slack(), 0.0, 1.0);
+            // Log-scaled deficit keeps a gradient even when the
+            // violation is an order of magnitude over the target.
+            if (o.p95Ms > o.thresholdMs) {
+                deficit_sum += std::min(
+                    4.0, std::log(o.p95Ms / o.thresholdMs));
+            }
+        } else {
+            ++be_total;
+            be_sum += o.ipc / std::max(1e-9, o.ipcSolo);
+        }
+    }
+    if (lc_total > 0 && lc_met < lc_total) {
+        // Penalised region: strictly below every QoS-feasible score,
+        // graded by violation magnitude so that when QoS is
+        // infeasible the least-bad configuration still wins.
+        return static_cast<double>(lc_met) /
+            static_cast<double>(lc_total) - 1.0 -
+            0.2 * deficit_sum / static_cast<double>(lc_total);
+    }
+    if (be_total > 0)
+        return be_sum / static_cast<double>(be_total);
+    // No BE apps: prefer configurations with more LC slack.
+    return lc_total > 0 ?
+        1.0 + 0.1 * slack_sum / static_cast<double>(lc_total) : 1.0;
+}
+
+std::vector<int>
+Clite::randomAlloc()
+{
+    std::vector<int> alloc(
+        static_cast<std::size_t>(numGroups) * kNumResourceKinds, 0);
+    for (int k = 0; k < kNumResourceKinds; ++k) {
+        const ResourceKind kind =
+            kAllResourceKinds[static_cast<std::size_t>(k)];
+        const int total = available.get(kind);
+        const int min_per =
+            (kind == ResourceKind::MemBw) ? 0 :
+            (total >= numGroups ? 1 : 0);
+        int remaining = total - min_per * numGroups;
+        assert(remaining >= 0);
+
+        // Random proportional split via uniform weights.
+        std::vector<double> w(static_cast<std::size_t>(numGroups));
+        double w_sum = 0.0;
+        for (auto &v : w) {
+            v = rng.uniform() + 0.05;
+            w_sum += v;
+        }
+        std::vector<int> extra(static_cast<std::size_t>(numGroups),
+                               0);
+        int assigned = 0;
+        for (int g = 0; g < numGroups; ++g) {
+            extra[static_cast<std::size_t>(g)] = static_cast<int>(
+                std::floor(remaining *
+                           w[static_cast<std::size_t>(g)] / w_sum));
+            assigned += extra[static_cast<std::size_t>(g)];
+        }
+        // Distribute the rounding remainder round-robin.
+        int leftover = remaining - assigned;
+        for (int g = 0; leftover > 0;
+             g = (g + 1) % numGroups, --leftover) {
+            ++extra[static_cast<std::size_t>(g)];
+        }
+        for (int g = 0; g < numGroups; ++g) {
+            alloc[static_cast<std::size_t>(g * kNumResourceKinds +
+                                           k)] =
+                min_per + extra[static_cast<std::size_t>(g)];
+        }
+    }
+    return alloc;
+}
+
+std::vector<int>
+Clite::perturbAlloc(const std::vector<int> &base)
+{
+    std::vector<int> alloc = base;
+    // Move one unit of a random kind between two random groups,
+    // preserving the per-group minimum of 1 core / 1 way.
+    for (int tries = 0; tries < 8; ++tries) {
+        const int k = static_cast<int>(
+            rng.uniformInt(kNumResourceKinds));
+        const ResourceKind kind =
+            kAllResourceKinds[static_cast<std::size_t>(k)];
+        const int from = static_cast<int>(rng.uniformInt(
+            static_cast<std::uint64_t>(numGroups)));
+        const int to = static_cast<int>(rng.uniformInt(
+            static_cast<std::uint64_t>(numGroups)));
+        if (from == to)
+            continue;
+        const auto fi =
+            static_cast<std::size_t>(from * kNumResourceKinds + k);
+        const auto ti =
+            static_cast<std::size_t>(to * kNumResourceKinds + k);
+        const int min_keep = kind == ResourceKind::MemBw ? 0 : 1;
+        if (alloc[fi] > min_keep) {
+            --alloc[fi];
+            ++alloc[ti];
+            break;
+        }
+    }
+    return alloc;
+}
+
+std::vector<int>
+Clite::rebalanceAlloc(const std::vector<int> &base,
+                      const std::vector<AppObservation> &obs)
+{
+    std::vector<int> alloc = base;
+
+    // Group order mirrors initialLayout: LC apps in observation
+    // order, then the BE pool.
+    std::vector<int> violated, donors;
+    int g = 0;
+    bool has_be = false;
+    for (const auto &o : obs) {
+        if (!o.latencyCritical) {
+            has_be = true;
+            continue;
+        }
+        if (o.p95Ms > o.thresholdMs)
+            violated.push_back(g);
+        else if (o.slack() > 0.2)
+            donors.push_back(g);
+        ++g;
+    }
+    if (has_be)
+        donors.push_back(numGroups - 1); // the BE pool donates too
+    if (violated.empty() || donors.empty())
+        return perturbAlloc(base);
+
+    // Shift a few units of random kinds towards the violated groups.
+    const int moves = 1 + static_cast<int>(rng.uniformInt(3));
+    for (int m = 0; m < moves; ++m) {
+        const int to =
+            violated[rng.uniformInt(violated.size())];
+        const int from = donors[rng.uniformInt(donors.size())];
+        const int k = static_cast<int>(
+            rng.uniformInt(kNumResourceKinds));
+        const ResourceKind kind =
+            kAllResourceKinds[static_cast<std::size_t>(k)];
+        const auto fi =
+            static_cast<std::size_t>(from * kNumResourceKinds + k);
+        const auto ti =
+            static_cast<std::size_t>(to * kNumResourceKinds + k);
+        const int min_keep = kind == ResourceKind::MemBw ? 0 : 1;
+        if (alloc[fi] > min_keep) {
+            --alloc[fi];
+            ++alloc[ti];
+        }
+    }
+    return alloc;
+}
+
+std::vector<double>
+Clite::normalise(const std::vector<int> &alloc) const
+{
+    std::vector<double> x(alloc.size());
+    for (int g = 0; g < numGroups; ++g) {
+        for (int k = 0; k < kNumResourceKinds; ++k) {
+            const int total = available.get(kAllResourceKinds[
+                static_cast<std::size_t>(k)]);
+            const auto i =
+                static_cast<std::size_t>(g * kNumResourceKinds + k);
+            x[i] = total > 0 ?
+                static_cast<double>(alloc[i]) / total : 0.0;
+        }
+    }
+    return x;
+}
+
+void
+Clite::applyAlloc(machine::RegionLayout &layout,
+                  const std::vector<int> &alloc)
+{
+    const int groups = layout.numRegions();
+    assert(static_cast<int>(alloc.size()) ==
+           groups * kNumResourceKinds);
+    for (int g = 0; g < groups; ++g) {
+        machine::Region &r = layout.region(g);
+        for (int k = 0; k < kNumResourceKinds; ++k) {
+            r.res.set(kAllResourceKinds[static_cast<std::size_t>(k)],
+                      alloc[static_cast<std::size_t>(
+                          g * kNumResourceKinds + k)]);
+        }
+    }
+    assert(layout.valid());
+}
+
+std::vector<int>
+Clite::readAlloc(const machine::RegionLayout &layout)
+{
+    std::vector<int> alloc;
+    for (int g = 0; g < layout.numRegions(); ++g) {
+        for (int k = 0; k < kNumResourceKinds; ++k) {
+            alloc.push_back(layout.region(g).res.get(
+                kAllResourceKinds[static_cast<std::size_t>(k)]));
+        }
+    }
+    return alloc;
+}
+
+void
+Clite::adjust(machine::RegionLayout &layout,
+              const std::vector<AppObservation> &obs, double)
+{
+    if (currentAlloc.empty())
+        currentAlloc = readAlloc(layout);
+
+    // Detect load shifts: the pinned optimum is stale, re-explore.
+    std::vector<double> loads;
+    for (const auto &o : obs) {
+        if (o.latencyCritical)
+            loads.push_back(o.loadFraction);
+    }
+    if (!lastLoads.empty() && loads.size() == lastLoads.size()) {
+        for (std::size_t i = 0; i < loads.size(); ++i) {
+            if (std::abs(loads[i] - lastLoads[i]) >
+                cfg.loadShiftThreshold) {
+                xs.clear();
+                ys.clear();
+                rawAllocs.clear();
+                exploiting = false;
+                exploreCount = 0;
+                violationStreak = 0;
+                settleLeft = 0;
+                break;
+            }
+        }
+    }
+    lastLoads = loads;
+
+    // Let the system settle on the deployed sample before scoring:
+    // the previous sample's queue backlog would otherwise make a
+    // feasible configuration measure as a violation.
+    if (!exploiting && settleLeft > 0) {
+        --settleLeft;
+        return;
+    }
+
+    // Score the configuration that was live during this interval.
+    const double score = objective(obs);
+    xs.push_back(normalise(currentAlloc));
+    ys.push_back(score);
+    rawAllocs.push_back(currentAlloc);
+
+    if (exploiting) {
+        // A pinned optimum that keeps violating QoS even though a
+        // feasible configuration was seen is stale: resume the
+        // search. When nothing feasible was ever found, churning
+        // through more live samples only hurts, so stay pinned on
+        // the least-bad configuration.
+        const double best_seen =
+            *std::max_element(ys.begin(), ys.end());
+        violationStreak = score < 0.0 ? violationStreak + 1 : 0;
+        if (violationStreak >= cfg.violationPatience &&
+            best_seen >= 0.0) {
+            exploiting = false;
+            exploreCount = cfg.totalBudget / 2;
+            violationStreak = 0;
+        }
+    } else {
+        ++exploreCount;
+        if (exploreCount >= cfg.totalBudget)
+            exploiting = true;
+    }
+
+    std::vector<int> next;
+    const auto best_it = std::max_element(ys.begin(), ys.end());
+    const std::size_t best_idx =
+        static_cast<std::size_t>(best_it - ys.begin());
+
+    if (exploiting) {
+        next = rawAllocs[best_idx];
+    } else if (score < 0.0 && rng.bernoulli(0.6)) {
+        // The live config violated QoS: usually hill-climb from the
+        // best configuration seen so far instead of waiting for the
+        // surrogate to learn the constraint boundary, but keep some
+        // probability mass on the global search for diversity.
+        next = rebalanceAlloc(rawAllocs[best_idx], obs);
+    } else if (exploreCount < cfg.initialSamples) {
+        next = randomAlloc();
+    } else {
+        GaussianProcess gp(cfg.gpLengthScale, cfg.gpSignalVar,
+                           cfg.gpNoiseVar);
+        gp.fit(xs, ys);
+        const double best_y = *best_it;
+
+        double best_ei = -1.0;
+        for (int cand = 0; cand < cfg.candidatePool; ++cand) {
+            // Mix global random draws with local refinements of the
+            // incumbent and demand-directed rebalances, CLITE-style.
+            std::vector<int> a;
+            switch (cand % 4) {
+              case 0:
+                a = perturbAlloc(rawAllocs[best_idx]);
+                break;
+              case 1:
+                a = rebalanceAlloc(rawAllocs[best_idx], obs);
+                break;
+              default:
+                a = randomAlloc();
+                break;
+            }
+            const double ei =
+                gp.expectedImprovement(normalise(a), best_y);
+            if (ei > best_ei) {
+                best_ei = ei;
+                next = std::move(a);
+            }
+        }
+        if (next.empty())
+            next = randomAlloc();
+    }
+
+    currentAlloc = next;
+    applyAlloc(layout, next);
+    if (!exploiting)
+        settleLeft = cfg.settleEpochs;
+}
+
+} // namespace ahq::sched

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * CLITE (Patel & Tiwari — HPCA 2020), the paper's second baseline:
+ * Bayesian-optimisation-driven strict partitioning.
+ *
+ * Re-implemented from the published approach as Ah-Q describes it:
+ * the partitioning configuration space (per-group shares of cores,
+ * LLC ways and memory bandwidth, one group per LC app plus one BE
+ * pool) is explored online. Each monitoring interval measures the
+ * objective of the live configuration; a Gaussian-process surrogate
+ * plus expected-improvement acquisition proposes the next
+ * configuration. The objective is CLITE's penalised form: when any
+ * LC app violates QoS the score is (fraction of QoS met - 1), i.e.
+ * negative; otherwise it is the mean normalised BE performance.
+ * After the sampling budget the best configuration is pinned until a
+ * load shift triggers re-exploration.
+ */
+
+#ifndef AHQ_SCHED_CLITE_HH
+#define AHQ_SCHED_CLITE_HH
+
+#include <vector>
+
+#include "sched/gp.hh"
+#include "sched/scheduler.hh"
+#include "stats/rng.hh"
+
+namespace ahq::sched
+{
+
+/** Tunables of the CLITE controller. */
+struct CliteConfig
+{
+    /** Random (quasi-LHS) samples before the GP drives proposals. */
+    int initialSamples = 6;
+
+    /** Total sampling budget before pinning the best config. */
+    int totalBudget = 24;
+
+    /**
+     * Intervals to let the system settle after deploying a sample
+     * before scoring it (queue backlog from the previous sample
+     * would otherwise contaminate the measurement; at high load the
+     * drain can take more than one 500 ms interval).
+     */
+    int settleEpochs = 2;
+
+    /** Consecutive violated intervals that unpin a stale optimum. */
+    int violationPatience = 4;
+
+    /**
+     * QoS guard band: a sample only counts as meeting QoS when its
+     * p95 stays below guardBand * threshold, so the pinned optimum
+     * keeps headroom against measurement noise.
+     */
+    double guardBand = 0.90;
+
+    /** Candidate pool size for the EI maximisation. */
+    int candidatePool = 300;
+
+    /** Load-fraction change that triggers re-exploration. */
+    double loadShiftThreshold = 0.05;
+
+    /** GP kernel length scale (inputs normalised to [0,1]). */
+    double gpLengthScale = 0.35;
+
+    /** GP signal variance. */
+    double gpSignalVar = 1.0;
+
+    /** GP observation noise variance. */
+    double gpNoiseVar = 0.01;
+
+    /** RNG seed for sampling. */
+    std::uint64_t seed = 0xc11e;
+};
+
+/**
+ * The CLITE Bayesian-optimisation controller.
+ */
+class Clite : public Scheduler
+{
+  public:
+    explicit Clite(CliteConfig config = {});
+
+    std::string name() const override { return "CLITE"; }
+
+    machine::RegionLayout
+    initialLayout(const machine::MachineConfig &config,
+                  const std::vector<AppObservation> &apps) override;
+
+    perf::CoreSharePolicy
+    corePolicy() const override
+    {
+        return perf::CoreSharePolicy::FairShare;
+    }
+
+    void adjust(machine::RegionLayout &layout,
+                const std::vector<AppObservation> &obs,
+                double now_s) override;
+
+    void reset() override;
+
+    /** Number of objective samples collected so far (for tests). */
+    int samplesCollected() const
+    {
+        return static_cast<int>(ys.size());
+    }
+
+  private:
+    CliteConfig cfg;
+    stats::Rng rng;
+
+    int numGroups = 0; // LC apps + 1 BE pool
+    machine::ResourceVector available;
+
+    /** Normalised allocation vectors and their measured scores. */
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+
+    /** Raw unit allocations matching xs/ys entries. */
+    std::vector<std::vector<int>> rawAllocs;
+
+    /** The configuration currently deployed (awaiting its score). */
+    std::vector<int> currentAlloc; // groups x kinds, units
+    bool exploiting = false;
+    int exploreCount = 0;
+    int violationStreak = 0;
+    int settleLeft = 0;
+
+    std::vector<double> lastLoads;
+
+    /** CLITE's penalised objective from this interval's metrics. */
+    double objective(const std::vector<AppObservation> &obs) const;
+
+    /** Draw a random feasible allocation (min 1 core/way/group). */
+    std::vector<int> randomAlloc();
+
+    /** Perturb an allocation by moving a few random units. */
+    std::vector<int> perturbAlloc(const std::vector<int> &base);
+
+    /**
+     * Demand-directed candidate: shift units towards the groups of
+     * currently violated LC apps from the slack-rich groups and the
+     * BE pool (CLITE's prior-informed sampling).
+     */
+    std::vector<int>
+    rebalanceAlloc(const std::vector<int> &base,
+                   const std::vector<AppObservation> &obs);
+
+    /** Normalise an allocation to a [0,1]-ish GP input vector. */
+    std::vector<double> normalise(const std::vector<int> &alloc) const;
+
+    /** Write an allocation into the layout's regions. */
+    static void applyAlloc(machine::RegionLayout &layout,
+                           const std::vector<int> &alloc);
+
+    /** Read the layout's regions into an allocation vector. */
+    static std::vector<int>
+    readAlloc(const machine::RegionLayout &layout);
+};
+
+} // namespace ahq::sched
+
+#endif // AHQ_SCHED_CLITE_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * CoPart-style fairness baseline implementation.
+ */
+
+#include "sched/copart.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ahq::sched
+{
+
+using machine::AppId;
+using machine::kAllResourceKinds;
+using machine::kNumResourceKinds;
+using machine::RegionId;
+using machine::RegionLayout;
+using machine::ResourceKind;
+
+CoPart::CoPart(CoPartConfig config)
+    : cfg(config)
+{
+}
+
+void
+CoPart::reset()
+{
+    fsmIndex.clear();
+}
+
+double
+CoPart::slowdownOf(const AppObservation &o)
+{
+    if (o.latencyCritical) {
+        const double ideal = std::max(o.idealP95Ms, 1e-9);
+        return std::max(1.0, o.p95Ms / ideal);
+    }
+    const double real = std::max(o.ipc, 1e-9);
+    return std::max(1.0, o.ipcSolo / real);
+}
+
+machine::RegionLayout
+CoPart::initialLayout(const machine::MachineConfig &config,
+                      const std::vector<AppObservation> &apps)
+{
+    // One strictly isolated partition per application — BE apps get
+    // their own partitions too (CoPart treats everyone alike).
+    std::vector<AppId> everyone;
+    for (const auto &a : apps)
+        everyone.push_back(a.id);
+    return RegionLayout::evenlyIsolated(config.availableResources(),
+                                        everyone);
+}
+
+void
+CoPart::adjust(RegionLayout &layout,
+               const std::vector<AppObservation> &obs, double)
+{
+    if (obs.size() < 2)
+        return;
+
+    // Identify the most- and least-slowed applications.
+    const AppObservation *worst = nullptr;
+    const AppObservation *best = nullptr;
+    for (const auto &o : obs) {
+        if (!worst || slowdownOf(o) > slowdownOf(*worst))
+            worst = &o;
+        if (!best || slowdownOf(o) < slowdownOf(*best))
+            best = &o;
+    }
+    assert(worst && best);
+    if (worst->id == best->id)
+        return;
+    if (slowdownOf(*worst) <
+        cfg.imbalanceThreshold * slowdownOf(*best)) {
+        return; // fair enough already
+    }
+
+    const RegionId to = layout.isolatedRegionOf(worst->id);
+    const RegionId from = layout.isolatedRegionOf(best->id);
+    if (to == machine::kNoRegion || from == machine::kNoRegion)
+        return;
+
+    int &fsm = fsmIndex[worst->id];
+    for (int attempt = 0; attempt < kNumResourceKinds; ++attempt) {
+        const ResourceKind kind =
+            kAllResourceKinds[static_cast<std::size_t>(
+                (fsm + attempt) % kNumResourceKinds)];
+        if (layout.moveResource(kind, from, to)) {
+            // Rotate so successive transfers spread across kinds.
+            fsm = (fsm + attempt + 1) % kNumResourceKinds;
+            return;
+        }
+    }
+    fsm = (fsm + 1) % kNumResourceKinds;
+}
+
+} // namespace ahq::sched

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Gaussian-process implementation.
+ */
+
+#include "sched/gp.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace ahq::sched
+{
+
+double
+normalPdf(double z)
+{
+    return std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+}
+
+double
+normalCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+GaussianProcess::GaussianProcess(double length_scale, double signal_var,
+                                 double noise_var)
+    : lengthScale(length_scale), signalVar(signal_var),
+      noiseVar(noise_var)
+{
+    assert(length_scale > 0.0);
+    assert(signal_var > 0.0);
+    assert(noise_var >= 0.0);
+}
+
+double
+GaussianProcess::kernel(const std::vector<double> &a,
+                        const std::vector<double> &b) const
+{
+    assert(a.size() == b.size());
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        d2 += d * d;
+    }
+    return signalVar *
+        std::exp(-0.5 * d2 / (lengthScale * lengthScale));
+}
+
+void
+GaussianProcess::fit(const std::vector<std::vector<double>> &xs,
+                     const std::vector<double> &ys)
+{
+    assert(xs.size() == ys.size());
+    assert(!xs.empty());
+    train = xs;
+
+    const std::size_t n = xs.size();
+    yMean = 0.0;
+    for (double y : ys)
+        yMean += y;
+    yMean /= static_cast<double>(n);
+
+    // Build K + noise*I and factor it in place (lower Cholesky).
+    chol.assign(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double k = kernel(xs[i], xs[j]);
+            if (i == j)
+                k += noiseVar + 1e-10; // jitter
+            chol[i * n + j] = k;
+        }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+        double diag = chol[j * n + j];
+        for (std::size_t k = 0; k < j; ++k)
+            diag -= chol[j * n + k] * chol[j * n + k];
+        assert(diag > 0.0 && "kernel matrix not positive definite");
+        const double l_jj = std::sqrt(diag);
+        chol[j * n + j] = l_jj;
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double sum = chol[i * n + j];
+            for (std::size_t k = 0; k < j; ++k)
+                sum -= chol[i * n + k] * chol[j * n + k];
+            chol[i * n + j] = sum / l_jj;
+        }
+    }
+
+    // alpha = K^-1 (y - mean) via forward/back substitution.
+    std::vector<double> z(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double sum = ys[i] - yMean;
+        for (std::size_t k = 0; k < i; ++k)
+            sum -= chol[i * n + k] * z[k];
+        z[i] = sum / chol[i * n + i];
+    }
+    alpha.assign(n, 0.0);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double sum = z[ii];
+        for (std::size_t k = ii + 1; k < n; ++k)
+            sum -= chol[k * n + ii] * alpha[k];
+        alpha[ii] = sum / chol[ii * n + ii];
+    }
+}
+
+GaussianProcess::Prediction
+GaussianProcess::predict(const std::vector<double> &x) const
+{
+    assert(fitted());
+    const std::size_t n = train.size();
+
+    std::vector<double> kstar(n);
+    for (std::size_t i = 0; i < n; ++i)
+        kstar[i] = kernel(train[i], x);
+
+    double mean = yMean;
+    for (std::size_t i = 0; i < n; ++i)
+        mean += kstar[i] * alpha[i];
+
+    // v = L^-1 kstar; var = k(x,x) - v.v
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double sum = kstar[i];
+        for (std::size_t k = 0; k < i; ++k)
+            sum -= chol[i * n + k] * v[k];
+        v[i] = sum / chol[i * n + i];
+    }
+    double var = kernel(x, x);
+    for (std::size_t i = 0; i < n; ++i)
+        var -= v[i] * v[i];
+    var = std::max(var, 1e-12);
+
+    return {mean, var};
+}
+
+double
+GaussianProcess::expectedImprovement(const std::vector<double> &x,
+                                     double best_y, double xi) const
+{
+    const Prediction p = predict(x);
+    const double sigma = std::sqrt(p.variance);
+    if (sigma < 1e-12)
+        return 0.0;
+    const double z = (p.mean - best_y - xi) / sigma;
+    return (p.mean - best_y - xi) * normalCdf(z) +
+        sigma * normalPdf(z);
+}
+
+} // namespace ahq::sched

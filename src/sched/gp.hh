@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Gaussian-process regression and expected improvement — the
+ * surrogate model CLITE's Bayesian optimiser uses (HPCA 2020).
+ *
+ * Squared-exponential kernel, Cholesky-factored exact inference.
+ * Problem sizes are tiny (tens of samples, ~10 dimensions), so a
+ * dense O(n^3) fit per interval is negligible.
+ */
+
+#ifndef AHQ_SCHED_GP_HH
+#define AHQ_SCHED_GP_HH
+
+#include <vector>
+
+namespace ahq::sched
+{
+
+/** Standard normal probability density. */
+double normalPdf(double z);
+
+/** Standard normal cumulative distribution. */
+double normalCdf(double z);
+
+/**
+ * Gaussian-process regressor with a squared-exponential kernel:
+ *
+ *   k(x, x') = signal_var * exp(-|x - x'|^2 / (2 * length_scale^2))
+ *              (+ noise_var on the diagonal)
+ */
+class GaussianProcess
+{
+  public:
+    /**
+     * @param length_scale Kernel length scale (> 0).
+     * @param signal_var Signal variance (> 0).
+     * @param noise_var Observation noise variance (>= 0).
+     */
+    GaussianProcess(double length_scale, double signal_var,
+                    double noise_var);
+
+    /**
+     * Fit to observations; all xs must share one dimensionality.
+     * The target values are centred internally.
+     */
+    void fit(const std::vector<std::vector<double>> &xs,
+             const std::vector<double> &ys);
+
+    /** Whether fit() has been called with at least one sample. */
+    bool fitted() const { return !train.empty(); }
+
+    /** Number of training samples. */
+    std::size_t numSamples() const { return train.size(); }
+
+    struct Prediction
+    {
+        double mean;
+        double variance;
+    };
+
+    /** Posterior mean/variance at a query point. */
+    Prediction predict(const std::vector<double> &x) const;
+
+    /**
+     * Expected improvement of the query point over the incumbent for
+     * a maximisation problem.
+     *
+     * @param x Query point.
+     * @param best_y Incumbent (best observed) value.
+     * @param xi Exploration bonus (>= 0).
+     */
+    double expectedImprovement(const std::vector<double> &x,
+                               double best_y, double xi = 0.01) const;
+
+  private:
+    double lengthScale;
+    double signalVar;
+    double noiseVar;
+
+    std::vector<std::vector<double>> train;
+    std::vector<double> chol;  // row-major lower Cholesky factor
+    std::vector<double> alpha; // K^-1 (y - mean)
+    double yMean = 0.0;
+
+    double kernel(const std::vector<double> &a,
+                  const std::vector<double> &b) const;
+};
+
+} // namespace ahq::sched
+
+#endif // AHQ_SCHED_GP_HH

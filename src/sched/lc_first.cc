@@ -1,0 +1,30 @@
+/**
+ * @file
+ * LC-first baseline implementation.
+ */
+
+#include "sched/lc_first.hh"
+
+namespace ahq::sched
+{
+
+machine::RegionLayout
+LcFirst::initialLayout(const machine::MachineConfig &config,
+                       const std::vector<AppObservation> &apps)
+{
+    std::vector<machine::AppId> all;
+    all.reserve(apps.size());
+    for (const auto &a : apps)
+        all.push_back(a.id);
+    return machine::RegionLayout::fullyShared(
+        config.availableResources(), all);
+}
+
+void
+LcFirst::adjust(machine::RegionLayout &,
+                const std::vector<AppObservation> &, double)
+{
+    // Static policy: priority is enforced by the core-share policy.
+}
+
+} // namespace ahq::sched

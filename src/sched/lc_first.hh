@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The LC-first baseline: LC apps at real-time priority (§V).
+ */
+
+#ifndef AHQ_SCHED_LC_FIRST_HH
+#define AHQ_SCHED_LC_FIRST_HH
+
+#include "sched/scheduler.hh"
+
+namespace ahq::sched
+{
+
+/**
+ * LC-first: all resources are shared, but the LC applications run at
+ * real-time priority and preempt BE work whenever they are runnable.
+ */
+class LcFirst : public Scheduler
+{
+  public:
+    std::string name() const override { return "LC-first"; }
+
+    machine::RegionLayout
+    initialLayout(const machine::MachineConfig &config,
+                  const std::vector<AppObservation> &apps) override;
+
+    perf::CoreSharePolicy
+    corePolicy() const override
+    {
+        return perf::CoreSharePolicy::LcPriority;
+    }
+
+    void adjust(machine::RegionLayout &layout,
+                const std::vector<AppObservation> &obs,
+                double now_s) override;
+};
+
+} // namespace ahq::sched
+
+#endif // AHQ_SCHED_LC_FIRST_HH

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * PARTIES controller implementation.
+ */
+
+#include "sched/parties.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ahq::sched
+{
+
+using machine::AppId;
+using machine::kAllResourceKinds;
+using machine::kNumResourceKinds;
+using machine::RegionId;
+using machine::RegionLayout;
+using machine::ResourceKind;
+
+Parties::Parties(PartiesConfig config)
+    : cfg(config)
+{
+}
+
+void
+Parties::reset()
+{
+    fsmIndex.clear();
+    cooldown.clear();
+    comfort.clear();
+    trial = {};
+}
+
+RegionId
+Parties::bePool(const RegionLayout &layout)
+{
+    return layout.sharedRegion();
+}
+
+machine::RegionLayout
+Parties::initialLayout(const machine::MachineConfig &config,
+                       const std::vector<AppObservation> &apps)
+{
+    // One isolated region per LC app plus one pooled region for all
+    // BE apps; resources split evenly across those groups.
+    std::vector<AppId> lc, be;
+    splitKinds(apps, lc, be);
+
+    const auto avail = config.availableResources();
+    RegionLayout layout(avail);
+
+    const int groups =
+        static_cast<int>(lc.size()) + (be.empty() ? 0 : 1);
+    assert(groups > 0);
+
+    auto group_share = [&](ResourceKind kind, int index) {
+        const int total = avail.get(kind);
+        return total / groups + (index < total % groups ? 1 : 0);
+    };
+
+    int index = 0;
+    for (AppId app : lc) {
+        machine::Region r;
+        r.name = "parties-iso" + std::to_string(app);
+        r.shared = false;
+        r.members = {app};
+        for (ResourceKind kind : kAllResourceKinds)
+            r.res.set(kind, group_share(kind, index));
+        layout.addRegion(std::move(r));
+        ++index;
+    }
+    if (!be.empty()) {
+        machine::Region pool;
+        pool.name = "parties-bepool";
+        pool.shared = true;
+        pool.members = be;
+        for (ResourceKind kind : kAllResourceKinds)
+            pool.res.set(kind, group_share(kind, index));
+        layout.addRegion(std::move(pool));
+    }
+    assert(layout.valid());
+    return layout;
+}
+
+namespace
+{
+
+/** Units a donor region must retain after donating one unit. */
+int
+donorFloor(ResourceKind kind)
+{
+    switch (kind) {
+      case ResourceKind::Cores:
+        return 2;
+      case ResourceKind::LlcWays:
+        return 3;
+      case ResourceKind::MemBw:
+        return 1;
+    }
+    return 1;
+}
+
+} // namespace
+
+bool
+Parties::upsizeApp(RegionLayout &layout,
+                   const std::vector<AppObservation> &obs, AppId app)
+{
+    const RegionId target = layout.isolatedRegionOf(app);
+    if (target == machine::kNoRegion)
+        return false;
+
+    double victim_slack = 0.0;
+    for (const auto &o : obs) {
+        if (o.id == app)
+            victim_slack = o.slack();
+    }
+
+    int &fsm = fsmIndex[app];
+    for (int attempt = 0; attempt < kNumResourceKinds; ++attempt) {
+        const ResourceKind kind =
+            kAllResourceKinds[static_cast<std::size_t>(
+                (fsm + attempt) % kNumResourceKinds)];
+
+        // Preferred donor: the BE pool.
+        const RegionId pool = bePool(layout);
+        if (pool != machine::kNoRegion &&
+            layout.moveResource(kind, pool, target)) {
+            fsm = (fsm + attempt) % kNumResourceKinds;
+            return true;
+        }
+
+        // Fall back to the LC app with the largest slack, provided
+        // it is clearly better off than the victim and would stay
+        // safely provisioned after donating.
+        AppId donor = machine::kNoApp;
+        double best_slack = std::max(0.10, victim_slack + 0.15);
+        for (const auto &o : obs) {
+            if (!o.latencyCritical || o.id == app)
+                continue;
+            const RegionId r = layout.isolatedRegionOf(o.id);
+            if (r == machine::kNoRegion ||
+                layout.region(r).res.get(kind) <=
+                    donorFloor(kind))
+                continue;
+            if (o.slack() > best_slack) {
+                best_slack = o.slack();
+                donor = o.id;
+            }
+        }
+        if (donor != machine::kNoApp) {
+            const RegionId donor_region =
+                layout.isolatedRegionOf(donor);
+            if (layout.moveResource(kind, donor_region, target)) {
+                fsm = (fsm + attempt) % kNumResourceKinds;
+                return true;
+            }
+        }
+    }
+    // Nothing movable this interval; rotate the FSM for next time.
+    fsm = (fsm + 1) % kNumResourceKinds;
+    return false;
+}
+
+void
+Parties::adjust(RegionLayout &layout,
+                const std::vector<AppObservation> &obs, double)
+{
+    // Age the downsize cooldowns and track comfort streaks.
+    for (auto &[app, c] : cooldown) {
+        if (c > 0)
+            --c;
+    }
+    for (const auto &o : obs) {
+        if (!o.latencyCritical)
+            continue;
+        if (o.slack() >= cfg.upsizeSlack)
+            ++comfort[o.id];
+        else
+            comfort[o.id] = 0;
+    }
+
+    // 1) Watch the in-flight downsize trial: revert on violation,
+    //    commit once the watch window passes cleanly.
+    if (trial.active) {
+        bool reverted = false;
+        for (const auto &o : obs) {
+            if (o.id == trial.app && o.latencyCritical &&
+                o.slack() < cfg.upsizeSlack) {
+                // Revert from the pool; if the pool unit was taken
+                // by someone else in the meantime, reclaim through
+                // the ordinary upsize path so the app cannot be
+                // stranded below its viable partition.
+                const RegionId pool = bePool(layout);
+                const RegionId region =
+                    layout.isolatedRegionOf(trial.app);
+                bool undone = pool != machine::kNoRegion &&
+                    region != machine::kNoRegion &&
+                    layout.moveResource(trial.kind, pool, region);
+                if (!undone)
+                    upsizeApp(layout, obs, trial.app);
+                cooldown[trial.app] = cfg.revertCooldown;
+                trial.active = false;
+                reverted = true;
+                break;
+            }
+        }
+        if (!reverted && --trial.watchLeft <= 0) {
+            cooldown[trial.app] = cfg.commitCooldown;
+            trial.active = false;
+        }
+    }
+
+    // 2) Upsize every violated LC app by one unit, worst first.
+    bool any_violation = false;
+    std::vector<const AppObservation *> violated;
+    for (const auto &o : obs) {
+        if (o.latencyCritical && o.slack() < cfg.upsizeSlack) {
+            violated.push_back(&o);
+            any_violation = true;
+        }
+    }
+    std::sort(violated.begin(), violated.end(),
+              [](const AppObservation *a, const AppObservation *b) {
+                  return a->slack() < b->slack();
+              });
+    for (const AppObservation *o : violated)
+        upsizeApp(layout, obs, o->id);
+
+    // 3) With everyone comfortable for long enough and no trial in
+    //    flight, tentatively downsize the most over-provisioned app
+    //    to grow the BE pool.
+    if (!any_violation && !trial.active) {
+        const AppObservation *richest = nullptr;
+        for (const auto &o : obs) {
+            if (!o.latencyCritical || o.slack() < cfg.downsizeSlack)
+                continue;
+            if (cooldown[o.id] > 0 ||
+                comfort[o.id] < cfg.comfortStreak)
+                continue;
+            if (!richest || o.slack() > richest->slack())
+                richest = &o;
+        }
+        if (richest) {
+            const RegionId region =
+                layout.isolatedRegionOf(richest->id);
+            const RegionId pool = bePool(layout);
+            if (region != machine::kNoRegion &&
+                pool != machine::kNoRegion) {
+                int &fsm = fsmIndex[richest->id];
+                for (int attempt = 0; attempt < kNumResourceKinds;
+                     ++attempt) {
+                    const ResourceKind kind = kAllResourceKinds[
+                        static_cast<std::size_t>(
+                            (fsm + attempt) % kNumResourceKinds)];
+                    if (layout.moveResource(kind, region, pool)) {
+                        trial = {true, richest->id, kind,
+                                 cfg.trialWatch};
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace ahq::sched

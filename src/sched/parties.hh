@@ -1,0 +1,118 @@
+/**
+ * @file
+ * PARTIES (Chen, Delimitrou, Martinez — ASPLOS 2019), the paper's
+ * primary baseline: QoS-aware strict partitioning for multiple
+ * interactive services.
+ *
+ * Re-implemented from the published algorithm as Ah-Q describes it:
+ * every LC application owns a strictly isolated partition and the BE
+ * applications share the leftover pool. Each monitoring interval the
+ * controller computes per-app slack = (target - p95)/target, upsizes
+ * the partitions of violated apps by one unit of their finite-state
+ * machine's current resource type (cores -> LLC ways -> memory
+ * bandwidth, rotating when a type cannot be adjusted), and
+ * tentatively downsizes the most over-provisioned app when everyone
+ * has ample slack, reverting if the downsize caused a violation (the
+ * "spikes" Ah-Q's Fig. 13 shows).
+ */
+
+#ifndef AHQ_SCHED_PARTIES_HH
+#define AHQ_SCHED_PARTIES_HH
+
+#include <map>
+#include <vector>
+
+#include "sched/scheduler.hh"
+
+namespace ahq::sched
+{
+
+/** Tunables of the PARTIES controller. */
+struct PartiesConfig
+{
+    /**
+     * Slack below which an app is upsized. PARTIES reacts to actual
+     * QoS violations, so the trigger sits just above zero slack.
+     */
+    double upsizeSlack = 0.02;
+
+    /** Slack above which an app may be tentatively downsized. */
+    double downsizeSlack = 0.25;
+
+    /** Minimum slack for an LC app to donate to a violated one. */
+    double donorSlack = 0.35;
+
+    /** Comfortable intervals required before a downsize trial. */
+    int comfortStreak = 6;
+
+    /** Intervals a trial downsize is watched for a violation. */
+    int trialWatch = 4;
+
+    /** Cooldown after a reverted (failed) downsize. */
+    int revertCooldown = 40;
+
+    /** Cooldown after a committed (successful) downsize. */
+    int commitCooldown = 8;
+};
+
+/**
+ * The PARTIES strict-partitioning controller.
+ */
+class Parties : public Scheduler
+{
+  public:
+    explicit Parties(PartiesConfig config = {});
+
+    std::string name() const override { return "PARTIES"; }
+
+    machine::RegionLayout
+    initialLayout(const machine::MachineConfig &config,
+                  const std::vector<AppObservation> &apps) override;
+
+    perf::CoreSharePolicy
+    corePolicy() const override
+    {
+        // Only the BE pool is shared; policy is immaterial there.
+        return perf::CoreSharePolicy::FairShare;
+    }
+
+    void adjust(machine::RegionLayout &layout,
+                const std::vector<AppObservation> &obs,
+                double now_s) override;
+
+    void reset() override;
+
+  private:
+    PartiesConfig cfg;
+
+    /** Per-app FSM position in the resource rotation. */
+    std::map<machine::AppId, int> fsmIndex;
+
+    /** Cooldown until the next tentative downsize per app. */
+    std::map<machine::AppId, int> cooldown;
+
+    /** Consecutive comfortable intervals per app. */
+    std::map<machine::AppId, int> comfort;
+
+    /** An in-flight tentative downsize being watched. */
+    struct Trial
+    {
+        bool active = false;
+        machine::AppId app = machine::kNoApp;
+        machine::ResourceKind kind = machine::ResourceKind::Cores;
+        int watchLeft = 0;
+    };
+    Trial trial;
+
+    /** Upsize one violated app by one unit; true on success. */
+    bool upsizeApp(machine::RegionLayout &layout,
+                   const std::vector<AppObservation> &obs,
+                   machine::AppId app);
+
+    /** The BE pool region id (the shared region). */
+    static machine::RegionId bePool(const machine::RegionLayout &l);
+};
+
+} // namespace ahq::sched
+
+#endif // AHQ_SCHED_PARTIES_HH

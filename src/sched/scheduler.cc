@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Scheduler base helpers.
+ */
+
+#include "sched/scheduler.hh"
+
+namespace ahq::sched
+{
+
+void
+Scheduler::splitKinds(const std::vector<AppObservation> &apps,
+                      std::vector<machine::AppId> &lc,
+                      std::vector<machine::AppId> &be)
+{
+    lc.clear();
+    be.clear();
+    for (const auto &a : apps) {
+        if (a.latencyCritical)
+            lc.push_back(a.id);
+        else
+            be.push_back(a.id);
+    }
+}
+
+} // namespace ahq::sched

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Space-time model implementation.
+ */
+
+#include "sched/spacetime.hh"
+
+#include <cassert>
+
+namespace ahq::sched
+{
+
+namespace
+{
+
+std::size_t
+horizon(const std::vector<SpacetimeDemand> &demands)
+{
+    assert(!demands.empty());
+    const std::size_t t = demands.front().needs.size();
+    for (const auto &d : demands) {
+        assert(d.needs.size() == t);
+        (void)d;
+    }
+    return t;
+}
+
+} // namespace
+
+double
+SpacetimeResult::utilization() const
+{
+    const int total = served + idleSlices;
+    return total > 0 ? static_cast<double>(served) / total : 0.0;
+}
+
+SpacetimeResult
+simulateIsolated(const std::vector<SpacetimeDemand> &demands,
+                 std::size_t owner)
+{
+    assert(owner < demands.size());
+    const std::size_t t_max = horizon(demands);
+
+    SpacetimeResult res;
+    res.outcomes.assign(demands.size(), {});
+    for (auto &row : res.outcomes)
+        row.assign(t_max, SlotOutcome::NotNeeded);
+
+    for (std::size_t t = 0; t < t_max; ++t) {
+        bool used = false;
+        for (std::size_t a = 0; a < demands.size(); ++a) {
+            if (!demands[a].needs[t])
+                continue;
+            if (a == owner) {
+                res.outcomes[a][t] = SlotOutcome::Served;
+                ++res.served;
+                used = true;
+            } else {
+                res.outcomes[a][t] = SlotOutcome::Denied;
+                ++res.denied;
+            }
+        }
+        if (!used)
+            ++res.idleSlices;
+    }
+    return res;
+}
+
+SpacetimeResult
+simulateSharedPriority(const std::vector<SpacetimeDemand> &demands)
+{
+    const std::size_t t_max = horizon(demands);
+
+    SpacetimeResult res;
+    res.outcomes.assign(demands.size(), {});
+    for (auto &row : res.outcomes)
+        row.assign(t_max, SlotOutcome::NotNeeded);
+
+    constexpr std::size_t no_owner = static_cast<std::size_t>(-1);
+    std::size_t prev_owner = no_owner;
+
+    for (std::size_t t = 0; t < t_max; ++t) {
+        // Highest priority demander wins: LC apps first (in index
+        // order), then BE apps.
+        std::size_t winner = no_owner;
+        for (int pass = 0; pass < 2 && winner == no_owner; ++pass) {
+            const bool want_lc = pass == 0;
+            for (std::size_t a = 0; a < demands.size(); ++a) {
+                if (demands[a].latencyCritical == want_lc &&
+                    demands[a].needs[t]) {
+                    winner = a;
+                    break;
+                }
+            }
+        }
+
+        for (std::size_t a = 0; a < demands.size(); ++a) {
+            if (!demands[a].needs[t])
+                continue;
+            if (a == winner) {
+                const bool transition =
+                    prev_owner != no_owner && prev_owner != a;
+                res.outcomes[a][t] = transition ?
+                    SlotOutcome::ServedWithOverhead :
+                    SlotOutcome::Served;
+                ++res.served;
+                if (transition)
+                    ++res.overheads;
+            } else {
+                res.outcomes[a][t] = SlotOutcome::Denied;
+                ++res.denied;
+            }
+        }
+        if (winner == no_owner)
+            ++res.idleSlices;
+        else
+            prev_owner = winner;
+    }
+    return res;
+}
+
+} // namespace ahq::sched

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The space-time resource utilisation model of Section IV-A (Fig. 4):
+ * one resource slice observed over discrete time slices, comparing
+ * exclusive isolation against prioritised sharing.
+ *
+ * Each application declares which time slices it needs the resource
+ * slice in. Isolation serves only the owner (other demand is wasted,
+ * and owner-idle slices are wasted capacity); prioritised sharing
+ * hands the slice to the highest-priority demander, paying a
+ * transition overhead (the figure's triangles) whenever ownership
+ * changes — context switching and cache pollution.
+ */
+
+#ifndef AHQ_SCHED_SPACETIME_HH
+#define AHQ_SCHED_SPACETIME_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ahq::sched
+{
+
+/** One application's demand pattern over the modelled time slices. */
+struct SpacetimeDemand
+{
+    std::string name;
+    bool latencyCritical = true;
+
+    /** needs[t] is true when the app wants the slice at time t. */
+    std::vector<bool> needs;
+};
+
+/** What happened to one app in one time slice. */
+enum class SlotOutcome
+{
+    NotNeeded,          // app did not want the slice
+    Served,             // app used the slice (a tick)
+    ServedWithOverhead, // used it, paying a transition (a triangle)
+    Denied,             // wanted the slice but could not use it (x)
+};
+
+/** Aggregate result of a space-time simulation. */
+struct SpacetimeResult
+{
+    /** outcomes[app][t]. */
+    std::vector<std::vector<SlotOutcome>> outcomes;
+
+    int served = 0;    // ticks (including overhead slices)
+    int overheads = 0; // triangles
+    int denied = 0;    // crosses
+    int idleSlices = 0; // slices nobody used
+
+    /** Fraction of time slices in which the slice did useful work. */
+    double utilization() const;
+};
+
+/**
+ * Scenario (b): the slice is exclusively allocated to one owner.
+ *
+ * @param demands All apps' demand patterns (equal lengths).
+ * @param owner Index of the owning app in demands.
+ */
+SpacetimeResult
+simulateIsolated(const std::vector<SpacetimeDemand> &demands,
+                 std::size_t owner);
+
+/**
+ * Scenario (c): the slice is shared; LC apps take precedence over BE
+ * apps (earlier-indexed apps win ties), and every ownership change
+ * costs a transition overhead.
+ */
+SpacetimeResult
+simulateSharedPriority(const std::vector<SpacetimeDemand> &demands);
+
+} // namespace ahq::sched
+
+#endif // AHQ_SCHED_SPACETIME_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Unmanaged baseline implementation.
+ */
+
+#include "sched/unmanaged.hh"
+
+namespace ahq::sched
+{
+
+machine::RegionLayout
+Unmanaged::initialLayout(const machine::MachineConfig &config,
+                         const std::vector<AppObservation> &apps)
+{
+    std::vector<machine::AppId> all;
+    all.reserve(apps.size());
+    for (const auto &a : apps)
+        all.push_back(a.id);
+    return machine::RegionLayout::fullyShared(
+        config.availableResources(), all);
+}
+
+void
+Unmanaged::adjust(machine::RegionLayout &,
+                  const std::vector<AppObservation> &, double)
+{
+    // The OS default scheduler never repartitions anything.
+}
+
+} // namespace ahq::sched

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The Unmanaged baseline: Linux CFS with no isolation (§V).
+ */
+
+#ifndef AHQ_SCHED_UNMANAGED_HH
+#define AHQ_SCHED_UNMANAGED_HH
+
+#include "sched/scheduler.hh"
+
+namespace ahq::sched
+{
+
+/**
+ * Unmanaged: every application shares all resources under the OS's
+ * default fair scheduler; no isolation, no reaction to QoS.
+ */
+class Unmanaged : public Scheduler
+{
+  public:
+    std::string name() const override { return "Unmanaged"; }
+
+    machine::RegionLayout
+    initialLayout(const machine::MachineConfig &config,
+                  const std::vector<AppObservation> &apps) override;
+
+    perf::CoreSharePolicy
+    corePolicy() const override
+    {
+        return perf::CoreSharePolicy::FairShare;
+    }
+
+    void adjust(machine::RegionLayout &layout,
+                const std::vector<AppObservation> &obs,
+                double now_s) override;
+};
+
+} // namespace ahq::sched
+
+#endif // AHQ_SCHED_UNMANAGED_HH

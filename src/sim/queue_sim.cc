@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Request-level queue simulator implementations.
+ */
+
+#include "sim/queue_sim.hh"
+
+#include <cassert>
+#include <deque>
+
+namespace ahq::sim
+{
+
+MmcSimulator::MmcSimulator(int servers, double lambda, double mu)
+    : servers_(servers), lambda_(lambda), mu_(mu)
+{
+    assert(servers >= 1);
+    assert(lambda >= 0.0);
+    assert(mu > 0.0);
+}
+
+QueueSimResult
+MmcSimulator::run(double duration, stats::Rng &rng, double warmup) const
+{
+    Simulator sim;
+    QueueSimResult res;
+    std::deque<double> waiting; // arrival times of queued requests
+    int busy = 0;
+
+    // One departure handler shared by all requests.
+    std::function<void(double)> start_service =
+        [&](double arrival_time)
+    {
+        const double svc = rng.exponential(mu_);
+        res.busyTime += svc;
+        sim.scheduleAfter(svc, [&, arrival_time]() {
+            const double sojourn = sim.now() - arrival_time;
+            ++res.completions;
+            if (arrival_time >= warmup)
+                res.sojournTimes.push_back(sojourn);
+            if (!waiting.empty()) {
+                const double next_arrival = waiting.front();
+                waiting.pop_front();
+                start_service(next_arrival);
+            } else {
+                --busy;
+            }
+        });
+    };
+
+    std::function<void()> arrive = [&]()
+    {
+        ++res.arrivals;
+        if (busy < servers_) {
+            ++busy;
+            start_service(sim.now());
+        } else {
+            waiting.push_back(sim.now());
+        }
+        if (lambda_ > 0.0) {
+            const double gap = rng.exponential(lambda_);
+            if (sim.now() + gap <= duration)
+                sim.scheduleAfter(gap, arrive);
+        }
+    };
+
+    if (lambda_ > 0.0)
+        sim.schedule(rng.exponential(lambda_), arrive);
+    sim.runAll();
+    return res;
+}
+
+PrioritySimulator::PrioritySimulator(int servers, double lc_lambda,
+                                     double lc_mu, double be_chunk_rate)
+    : servers_(servers), lcLambda(lc_lambda), lcMu(lc_mu),
+      beChunkRate(be_chunk_rate)
+{
+    assert(servers >= 1);
+    assert(lc_lambda >= 0.0);
+    assert(lc_mu > 0.0);
+    assert(be_chunk_rate > 0.0);
+}
+
+PrioritySimulator::Result
+PrioritySimulator::run(double duration, stats::Rng &rng) const
+{
+    Simulator sim;
+    Result res;
+    res.duration = duration;
+
+    enum class ServerState { Lc, Be };
+    struct Server
+    {
+        ServerState state = ServerState::Be;
+        std::uint64_t generation = 0; // invalidates stale events
+    };
+    std::vector<Server> servers(static_cast<std::size_t>(servers_));
+    std::deque<double> lc_waiting;
+
+    std::function<void(std::size_t)> run_be;
+    std::function<void(std::size_t, double)> run_lc;
+
+    // BE work is saturating: an idle server always takes a BE chunk.
+    run_be = [&](std::size_t s)
+    {
+        servers[s].state = ServerState::Be;
+        const std::uint64_t gen = ++servers[s].generation;
+        const double svc = rng.exponential(beChunkRate);
+        sim.scheduleAfter(svc, [&, s, gen]() {
+            if (servers[s].generation != gen)
+                return; // preempted; chunk progress discarded
+            if (sim.now() <= duration)
+                ++res.beChunksCompleted;
+            run_be(s);
+        });
+    };
+
+    run_lc = [&](std::size_t s, double arrival_time)
+    {
+        servers[s].state = ServerState::Lc;
+        const std::uint64_t gen = ++servers[s].generation;
+        const double svc = rng.exponential(lcMu);
+        sim.scheduleAfter(svc, [&, s, gen, arrival_time]() {
+            if (servers[s].generation != gen)
+                return;
+            res.lcSojournTimes.push_back(sim.now() - arrival_time);
+            if (!lc_waiting.empty()) {
+                const double next = lc_waiting.front();
+                lc_waiting.pop_front();
+                run_lc(s, next);
+            } else {
+                run_be(s);
+            }
+        });
+    };
+
+    std::function<void()> lc_arrive = [&]()
+    {
+        // Find a BE server to preempt; LC-occupied servers can't be.
+        bool placed = false;
+        for (std::size_t s = 0; s < servers.size() && !placed; ++s) {
+            if (servers[s].state == ServerState::Be) {
+                run_lc(s, sim.now());
+                placed = true;
+            }
+        }
+        if (!placed)
+            lc_waiting.push_back(sim.now());
+        const double gap = rng.exponential(lcLambda);
+        if (sim.now() + gap <= duration)
+            sim.scheduleAfter(gap, lc_arrive);
+    };
+
+    for (std::size_t s = 0; s < servers.size(); ++s)
+        run_be(s);
+    if (lcLambda > 0.0)
+        sim.schedule(rng.exponential(lcLambda), lc_arrive);
+    sim.run(duration);
+    return res;
+}
+
+} // namespace ahq::sim

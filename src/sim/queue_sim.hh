@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Request-level queue simulators built on the discrete-event engine.
+ *
+ * MmcSimulator reproduces the analytic M/M/c results empirically and
+ * PrioritySimulator models two service classes with preemptive
+ * priority, which is what the LC-first policy does to BE work on
+ * shared cores.
+ */
+
+#ifndef AHQ_SIM_QUEUE_SIM_HH
+#define AHQ_SIM_QUEUE_SIM_HH
+
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "stats/rng.hh"
+
+namespace ahq::sim
+{
+
+/** Result of a queue simulation run. */
+struct QueueSimResult
+{
+    std::vector<double> sojournTimes; // seconds, completion order
+    std::uint64_t arrivals = 0;
+    std::uint64_t completions = 0;
+    double busyTime = 0.0; // aggregate server-busy seconds
+};
+
+/**
+ * Simulates an M/M/c queue at request granularity.
+ */
+class MmcSimulator
+{
+  public:
+    /**
+     * @param servers Number of servers (integer, >= 1).
+     * @param lambda Arrival rate, requests/second.
+     * @param mu Per-server service rate, requests/second.
+     */
+    MmcSimulator(int servers, double lambda, double mu);
+
+    /**
+     * Run for the given simulated duration.
+     *
+     * @param duration Simulated seconds.
+     * @param rng Random source (seeded by the caller).
+     * @param warmup Seconds of initial samples to discard.
+     */
+    QueueSimResult run(double duration, stats::Rng &rng,
+                       double warmup = 0.0) const;
+
+  private:
+    int servers_;
+    double lambda_;
+    double mu_;
+};
+
+/**
+ * Two-class preemptive-priority multi-server queue: class 0 (LC)
+ * preempts class 1 (BE). BE "requests" model fixed-size work chunks,
+ * so BE throughput degradation is measurable as chunk completion
+ * rate.
+ */
+class PrioritySimulator
+{
+  public:
+    /**
+     * @param servers Number of servers.
+     * @param lc_lambda LC arrival rate (requests/s).
+     * @param lc_mu LC per-server service rate.
+     * @param be_chunk_rate BE work-chunk service rate per server.
+     */
+    PrioritySimulator(int servers, double lc_lambda, double lc_mu,
+                      double be_chunk_rate);
+
+    struct Result
+    {
+        std::vector<double> lcSojournTimes;
+        std::uint64_t beChunksCompleted = 0;
+        double duration = 0.0;
+
+        /** BE throughput in chunks/second. */
+        double beThroughput() const
+        {
+            return duration > 0.0 ? beChunksCompleted / duration : 0.0;
+        }
+    };
+
+    /** Run for the given simulated duration. */
+    Result run(double duration, stats::Rng &rng) const;
+
+  private:
+    int servers_;
+    double lcLambda;
+    double lcMu;
+    double beChunkRate;
+};
+
+} // namespace ahq::sim
+
+#endif // AHQ_SIM_QUEUE_SIM_HH

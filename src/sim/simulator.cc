@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Discrete-event simulator implementation.
+ */
+
+#include "sim/simulator.hh"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ahq::sim
+{
+
+void
+Simulator::schedule(Time at, Handler handler)
+{
+    assert(at >= now_ && "cannot schedule into the past");
+    events.push(Entry{at, nextSeq++, std::move(handler)});
+}
+
+void
+Simulator::scheduleAfter(Time delay, Handler handler)
+{
+    assert(delay >= 0.0);
+    schedule(now_ + delay, std::move(handler));
+}
+
+std::uint64_t
+Simulator::run(Time until)
+{
+    std::uint64_t executed = 0;
+    while (!events.empty() && events.top().at <= until) {
+        // Copy out before pop: the handler may schedule new events.
+        Entry e = events.top();
+        events.pop();
+        now_ = e.at;
+        e.handler();
+        ++executed;
+    }
+    // Leave the clock at the last executed event when draining to
+    // infinity; otherwise advance it to the horizon.
+    if (std::isfinite(until) && now_ < until)
+        now_ = until;
+    return executed;
+}
+
+std::uint64_t
+Simulator::runAll()
+{
+    return run(std::numeric_limits<Time>::infinity());
+}
+
+} // namespace ahq::sim

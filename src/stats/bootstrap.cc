@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Bootstrap implementation.
+ */
+
+#include "stats/bootstrap.hh"
+
+#include <cassert>
+
+#include "stats/percentile.hh"
+#include "stats/summary.hh"
+
+namespace ahq::stats
+{
+
+ConfidenceInterval
+bootstrapCi(const std::vector<double> &samples,
+            const std::function<double(
+                const std::vector<double> &)> &statistic,
+            Rng &rng, double confidence, int resamples)
+{
+    assert(!samples.empty());
+    assert(confidence > 0.0 && confidence < 1.0);
+    assert(resamples >= 2);
+
+    ConfidenceInterval ci;
+    ci.estimate = statistic(samples);
+
+    std::vector<double> stats;
+    stats.reserve(static_cast<std::size_t>(resamples));
+    std::vector<double> resample(samples.size());
+    for (int b = 0; b < resamples; ++b) {
+        for (auto &v : resample)
+            v = samples[rng.uniformInt(samples.size())];
+        stats.push_back(statistic(resample));
+    }
+    const double alpha = 1.0 - confidence;
+    ci.lo = exactPercentile(stats, 100.0 * alpha / 2.0);
+    ci.hi = exactPercentile(stats, 100.0 * (1.0 - alpha / 2.0));
+    return ci;
+}
+
+ConfidenceInterval
+bootstrapMeanCi(const std::vector<double> &samples, Rng &rng,
+                double confidence, int resamples)
+{
+    return bootstrapCi(
+        samples,
+        [](const std::vector<double> &s) { return mean(s); }, rng,
+        confidence, resamples);
+}
+
+} // namespace ahq::stats

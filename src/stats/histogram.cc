@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Histogram implementations.
+ */
+
+#include "stats/histogram.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace ahq::stats
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width((hi - lo) / static_cast<double>(bins)),
+      counts(bins, 0), under(0), over(0), total(0), sum(0.0)
+{
+    assert(hi > lo);
+    assert(bins >= 1);
+}
+
+void
+Histogram::add(double x)
+{
+    add(x, 1);
+}
+
+void
+Histogram::add(double x, std::uint64_t weight)
+{
+    total += weight;
+    sum += x * static_cast<double>(weight);
+    if (x < lo_) {
+        under += weight;
+    } else if (x >= hi_) {
+        over += weight;
+    } else {
+        auto bin = static_cast<std::size_t>((x - lo_) / width);
+        if (bin >= counts.size())
+            bin = counts.size() - 1; // float edge case at hi_
+        counts[bin] += weight;
+    }
+}
+
+double
+Histogram::mean() const
+{
+    return total == 0 ? 0.0 : sum / static_cast<double>(total);
+}
+
+double
+Histogram::binLo(std::size_t bin) const
+{
+    return lo_ + width * static_cast<double>(bin);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    assert(q >= 0.0 && q <= 1.0);
+    if (total == 0)
+        return 0.0;
+    const double target = q * static_cast<double>(total);
+    double acc = static_cast<double>(under);
+    if (target <= acc)
+        return lo_;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        const double next = acc + static_cast<double>(counts[b]);
+        if (target <= next && counts[b] > 0) {
+            const double frac = (target - acc) /
+                static_cast<double>(counts[b]);
+            return binLo(b) + frac * width;
+        }
+        acc = next;
+    }
+    return hi_;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts)
+        c = 0;
+    under = over = total = 0;
+    sum = 0.0;
+}
+
+LogHistogram::LogHistogram(double lo, double hi,
+                           std::size_t bins_per_decade)
+    : logHist(std::log10(lo), std::log10(hi),
+              static_cast<std::size_t>(
+                  std::ceil((std::log10(hi) - std::log10(lo)) *
+                            static_cast<double>(bins_per_decade))))
+{
+    assert(lo > 0.0 && hi > lo);
+}
+
+void
+LogHistogram::add(double x)
+{
+    assert(x > 0.0);
+    logHist.add(std::log10(x));
+}
+
+double
+LogHistogram::quantile(double q) const
+{
+    if (logHist.count() == 0)
+        return 0.0;
+    return std::pow(10.0, logHist.quantile(q));
+}
+
+void
+LogHistogram::reset()
+{
+    logHist.reset();
+}
+
+} // namespace ahq::stats

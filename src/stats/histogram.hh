@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Histograms for latency distributions: a linear fixed-bin histogram
+ * and a log-spaced histogram suited to heavy-tailed latency data.
+ */
+
+#ifndef AHQ_STATS_HISTOGRAM_HH
+#define AHQ_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ahq::stats
+{
+
+/**
+ * Linear fixed-width histogram over [lo, hi) with out-of-range
+ * underflow/overflow buckets and interpolated quantile queries.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower bound of the tracked range.
+     * @param hi Upper bound of the tracked range; must exceed lo.
+     * @param bins Number of equal-width bins; must be >= 1.
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Record one observation. */
+    void add(double x);
+
+    /** Record an observation with the given weight (count). */
+    void add(double x, std::uint64_t weight);
+
+    /** Total number of recorded observations (including out of range). */
+    std::uint64_t count() const { return total; }
+
+    /** Number of observations below the tracked range. */
+    std::uint64_t underflow() const { return under; }
+
+    /** Number of observations at or above the tracked range. */
+    std::uint64_t overflow() const { return over; }
+
+    /** Mean of all recorded observations (exact, not binned). */
+    double mean() const;
+
+    /**
+     * Interpolated quantile (q in [0,1]) from the binned data.
+     * Out-of-range mass is attributed to the range edges.
+     */
+    double quantile(double q) const;
+
+    /** Count in the given bin. @pre bin < numBins(). */
+    std::uint64_t binCount(std::size_t bin) const { return counts[bin]; }
+
+    /** Number of bins. */
+    std::size_t numBins() const { return counts.size(); }
+
+    /** Lower edge of the given bin. */
+    double binLo(std::size_t bin) const;
+
+    /** Clear all recorded data. */
+    void reset();
+
+  private:
+    double lo_, hi_, width;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t under, over, total;
+    double sum;
+};
+
+/**
+ * Log-spaced histogram over [lo, hi) for data spanning several orders
+ * of magnitude (e.g. microsecond-to-second latencies).
+ */
+class LogHistogram
+{
+  public:
+    /**
+     * @param lo Lower bound; must be > 0.
+     * @param hi Upper bound; must exceed lo.
+     * @param bins_per_decade Resolution; must be >= 1.
+     */
+    LogHistogram(double lo, double hi, std::size_t bins_per_decade);
+
+    /** Record one observation. */
+    void add(double x);
+
+    /** Total number of recorded observations. */
+    std::uint64_t count() const { return logHist.count(); }
+
+    /** Interpolated quantile (q in [0,1]) in the original scale. */
+    double quantile(double q) const;
+
+    /** Clear all recorded data. */
+    void reset();
+
+  private:
+    Histogram logHist;
+};
+
+} // namespace ahq::stats
+
+#endif // AHQ_STATS_HISTOGRAM_HH

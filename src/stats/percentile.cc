@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Percentile estimator implementations.
+ */
+
+#include "stats/percentile.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ahq::stats
+{
+
+double
+exactPercentile(std::vector<double> samples, double p)
+{
+    assert(p >= 0.0 && p <= 100.0);
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    if (samples.size() == 1)
+        return samples.front();
+    const double rank = (p / 100.0) * (samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+P2Quantile::P2Quantile(double quantile)
+    : q(quantile), n(0)
+{
+    assert(quantile > 0.0 && quantile < 1.0);
+    reset();
+}
+
+void
+P2Quantile::reset()
+{
+    n = 0;
+    for (int i = 0; i < 5; ++i) {
+        heights[i] = 0.0;
+        positions[i] = i + 1;
+    }
+    desired[0] = 1.0;
+    desired[1] = 1.0 + 2.0 * q;
+    desired[2] = 1.0 + 4.0 * q;
+    desired[3] = 3.0 + 2.0 * q;
+    desired[4] = 5.0;
+    increments[0] = 0.0;
+    increments[1] = q / 2.0;
+    increments[2] = q;
+    increments[3] = (1.0 + q) / 2.0;
+    increments[4] = 1.0;
+}
+
+void
+P2Quantile::initialise()
+{
+    std::sort(heights, heights + 5);
+}
+
+double
+P2Quantile::parabolic(const double *hts, const double *pos, int i, double d)
+{
+    return hts[i] + d / (pos[i + 1] - pos[i - 1]) *
+        ((pos[i] - pos[i - 1] + d) * (hts[i + 1] - hts[i]) /
+             (pos[i + 1] - pos[i]) +
+         (pos[i + 1] - pos[i] - d) * (hts[i] - hts[i - 1]) /
+             (pos[i] - pos[i - 1]));
+}
+
+void
+P2Quantile::add(double x)
+{
+    if (n < 5) {
+        heights[n++] = x;
+        if (n == 5)
+            initialise();
+        return;
+    }
+
+    int k;
+    if (x < heights[0]) {
+        heights[0] = x;
+        k = 0;
+    } else if (x >= heights[4]) {
+        heights[4] = x;
+        k = 3;
+    } else {
+        k = 0;
+        while (k < 3 && x >= heights[k + 1])
+            ++k;
+    }
+
+    for (int i = k + 1; i < 5; ++i)
+        positions[i] += 1.0;
+    for (int i = 0; i < 5; ++i)
+        desired[i] += increments[i];
+
+    for (int i = 1; i <= 3; ++i) {
+        const double d = desired[i] - positions[i];
+        const bool move_right = d >= 1.0 &&
+            positions[i + 1] - positions[i] > 1.0;
+        const bool move_left = d <= -1.0 &&
+            positions[i - 1] - positions[i] < -1.0;
+        if (move_right || move_left) {
+            const double dir = d >= 1.0 ? 1.0 : -1.0;
+            double candidate = parabolic(heights, positions, i, dir);
+            if (heights[i - 1] < candidate && candidate < heights[i + 1]) {
+                heights[i] = candidate;
+            } else {
+                // Linear fallback when the parabolic step overshoots.
+                const int j = static_cast<int>(dir);
+                heights[i] += dir * (heights[i + j] - heights[i]) /
+                    (positions[i + j] - positions[i]);
+            }
+            positions[i] += dir;
+        }
+    }
+    ++n;
+}
+
+double
+P2Quantile::value() const
+{
+    if (n == 0)
+        return 0.0;
+    if (n < 5) {
+        std::vector<double> seen(heights, heights + n);
+        return exactPercentile(std::move(seen), q * 100.0);
+    }
+    return heights[2];
+}
+
+} // namespace ahq::stats

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Incremental statistics implementations.
+ */
+
+#include "stats/running.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ahq::stats
+{
+
+RunningStats::RunningStats()
+{
+    reset();
+}
+
+void
+RunningStats::reset()
+{
+    n = 0;
+    mu = 0.0;
+    m2 = 0.0;
+    minV = 0.0;
+    maxV = 0.0;
+}
+
+void
+RunningStats::add(double x)
+{
+    ++n;
+    if (n == 1) {
+        minV = maxV = x;
+    } else {
+        minV = std::min(minV, x);
+        maxV = std::max(maxV, x);
+    }
+    const double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+}
+
+double
+RunningStats::variance() const
+{
+    return n < 2 ? 0.0 : m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double total = static_cast<double>(n + other.n);
+    const double delta = other.mu - mu;
+    m2 += other.m2 +
+        delta * delta * static_cast<double>(n) *
+            static_cast<double>(other.n) / total;
+    mu += delta * static_cast<double>(other.n) / total;
+    minV = std::min(minV, other.minV);
+    maxV = std::max(maxV, other.maxV);
+    n += other.n;
+}
+
+Ewma::Ewma(double alpha)
+    : a(alpha), val(0.0), primed(false)
+{
+    assert(alpha > 0.0 && alpha <= 1.0);
+}
+
+void
+Ewma::add(double x)
+{
+    if (!primed) {
+        val = x;
+        primed = true;
+    } else {
+        val = a * x + (1.0 - a) * val;
+    }
+}
+
+void
+Ewma::reset()
+{
+    val = 0.0;
+    primed = false;
+}
+
+} // namespace ahq::stats

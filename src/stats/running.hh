@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Incremental statistics: Welford running mean/variance and an
+ * exponentially weighted moving average used by scheduler monitors.
+ */
+
+#ifndef AHQ_STATS_RUNNING_HH
+#define AHQ_STATS_RUNNING_HH
+
+#include <cstdint>
+
+namespace ahq::stats
+{
+
+/**
+ * Running mean / variance / extrema via Welford's algorithm.
+ */
+class RunningStats
+{
+  public:
+    RunningStats();
+
+    /** Observe one sample. */
+    void add(double x);
+
+    /** Number of observations. */
+    std::uint64_t count() const { return n; }
+
+    /** Mean of the observations (0 when empty). */
+    double mean() const { return n == 0 ? 0.0 : mu; }
+
+    /** Unbiased sample variance (0 when fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation (0 when empty). */
+    double min() const { return n == 0 ? 0.0 : minV; }
+
+    /** Largest observation (0 when empty). */
+    double max() const { return n == 0 ? 0.0 : maxV; }
+
+    /** Sum of all observations. */
+    double sum() const { return n == 0 ? 0.0 : mu * n; }
+
+    /** Clear all state. */
+    void reset();
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void merge(const RunningStats &other);
+
+  private:
+    std::uint64_t n;
+    double mu;
+    double m2;
+    double minV;
+    double maxV;
+};
+
+/**
+ * Exponentially weighted moving average with configurable smoothing.
+ */
+class Ewma
+{
+  public:
+    /** @param alpha Smoothing factor in (0, 1]; larger reacts faster. */
+    explicit Ewma(double alpha);
+
+    /** Observe one sample. */
+    void add(double x);
+
+    /** Current smoothed value (0 until the first sample). */
+    double value() const { return val; }
+
+    /** Whether at least one sample has been observed. */
+    bool seeded() const { return primed; }
+
+    /** Clear all state. */
+    void reset();
+
+  private:
+    double a;
+    double val;
+    bool primed;
+};
+
+} // namespace ahq::stats
+
+#endif // AHQ_STATS_RUNNING_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Zipf sampler implementation.
+ */
+
+#include "stats/zipf.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ahq::stats
+{
+
+ZipfDistribution::ZipfDistribution(std::uint64_t n, double s)
+    : n_(n), s_(s)
+{
+    assert(n >= 1);
+    cdf.resize(n);
+    double acc = 0.0;
+    for (std::uint64_t k = 1; k <= n; ++k) {
+        acc += 1.0 / std::pow(static_cast<double>(k), s);
+        cdf[k - 1] = acc;
+    }
+    for (auto &v : cdf)
+        v /= acc;
+    // Guard against floating point drift in the final entry.
+    cdf.back() = 1.0;
+}
+
+std::uint64_t
+ZipfDistribution::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return static_cast<std::uint64_t>(it - cdf.begin()) + 1;
+}
+
+double
+ZipfDistribution::pmf(std::uint64_t rank) const
+{
+    assert(rank >= 1 && rank <= n_);
+    const double lo = rank == 1 ? 0.0 : cdf[rank - 2];
+    return cdf[rank - 1] - lo;
+}
+
+} // namespace ahq::stats

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Zipfian sampler used to drive skewed request popularity, matching the
+ * paper's Xapian setup ("query terms are chosen randomly, following a
+ * Zipfian distribution").
+ */
+
+#ifndef AHQ_STATS_ZIPF_HH
+#define AHQ_STATS_ZIPF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hh"
+
+namespace ahq::stats
+{
+
+/**
+ * Zipf(s, n) sampler over ranks 1..n with exponent s.
+ *
+ * Uses a precomputed cumulative table with binary search, which is
+ * exact and fast for the catalogue sizes the workload generators use
+ * (up to a few hundred thousand items).
+ */
+class ZipfDistribution
+{
+  public:
+    /**
+     * @param n Number of ranked items; must be >= 1.
+     * @param s Skew exponent; s = 0 degenerates to uniform.
+     */
+    ZipfDistribution(std::uint64_t n, double s);
+
+    /** Sample a rank in [1, n]. */
+    std::uint64_t sample(Rng &rng) const;
+
+    /** Probability mass of the given rank. */
+    double pmf(std::uint64_t rank) const;
+
+    /** Number of ranked items. */
+    std::uint64_t size() const { return n_; }
+
+    /** Skew exponent. */
+    double skew() const { return s_; }
+
+  private:
+    std::uint64_t n_;
+    double s_;
+    std::vector<double> cdf;
+};
+
+} // namespace ahq::stats
+
+#endif // AHQ_STATS_ZIPF_HH

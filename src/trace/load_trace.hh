@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Load traces: time-varying load fractions driving the LC request
+ * generators. Covers the paper's constant-load sweeps (§VI-A), the
+ * fluctuating-load experiment (§VI-B, Fig. 13) and a diurnal pattern
+ * for the "high load in the daytime, low at night" motivation.
+ */
+
+#ifndef AHQ_TRACE_LOAD_TRACE_HH
+#define AHQ_TRACE_LOAD_TRACE_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ahq::trace
+{
+
+/**
+ * A load trace maps simulated time to a load fraction of the
+ * application's max load.
+ */
+class LoadTrace
+{
+  public:
+    virtual ~LoadTrace() = default;
+
+    /** Load fraction (>= 0) at the given time in seconds. */
+    virtual double at(double time_s) const = 0;
+};
+
+/** Constant load. */
+class ConstantTrace : public LoadTrace
+{
+  public:
+    explicit ConstantTrace(double load_fraction);
+
+    double at(double time_s) const override;
+
+  private:
+    double load;
+};
+
+/**
+ * Piecewise-constant steps: (start_time_s, load_fraction) pairs in
+ * ascending time order; the first step's load also applies before
+ * its start time.
+ */
+class StepTrace : public LoadTrace
+{
+  public:
+    explicit StepTrace(std::vector<std::pair<double, double>> steps);
+
+    double at(double time_s) const override;
+
+  private:
+    std::vector<std::pair<double, double>> steps_;
+};
+
+/** Sinusoidal diurnal pattern between a low and a high load. */
+class DiurnalTrace : public LoadTrace
+{
+  public:
+    /**
+     * @param low Minimum load fraction.
+     * @param high Maximum load fraction.
+     * @param period_s Period of one "day".
+     */
+    DiurnalTrace(double low, double high, double period_s);
+
+    double at(double time_s) const override;
+
+  private:
+    double low_, high_, period;
+};
+
+/**
+ * Baseline load with periodic rectangular bursts, modelling flash
+ * crowds: load = base outside bursts, base + amplitude inside.
+ */
+class BurstTrace : public LoadTrace
+{
+  public:
+    /**
+     * @param base Baseline load fraction.
+     * @param amplitude Additional load during a burst.
+     * @param period_s Time between burst starts.
+     * @param burst_s Burst duration; must be <= period_s.
+     */
+    BurstTrace(double base, double amplitude, double period_s,
+               double burst_s);
+
+    double at(double time_s) const override;
+
+  private:
+    double base_, amplitude_, period, burst;
+};
+
+/**
+ * A trace loaded from a CSV of "time_s,load" rows (header optional),
+ * interpreted as a step function like StepTrace. Lines that do not
+ * parse are skipped.
+ */
+class FileTrace : public LoadTrace
+{
+  public:
+    /**
+     * @param path CSV file path.
+     * @throws std::runtime_error when the file cannot be opened or
+     *         contains no usable rows.
+     */
+    explicit FileTrace(const std::string &path);
+
+    double at(double time_s) const override;
+
+    /** Number of loaded steps. */
+    std::size_t size() const { return steps_.size(); }
+
+  private:
+    std::vector<std::pair<double, double>> steps_;
+};
+
+/**
+ * The Fig. 13 fluctuation: Xapian's load over a 250 s run, stepping
+ * 10% -> 30% -> 50% -> 70% -> 90% -> back down, 20 s per level plus
+ * a low-load head and tail.
+ */
+std::unique_ptr<LoadTrace> fig13XapianTrace();
+
+} // namespace ahq::trace
+
+#endif // AHQ_TRACE_LOAD_TRACE_HH

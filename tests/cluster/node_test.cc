@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the Node colocation description.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/catalog.hh"
+#include "cluster/node.hh"
+
+namespace
+{
+
+using namespace ahq;
+using namespace ahq::cluster;
+
+Node
+makeNode()
+{
+    return Node(machine::MachineConfig::xeonE52630v4(),
+                {lcAt(apps::xapian(), 0.3),
+                 lcAt(apps::moses(), 0.2),
+                 be(apps::stream())});
+}
+
+TEST(Node, ClassifiesApps)
+{
+    const Node n = makeNode();
+    EXPECT_EQ(n.numApps(), 3);
+    EXPECT_EQ(n.lcApps(), (std::vector<machine::AppId>{0, 1}));
+    EXPECT_EQ(n.beApps(), (std::vector<machine::AppId>{2}));
+    EXPECT_EQ(n.profile(0).name, "xapian");
+    EXPECT_EQ(n.profile(2).name, "stream");
+}
+
+TEST(Node, LoadAtUsesTraces)
+{
+    const Node n = makeNode();
+    EXPECT_NEAR(n.loadAt(0, 5.0), 0.3, 1e-12);
+    EXPECT_NEAR(n.loadAt(1, 5.0), 0.2, 1e-12);
+    EXPECT_EQ(n.loadAt(2, 5.0), 0.0); // BE apps have no load
+}
+
+TEST(Node, TimeVaryingTrace)
+{
+    Node n(machine::MachineConfig::xeonE52630v4(),
+           {lcWith(apps::xapian(),
+                   std::make_shared<trace::StepTrace>(
+                       std::vector<std::pair<double, double>>{
+                           {0.0, 0.1}, {10.0, 0.9}})),
+            be(apps::fluidanimate())});
+    EXPECT_NEAR(n.loadAt(0, 5.0), 0.1, 1e-12);
+    EXPECT_NEAR(n.loadAt(0, 15.0), 0.9, 1e-12);
+}
+
+TEST(Node, DemandsMatchProfilesAndLoads)
+{
+    const Node n = makeNode();
+    const auto d = n.demandsAt(0.0);
+    ASSERT_EQ(d.size(), 3u);
+    EXPECT_TRUE(d[0].latencyCritical);
+    EXPECT_NEAR(d[0].arrivalRate, 0.3 * 3400.0, 1e-9);
+    EXPECT_FALSE(d[2].latencyCritical);
+    EXPECT_EQ(d[2].threads, 10);
+}
+
+TEST(Node, StaticObservationsCarryQosTargets)
+{
+    const Node n = makeNode();
+    const auto obs = n.staticObservations();
+    ASSERT_EQ(obs.size(), 3u);
+    EXPECT_EQ(obs[0].id, 0);
+    EXPECT_TRUE(obs[0].latencyCritical);
+    EXPECT_DOUBLE_EQ(obs[0].thresholdMs, 4.22);
+    EXPECT_DOUBLE_EQ(obs[1].thresholdMs, 10.53);
+    EXPECT_FALSE(obs[2].latencyCritical);
+    EXPECT_GT(obs[2].ipcSolo, 0.0);
+}
+
+} // namespace

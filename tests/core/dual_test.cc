@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for dual-metric entropy (the paper's §VII future work).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dual.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using namespace ahq::core;
+
+DualObservation
+obs(double tl1, double ipc_real, double w = 0.5)
+{
+    DualObservation o;
+    o.latency = {2.0, tl1, 8.0};
+    o.throughput = {2.0, ipc_real};
+    o.latencyWeight = w;
+    return o;
+}
+
+TEST(Dual, HealthyAppContributesNothing)
+{
+    const auto o = obs(3.0, 2.0); // QoS met, full throughput
+    EXPECT_EQ(dualIntolerable(o, DualPolicy::MoreCritical), 0.0);
+    EXPECT_EQ(dualIntolerable(o, DualPolicy::WeightedAggregate),
+              0.0);
+}
+
+TEST(Dual, MoreCriticalTakesTheWorseView)
+{
+    // Latency violated (Q = 1 - 8/16 = 0.5), throughput perfect.
+    const auto lat = obs(16.0, 2.0);
+    EXPECT_NEAR(dualIntolerable(lat, DualPolicy::MoreCritical), 0.5,
+                1e-12);
+    // Throughput halved (0.5), latency fine.
+    const auto thr = obs(3.0, 1.0);
+    EXPECT_NEAR(dualIntolerable(thr, DualPolicy::MoreCritical), 0.5,
+                1e-12);
+    // Both hurt: max wins.
+    const auto both = obs(16.0, 0.5); // q_lat 0.5, q_thr 0.75
+    EXPECT_NEAR(dualIntolerable(both, DualPolicy::MoreCritical),
+                0.75, 1e-12);
+}
+
+TEST(Dual, WeightedAggregateBlends)
+{
+    const auto both = obs(16.0, 0.5, 0.8); // q_lat .5, q_thr .75
+    EXPECT_NEAR(
+        dualIntolerable(both, DualPolicy::WeightedAggregate),
+        0.8 * 0.5 + 0.2 * 0.75, 1e-12);
+    // Weight 1 degenerates to the pure latency view.
+    const auto lat_only = obs(16.0, 0.5, 1.0);
+    EXPECT_NEAR(
+        dualIntolerable(lat_only, DualPolicy::WeightedAggregate),
+        0.5, 1e-12);
+}
+
+TEST(Dual, EntropyIsMeanOfContributions)
+{
+    const std::vector<DualObservation> apps_v{obs(16.0, 2.0),
+                                              obs(3.0, 2.0)};
+    EXPECT_NEAR(dualEntropy(apps_v, DualPolicy::MoreCritical), 0.25,
+                1e-12);
+    EXPECT_EQ(dualEntropy({}, DualPolicy::MoreCritical), 0.0);
+}
+
+TEST(Dual, MixedSystemReducesToClassicWithoutDualApps)
+{
+    const std::vector<LcObservation> lc{{2.0, 16.0, 8.0}};
+    const std::vector<BeObservation> be{{2.0, 1.0}};
+    const double classic = systemEntropy(lcEntropy(lc),
+                                         beEntropy(be), 0.8, true,
+                                         true);
+    EXPECT_NEAR(mixedSystemEntropy(lc, be, {},
+                                   DualPolicy::MoreCritical, 0.8),
+                classic, 1e-12);
+}
+
+TEST(Dual, DualAppsJoinTheLcSide)
+{
+    // One classic LC app with Q = 0.5, one dual app with
+    // contribution 0.75: E_LC side = 0.625.
+    const std::vector<LcObservation> lc{{2.0, 16.0, 8.0}};
+    const std::vector<DualObservation> dual{obs(16.0, 0.5)};
+    const double es = mixedSystemEntropy(
+        lc, {}, dual, DualPolicy::MoreCritical, 0.8);
+    EXPECT_NEAR(es, 0.625, 1e-12); // only-LC scenario: E_S = E_LC
+}
+
+TEST(Dual, AlwaysInUnitInterval)
+{
+    ahq::stats::Rng rng(99);
+    for (int t = 0; t < 1000; ++t) {
+        DualObservation o;
+        const double m = rng.uniform(1.0, 20.0);
+        const double tl0 = rng.uniform(0.01, m);
+        o.latency = {tl0, tl0 * rng.uniform(0.9, 40.0), m};
+        const double solo = rng.uniform(0.5, 3.0);
+        o.throughput = {solo, solo * rng.uniform(0.01, 1.2)};
+        o.latencyWeight = rng.uniform();
+        for (auto policy : {DualPolicy::MoreCritical,
+                            DualPolicy::WeightedAggregate}) {
+            const double q = dualIntolerable(o, policy);
+            EXPECT_GE(q, 0.0);
+            EXPECT_LE(q, 1.0);
+        }
+    }
+}
+
+TEST(Dual, MoreCriticalDominatesAggregate)
+{
+    // max(a, b) >= w*a + (1-w)*b for any w in [0,1].
+    ahq::stats::Rng rng(7);
+    for (int t = 0; t < 500; ++t) {
+        DualObservation o;
+        const double m = rng.uniform(1.0, 20.0);
+        const double tl0 = rng.uniform(0.01, m);
+        o.latency = {tl0, tl0 * rng.uniform(1.0, 30.0), m};
+        const double solo = rng.uniform(0.5, 3.0);
+        o.throughput = {solo, solo * rng.uniform(0.05, 1.0)};
+        o.latencyWeight = rng.uniform();
+        EXPECT_GE(dualIntolerable(o, DualPolicy::MoreCritical),
+                  dualIntolerable(o,
+                                  DualPolicy::WeightedAggregate) -
+                      1e-12);
+    }
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the resource equivalence solver (Section II-C / III-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/equivalence.hh"
+
+namespace
+{
+
+using namespace ahq::core;
+
+TEST(MonotoneEnvelope, AlreadyMonotoneUnchanged)
+{
+    const EntropyCurve c{{4, 0.8}, {6, 0.5}, {8, 0.2}};
+    EXPECT_EQ(monotoneEnvelope(c), c);
+}
+
+TEST(MonotoneEnvelope, WigglesFlattened)
+{
+    const EntropyCurve c{{4, 0.8}, {6, 0.3}, {8, 0.5}, {10, 0.1}};
+    const auto env = monotoneEnvelope(c);
+    // Non-increasing left to right.
+    for (std::size_t i = 1; i < env.size(); ++i)
+        EXPECT_GE(env[i - 1].second, env[i].second);
+    // The final point is authoritative.
+    EXPECT_EQ(env.back().second, 0.1);
+}
+
+TEST(ResourceForEntropy, ExactHitOnSample)
+{
+    const EntropyCurve c{{4, 0.8}, {6, 0.5}, {8, 0.2}};
+    const auto r = resourceForEntropy(c, 0.5);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_NEAR(*r, 6.0, 1e-12);
+}
+
+TEST(ResourceForEntropy, LinearInterpolation)
+{
+    const EntropyCurve c{{4, 0.8}, {8, 0.2}};
+    // Target 0.5 -> halfway: 6 cores.
+    const auto r = resourceForEntropy(c, 0.5);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_NEAR(*r, 6.0, 1e-12);
+    // Target 0.35 -> 7 cores.
+    EXPECT_NEAR(*resourceForEntropy(c, 0.35), 7.0, 1e-12);
+}
+
+TEST(ResourceForEntropy, TargetAboveCurveGivesMinResource)
+{
+    const EntropyCurve c{{4, 0.8}, {8, 0.2}};
+    const auto r = resourceForEntropy(c, 0.9);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, 4.0);
+}
+
+TEST(ResourceForEntropy, UnreachableTargetIsNull)
+{
+    const EntropyCurve c{{4, 0.8}, {8, 0.2}};
+    EXPECT_FALSE(resourceForEntropy(c, 0.1).has_value());
+    EXPECT_FALSE(resourceForEntropy({}, 0.5).has_value());
+}
+
+TEST(ResourceForEntropy, FlatSegmentsHandled)
+{
+    const EntropyCurve c{{4, 0.5}, {6, 0.5}, {8, 0.1}};
+    // Entropy 0.5 achieved already at 4.
+    EXPECT_NEAR(*resourceForEntropy(c, 0.5), 4.0, 1e-12);
+}
+
+TEST(ResourceEquivalence, PositiveWhenSecondStrategyBetter)
+{
+    // p2 reaches E_S = 0.25 with two fewer cores: the Fig. 3(a)
+    // reading (Unmanaged needs 7.61 cores, ARQ 5.61).
+    const EntropyCurve p1{{4, 0.9}, {6, 0.6}, {8, 0.16}, {10, 0.05}};
+    const EntropyCurve p2{{4, 0.55}, {6, 0.2}, {8, 0.07}, {10, 0.02}};
+    const auto dr = resourceEquivalence(p1, p2, 0.25);
+    ASSERT_TRUE(dr.has_value());
+    EXPECT_GT(*dr, 0.0);
+    EXPECT_LT(*dr, 4.0);
+}
+
+TEST(ResourceEquivalence, ZeroForIdenticalStrategies)
+{
+    const EntropyCurve p{{4, 0.9}, {8, 0.1}};
+    const auto dr = resourceEquivalence(p, p, 0.4);
+    ASSERT_TRUE(dr.has_value());
+    EXPECT_NEAR(*dr, 0.0, 1e-12);
+}
+
+TEST(ResourceEquivalence, NullWhenEitherUnreachable)
+{
+    const EntropyCurve p1{{4, 0.9}, {8, 0.5}};
+    const EntropyCurve p2{{4, 0.4}, {8, 0.1}};
+    EXPECT_FALSE(resourceEquivalence(p1, p2, 0.2).has_value());
+}
+
+TEST(IsentropicLine, ProducesOnePointPerSecondary)
+{
+    const std::vector<double> ways{4, 8, 12};
+    const std::vector<EntropyCurve> curves{
+        {{4, 0.9}, {10, 0.5}},          // starved: unreachable
+        {{4, 0.8}, {10, 0.2}},          // reachable
+        {{4, 0.5}, {10, 0.1}},          // reachable with fewer cores
+    };
+    const auto line = isentropicLine(ways, curves, 0.3);
+    ASSERT_EQ(line.size(), 3u);
+    EXPECT_FALSE(line[0].primary.has_value());
+    ASSERT_TRUE(line[1].primary.has_value());
+    ASSERT_TRUE(line[2].primary.has_value());
+    // More ways -> fewer cores needed for the same entropy.
+    EXPECT_LT(*line[2].primary, *line[1].primary);
+    EXPECT_EQ(line[1].secondary, 8.0);
+}
+
+} // namespace

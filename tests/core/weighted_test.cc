@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the weighted-entropy extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/weighted.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using namespace ahq::core;
+
+TEST(WeightedEntropy, UniformWeightsReduceToPaperDefinitions)
+{
+    const std::vector<LcObservation> lc{{2.77, 23.99, 4.22},
+                                        {2.80, 16.54, 10.53},
+                                        {1.41, 14.35, 3.98}};
+    const std::vector<BeObservation> be{{2.63, 1.0}, {1.3, 0.9}};
+
+    std::vector<WeightedLcObservation> wlc;
+    for (const auto &o : lc)
+        wlc.push_back({o, 1.0});
+    std::vector<WeightedBeObservation> wbe;
+    for (const auto &o : be)
+        wbe.push_back({o, 1.0});
+
+    EXPECT_NEAR(weightedLcEntropy(wlc), lcEntropy(lc), 1e-12);
+    EXPECT_NEAR(weightedBeEntropy(wbe), beEntropy(be), 1e-12);
+    EXPECT_NEAR(weightedSystemEntropy(wlc, wbe, 0.8),
+                systemEntropy(lcEntropy(lc), beEntropy(be), 0.8,
+                              true, true),
+                1e-12);
+}
+
+TEST(WeightedEntropy, ScalingAllWeightsIsInvariant)
+{
+    std::vector<WeightedLcObservation> wlc{
+        {{1.0, 5.0, 2.0}, 1.0}, {{1.0, 1.5, 2.0}, 3.0}};
+    auto scaled = wlc;
+    for (auto &w : scaled)
+        w.weight *= 7.5;
+    EXPECT_NEAR(weightedLcEntropy(wlc), weightedLcEntropy(scaled),
+                1e-12);
+}
+
+TEST(WeightedEntropy, HeavierViolatedAppRaisesEntropy)
+{
+    // App 0 violated, app 1 fine: weighting app 0 more must raise
+    // E_LC^w.
+    const WeightedLcObservation violated{{1.0, 10.0, 2.0}, 1.0};
+    const WeightedLcObservation fine{{1.0, 1.2, 2.0}, 1.0};
+    const double uniform =
+        weightedLcEntropy({violated, fine});
+    const double skewed = weightedLcEntropy(
+        {{violated.obs, 5.0}, {fine.obs, 1.0}});
+    EXPECT_GT(skewed, uniform);
+}
+
+TEST(WeightedEntropy, HeavierSlowedBeAppRaisesEntropy)
+{
+    const WeightedBeObservation slowed{{2.0, 0.5}, 1.0};
+    const WeightedBeObservation fine{{2.0, 2.0}, 1.0};
+    const double uniform = weightedBeEntropy({slowed, fine});
+    const double skewed =
+        weightedBeEntropy({{slowed.obs, 5.0}, {fine.obs, 1.0}});
+    EXPECT_GT(skewed, uniform);
+}
+
+TEST(WeightedEntropy, EmptyInputsAreZero)
+{
+    EXPECT_EQ(weightedLcEntropy({}), 0.0);
+    EXPECT_EQ(weightedBeEntropy({}), 0.0);
+    EXPECT_EQ(weightedSystemEntropy({}, {}), 0.0);
+}
+
+TEST(WeightedEntropy, SingleClassDegeneration)
+{
+    std::vector<WeightedLcObservation> wlc{{{1.0, 10.0, 2.0}, 2.0}};
+    // Only LC apps: E_S ignores RI.
+    EXPECT_NEAR(weightedSystemEntropy(wlc, {}, 0.8),
+                weightedLcEntropy(wlc), 1e-12);
+    std::vector<WeightedBeObservation> wbe{{{2.0, 1.0}, 2.0}};
+    EXPECT_NEAR(weightedSystemEntropy({}, wbe, 0.8),
+                weightedBeEntropy(wbe), 1e-12);
+}
+
+TEST(WeightedEntropy, StaysInUnitInterval)
+{
+    ahq::stats::Rng rng(31);
+    for (int trial = 0; trial < 500; ++trial) {
+        std::vector<WeightedLcObservation> wlc;
+        std::vector<WeightedBeObservation> wbe;
+        const int n = 1 + static_cast<int>(rng.uniformInt(4));
+        for (int i = 0; i < n; ++i) {
+            const double m = rng.uniform(0.5, 20.0);
+            const double tl0 = rng.uniform(0.01, m);
+            wlc.push_back({{tl0, tl0 * rng.uniform(1.0, 30.0), m},
+                           rng.uniform(0.1, 10.0)});
+            const double solo = rng.uniform(0.5, 3.0);
+            wbe.push_back({{solo, solo * rng.uniform(0.05, 1.1)},
+                           rng.uniform(0.1, 10.0)});
+        }
+        const double es =
+            weightedSystemEntropy(wlc, wbe, rng.uniform(0.5, 1.0));
+        EXPECT_GE(es, 0.0);
+        EXPECT_LE(es, 1.0);
+    }
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Full-system validation of the three required properties of E_S
+ * (Section II-A) on the node simulator, mirroring Section III.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/catalog.hh"
+#include "cluster/epoch_sim.hh"
+#include "core/equivalence.hh"
+#include "sched/arq.hh"
+#include "sched/unmanaged.hh"
+
+namespace
+{
+
+using namespace ahq;
+using namespace ahq::cluster;
+
+/** The Section III-A colocation: 3 LC @ 20% + Fluidanimate. */
+Node
+tableIiNode(int cores, int ways = 20)
+{
+    return Node(machine::MachineConfig::xeonE52630v4()
+                    .withAvailable(cores, ways, 10),
+                {lcAt(apps::xapian(), 0.2),
+                 lcAt(apps::moses(), 0.2),
+                 lcAt(apps::imgDnn(), 0.2),
+                 be(apps::fluidanimate())});
+}
+
+SimulationConfig
+cfg()
+{
+    SimulationConfig c;
+    c.durationSeconds = 60.0;
+    c.warmupEpochs = 60;
+    return c;
+}
+
+double
+runEs(sched::Scheduler &s, int cores, int ways = 20)
+{
+    EpochSimulator sim(tableIiNode(cores, ways), cfg());
+    return sim.run(s).meanES;
+}
+
+TEST(Property1, EntropyDimensionlessInUnitRange)
+{
+    sched::Unmanaged s;
+    for (int cores : {4, 6, 8, 10}) {
+        const double es = runEs(s, cores);
+        EXPECT_GE(es, 0.0);
+        EXPECT_LE(es, 1.0);
+    }
+}
+
+TEST(Property2, EntropyFallsWithMoreCores)
+{
+    // Resource amount sensitiveness (Table II / Fig. 2): adding
+    // cores must not increase E_S (monotone trend, small tolerance
+    // for measurement noise).
+    sched::Unmanaged s;
+    double prev = 2.0;
+    for (int cores : {4, 5, 6, 7, 8, 10}) {
+        const double es = runEs(s, cores);
+        EXPECT_LE(es, prev + 0.03) << cores << " cores";
+        prev = es;
+    }
+    // And the span is substantial: scarcity really hurts.
+    EXPECT_GT(runEs(s, 4) - runEs(s, 10), 0.15);
+}
+
+TEST(Property2, EntropyFallsWithMoreWays)
+{
+    sched::Unmanaged u;
+    const double few = runEs(u, 8, 4);
+    const double many = runEs(u, 8, 20);
+    EXPECT_LE(many, few + 0.02);
+}
+
+TEST(Property2, HoldsForArqToo)
+{
+    sched::Arq s;
+    double prev = 2.0;
+    for (int cores : {5, 6, 8, 10}) {
+        const double es = runEs(s, cores);
+        EXPECT_LE(es, prev + 0.03) << cores << " cores";
+        prev = es;
+    }
+}
+
+TEST(Property3, SchedulingStrategySensitiveness)
+{
+    // With scarce resources and a fixed colocation, a smarter
+    // strategy (ARQ) must achieve lower E_S than Unmanaged.
+    sched::Unmanaged u;
+    sched::Arq a;
+    const double es_u = runEs(u, 6);
+    const double es_a = runEs(a, 6);
+    EXPECT_LT(es_a, es_u);
+}
+
+TEST(TableII, UnmanagedEntropyRanksAcrossCoreCounts)
+{
+    // The Table II storyline: 6 cores -> high E_LC, 8 cores -> E_LC
+    // essentially zero.
+    sched::Unmanaged s;
+    EpochSimulator sim6(tableIiNode(6), cfg());
+    EpochSimulator sim8(tableIiNode(8), cfg());
+    const auto r6 = sim6.run(s);
+    const auto r8 = sim8.run(s);
+    EXPECT_GT(r6.meanELc, 0.25);
+    // At 8 cores the paper's Xapian sits right at its threshold
+    // (4.18 ms vs 4.22 ms), so a small residual E_LC remains.
+    EXPECT_LT(r8.meanELc, 0.15);
+    EXPECT_GT(r6.meanES, r8.meanES + 0.1);
+}
+
+TEST(ResourceEquivalence, ArqSavesCoresOverUnmanaged)
+{
+    // Fig. 3(a): to reach the same E_S, Unmanaged needs more cores
+    // than ARQ; the gap is the resource equivalence.
+    sched::Unmanaged u;
+    sched::Arq a;
+    core::EntropyCurve cu, ca;
+    for (int cores : {4, 5, 6, 7, 8, 9, 10}) {
+        cu.push_back({static_cast<double>(cores), runEs(u, cores)});
+        ca.push_back({static_cast<double>(cores), runEs(a, cores)});
+    }
+    const auto dr = core::resourceEquivalence(cu, ca, 0.25);
+    ASSERT_TRUE(dr.has_value());
+    EXPECT_GT(*dr, 0.5); // ARQ saves at least half a core
+}
+
+TEST(Yield, ZeroLcEntropyImpliesFullYield)
+{
+    // "When E_LC = 0, the yield is 100%" (Section I).
+    sched::Arq s;
+    EpochSimulator sim(tableIiNode(10), cfg());
+    const auto r = sim.run(s);
+    if (r.meanELc < 1e-6) {
+        EXPECT_EQ(r.yieldValue, 1.0);
+    }
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Integration tests of the Fig. 13 fluctuating-load dynamics: the
+ * qualitative behaviours Section VI-B describes must emerge from
+ * the full stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/catalog.hh"
+#include "cluster/epoch_sim.hh"
+#include "sched/arq.hh"
+#include "sched/lc_first.hh"
+#include "sched/parties.hh"
+#include "trace/load_trace.hh"
+
+namespace
+{
+
+using namespace ahq;
+using namespace ahq::cluster;
+
+Node
+fig13Node()
+{
+    return Node(machine::MachineConfig::xeonE52630v4(),
+                {lcWith(apps::xapian(),
+                        std::shared_ptr<trace::LoadTrace>(
+                            trace::fig13XapianTrace())),
+                 lcAt(apps::moses(), 0.2),
+                 lcAt(apps::imgDnn(), 0.2), be(apps::stream())});
+}
+
+SimulationConfig
+fig13Config()
+{
+    SimulationConfig c;
+    c.durationSeconds = 250.0;
+    c.warmupEpochs = 0;
+    return c;
+}
+
+/** Mean over epochs in [t0, t1) of a per-epoch projection. */
+template <typename Fn>
+double
+phaseMean(const SimulationResult &res, double t0, double t1, Fn fn)
+{
+    double sum = 0.0;
+    int n = 0;
+    for (const auto &rec : res.epochs) {
+        if (rec.time >= t0 && rec.time < t1) {
+            sum += fn(rec);
+            ++n;
+        }
+    }
+    return n > 0 ? sum / n : 0.0;
+}
+
+TEST(Fig13Dynamics, ArqSharedRegionTracksLoad)
+{
+    sched::Arq arq;
+    EpochSimulator sim(fig13Node(), fig13Config());
+    const auto res = sim.run(arq);
+
+    auto shared_cores = [](const EpochRecord &rec) {
+        return static_cast<double>(
+            rec.layout.region(rec.layout.sharedRegion()).res.cores);
+    };
+    // Low-load head (0-20 s, Xapian 10%) vs the 90% phase
+    // (120-140 s): the shared region must shrink under pressure...
+    const double head = phaseMean(res, 5.0, 20.0, shared_cores);
+    const double peak = phaseMean(res, 125.0, 140.0, shared_cores);
+    EXPECT_LT(peak, head - 1.0);
+    // ...and recover afterwards (220-250 s back at 10%).
+    const double tail = phaseMean(res, 230.0, 250.0, shared_cores);
+    EXPECT_GT(tail, peak);
+}
+
+TEST(Fig13Dynamics, ArqBeatsPartiesAndLcFirstOnMeanEntropy)
+{
+    sched::Arq arq;
+    sched::Parties parties;
+    sched::LcFirst lc_first;
+    EpochSimulator sim(fig13Node(), fig13Config());
+    const auto ra = sim.run(arq);
+    const auto rp = sim.run(parties);
+    const auto rl = sim.run(lc_first);
+
+    auto mean_es = [](const SimulationResult &r) {
+        double s = 0.0;
+        for (const auto &rec : r.epochs)
+            s += rec.entropy.eS;
+        return s / static_cast<double>(r.epochs.size());
+    };
+    EXPECT_LT(mean_es(ra), mean_es(rp));
+    EXPECT_LT(mean_es(ra), mean_es(rl));
+}
+
+TEST(Fig13Dynamics, EntropyRisesWithinHighLoadPhases)
+{
+    sched::LcFirst s; // static strategy isolates the load effect
+    EpochSimulator sim(fig13Node(), fig13Config());
+    const auto res = sim.run(s);
+    auto es = [](const EpochRecord &rec) { return rec.entropy.eS; };
+    const double low = phaseMean(res, 5.0, 20.0, es);
+    const double high = phaseMean(res, 125.0, 140.0, es);
+    EXPECT_GT(high, low);
+}
+
+TEST(Fig13Dynamics, BeThroughputRecoversAfterPeak)
+{
+    sched::Arq arq;
+    EpochSimulator sim(fig13Node(), fig13Config());
+    const auto res = sim.run(arq);
+    auto ipc = [](const EpochRecord &rec) {
+        return rec.obs[3].ipc;
+    };
+    const double peak = phaseMean(res, 125.0, 140.0, ipc);
+    const double tail = phaseMean(res, 230.0, 250.0, ipc);
+    EXPECT_GT(tail, peak);
+}
+
+} // namespace

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Full-system comparisons between the five strategies, asserting the
+ * qualitative orderings the paper's Section VI establishes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/catalog.hh"
+#include "cluster/epoch_sim.hh"
+#include "sched/arq.hh"
+#include "sched/clite.hh"
+#include "sched/heracles.hh"
+#include "sched/lc_first.hh"
+#include "sched/parties.hh"
+#include "sched/unmanaged.hh"
+
+namespace
+{
+
+using namespace ahq;
+using namespace ahq::cluster;
+
+Node
+colocation(double xapian_load, const apps::AppProfile &be_app)
+{
+    return Node(machine::MachineConfig::xeonE52630v4(),
+                {lcAt(apps::xapian(), xapian_load),
+                 lcAt(apps::moses(), 0.2),
+                 lcAt(apps::imgDnn(), 0.2), be(be_app)});
+}
+
+SimulationConfig
+cfg()
+{
+    SimulationConfig c;
+    c.durationSeconds = 120.0; // room for CLITE's sampling budget
+    c.warmupEpochs = 120;
+    return c;
+}
+
+SimulationResult
+run(sched::Scheduler &s, double xapian_load,
+    const apps::AppProfile &be_app)
+{
+    EpochSimulator sim(colocation(xapian_load, be_app), cfg());
+    return sim.run(s);
+}
+
+TEST(Fig8, LowLoadSharingBeatsIsolation)
+{
+    // "When the load of the LC applications is low, the Unmanaged
+    // strategy achieves the lowest E_S among all the strategies,
+    // showing the benefits of resource sharing."
+    sched::Unmanaged u;
+    sched::Parties p;
+    sched::Clite c;
+    const auto ru = run(u, 0.1, apps::fluidanimate());
+    const auto rp = run(p, 0.1, apps::fluidanimate());
+    const auto rc = run(c, 0.1, apps::fluidanimate());
+    EXPECT_LT(ru.meanES, rp.meanES);
+    EXPECT_LT(ru.meanES, rc.meanES);
+}
+
+TEST(Fig8, HighLoadUnmanagedCollapses)
+{
+    sched::Unmanaged u;
+    sched::Arq a;
+    const auto ru = run(u, 0.9, apps::fluidanimate());
+    const auto ra = run(a, 0.9, apps::fluidanimate());
+    EXPECT_GT(ru.meanELc, ra.meanELc + 0.1);
+    EXPECT_GT(ru.meanES, ra.meanES + 0.1);
+}
+
+TEST(Fig8, ArqLowestSystemEntropyAcrossLoads)
+{
+    sched::Arq a;
+    sched::Parties p;
+    sched::Clite c;
+    for (double load : {0.1, 0.5, 0.9}) {
+        const auto ra = run(a, load, apps::fluidanimate());
+        const auto rp = run(p, load, apps::fluidanimate());
+        const auto rc = run(c, load, apps::fluidanimate());
+        EXPECT_LE(ra.meanES, rp.meanES + 0.02) << "load " << load;
+        EXPECT_LE(ra.meanES, rc.meanES + 0.02) << "load " << load;
+    }
+}
+
+TEST(Fig8, IsolationCrushesBeAtAnyLoad)
+{
+    // PARTIES' strict partitions leave the BE app with scraps, even
+    // at low load: the core motivation for ARQ's shared region.
+    sched::Parties p;
+    sched::Arq a;
+    const auto rp = run(p, 0.1, apps::fluidanimate());
+    const auto ra = run(a, 0.1, apps::fluidanimate());
+    EXPECT_GT(ra.meanIpc[3], rp.meanIpc[3] * 1.3);
+    EXPECT_LT(ra.meanEBe, rp.meanEBe);
+}
+
+TEST(Fig9, StreamBreaksUnmanagedEvenAtLowLoad)
+{
+    // "Neither the Unmanaged nor the LC-first strategy can satisfy
+    // the QoS of the LC applications even if the load is low" — the
+    // Unmanaged half, which is the stronger statement in our model.
+    sched::Unmanaged u;
+    const auto ru = run(u, 0.1, apps::stream());
+    EXPECT_LT(ru.yieldValue, 1.0);
+    EXPECT_GT(ru.meanELc, 0.05);
+}
+
+TEST(Fig9, ManagedStrategiesSurviveStream)
+{
+    sched::Parties p;
+    sched::Arq a;
+    const auto rp = run(p, 0.5, apps::stream());
+    const auto ra = run(a, 0.5, apps::stream());
+    // Both keep most of the colocation satisfied (Xapian may ride
+    // its elastic threshold), with low intolerable interference...
+    EXPECT_GE(rp.yieldValue, 2.0 / 3.0);
+    EXPECT_GE(ra.yieldValue, 2.0 / 3.0);
+    EXPECT_LT(rp.meanELc, 0.05);
+    EXPECT_LT(ra.meanELc, 0.05);
+    // ...and ARQ gets there with a far healthier BE app.
+    EXPECT_GT(ra.meanIpc[3], rp.meanIpc[3]);
+}
+
+TEST(Fig9, ArqBestAtHighLoadWithStream)
+{
+    sched::Arq a;
+    sched::Parties p;
+    sched::Clite c;
+    sched::Unmanaged u;
+    const auto ra = run(a, 0.9, apps::stream());
+    const auto rp = run(p, 0.9, apps::stream());
+    const auto rc = run(c, 0.9, apps::stream());
+    const auto ru = run(u, 0.9, apps::stream());
+    EXPECT_LT(ra.meanES, rp.meanES + 0.03);
+    EXPECT_LT(ra.meanES, rc.meanES + 0.03);
+    EXPECT_LT(ra.meanES, ru.meanES);
+}
+
+TEST(LcFirst, ProtectsLatencyButTaxesBe)
+{
+    sched::LcFirst lf;
+    sched::Unmanaged u;
+    const auto rl = run(lf, 0.5, apps::stream());
+    const auto ru = run(u, 0.5, apps::stream());
+    EXPECT_LT(rl.meanELc, ru.meanELc);
+    // The BE app pays for the priority.
+    EXPECT_LE(rl.meanIpc[3], ru.meanIpc[3] * 1.4);
+}
+
+
+TEST(Heracles, LandsBetweenUnmanagedAndArqWithStream)
+{
+    // The threshold-based precursor: better than no management,
+    // not as good as ARQ (it cannot isolate individual LC apps).
+    sched::Heracles h;
+    sched::Unmanaged u;
+    sched::Arq a;
+    EpochSimulator sim(colocation(0.5, apps::stream()), cfg());
+    const auto rh = sim.run(h);
+    const auto ru = sim.run(u);
+    const auto ra = sim.run(a);
+    EXPECT_LT(rh.meanES, ru.meanES);
+    EXPECT_LE(ra.meanES, rh.meanES + 0.05);
+    EXPECT_GE(rh.yieldValue, 2.0 / 3.0);
+}
+
+TEST(Scalability, EightAppColocationRuns)
+{
+    // The Fig. 12 configuration: 6 LC + 2 BE apps at 20% load.
+    Node node(machine::MachineConfig::xeonE52630v4(),
+              {lcAt(apps::moses(), 0.2), lcAt(apps::xapian(), 0.2),
+               lcAt(apps::imgDnn(), 0.2), lcAt(apps::sphinx(), 0.2),
+               lcAt(apps::masstree(), 0.2), lcAt(apps::silo(), 0.2),
+               be(apps::fluidanimate()),
+               be(apps::streamcluster())});
+    SimulationConfig c = cfg();
+    sched::Arq a;
+    sched::Parties p;
+    const auto ra = EpochSimulator(node, c).run(a);
+    const auto rp = EpochSimulator(node, c).run(p);
+    EXPECT_LE(ra.meanES, rp.meanES + 0.02);
+    EXPECT_GE(ra.yieldValue, rp.yieldValue - 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for core affinity masks and CAT way masks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/mask.hh"
+
+namespace
+{
+
+using ahq::machine::CoreMask;
+using ahq::machine::WayMask;
+
+TEST(CoreMask, FirstN)
+{
+    EXPECT_EQ(CoreMask::firstN(4).bits(), 0xfull);
+    EXPECT_EQ(CoreMask::firstN(4, 2).bits(), 0x3cull);
+    EXPECT_EQ(CoreMask::firstN(0).bits(), 0ull);
+    EXPECT_EQ(CoreMask::firstN(64).count(), 64);
+}
+
+TEST(CoreMask, CountContains)
+{
+    CoreMask m = CoreMask::firstN(3, 1);
+    EXPECT_EQ(m.count(), 3);
+    EXPECT_FALSE(m.contains(0));
+    EXPECT_TRUE(m.contains(1));
+    EXPECT_TRUE(m.contains(3));
+    EXPECT_FALSE(m.contains(4));
+}
+
+TEST(CoreMask, AddRemoveLowest)
+{
+    CoreMask m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.lowest(), -1);
+    m.add(5);
+    m.add(2);
+    EXPECT_EQ(m.lowest(), 2);
+    m.remove(2);
+    EXPECT_EQ(m.lowest(), 5);
+    m.remove(63); // removing an absent core is a no-op
+    EXPECT_EQ(m.count(), 1);
+}
+
+TEST(CoreMask, SetOperations)
+{
+    const CoreMask a = CoreMask::firstN(4);      // 0-3
+    const CoreMask b = CoreMask::firstN(4, 2);   // 2-5
+    EXPECT_EQ((a & b).count(), 2);
+    EXPECT_EQ((a | b).count(), 6);
+}
+
+TEST(CoreMask, ToStringHex)
+{
+    EXPECT_EQ(CoreMask::firstN(4).toString(), "0xf");
+}
+
+TEST(WayMask, ContiguousBits)
+{
+    WayMask w(4, 3);
+    EXPECT_EQ(w.bits(), 0x70ull);
+    EXPECT_EQ(w.count(), 3);
+    EXPECT_EQ(w.first(), 4);
+    EXPECT_TRUE(w.contains(4));
+    EXPECT_TRUE(w.contains(6));
+    EXPECT_FALSE(w.contains(7));
+    EXPECT_FALSE(w.contains(3));
+}
+
+TEST(WayMask, EmptyMask)
+{
+    WayMask w;
+    EXPECT_TRUE(w.empty());
+    EXPECT_EQ(w.bits(), 0ull);
+    EXPECT_EQ(w.count(), 0);
+}
+
+TEST(WayMask, Overlap)
+{
+    WayMask a(0, 10);
+    WayMask b(5, 10);
+    WayMask c(10, 5);
+    EXPECT_EQ(a.overlapWays(b), 5);
+    EXPECT_EQ(a.overlapWays(c), 0);
+    EXPECT_EQ(b.overlapWays(c), 5);
+    EXPECT_EQ(a.overlapWays(WayMask()), 0);
+}
+
+TEST(WayMask, ToStringHex)
+{
+    EXPECT_EQ(WayMask(0, 8).toString(), "0xff");
+    EXPECT_EQ(WayMask(12, 8).toString(), "0xff000");
+}
+
+TEST(WayMask, FullWidth)
+{
+    WayMask w(0, 64);
+    EXPECT_EQ(w.bits(), ~0ull);
+}
+
+} // namespace

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Parameterised property sweeps over the contention model: the
+ * invariants that must hold for any (policy, machine, load)
+ * combination.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "apps/catalog.hh"
+#include "machine/config.hh"
+#include "machine/layout.hh"
+#include "perf/contention.hh"
+
+namespace
+{
+
+using namespace ahq;
+using perf::CoreSharePolicy;
+
+using SweepParam =
+    std::tuple<int /*policy*/, int /*cores*/, int /*ways*/,
+               int /*load_pct*/>;
+
+class ContentionSweep : public ::testing::TestWithParam<SweepParam>
+{
+  protected:
+    CoreSharePolicy
+    policy() const
+    {
+        return std::get<0>(GetParam()) == 0 ?
+            CoreSharePolicy::FairShare : CoreSharePolicy::LcPriority;
+    }
+
+    machine::MachineConfig
+    config() const
+    {
+        return machine::MachineConfig::xeonE52630v4().withAvailable(
+            std::get<1>(GetParam()), std::get<2>(GetParam()), 10);
+    }
+
+    double
+    load() const
+    {
+        return std::get<3>(GetParam()) / 100.0;
+    }
+
+    std::vector<perf::AppDemand>
+    demands() const
+    {
+        return {apps::xapian().toDemand(load()),
+                apps::moses().toDemand(0.2),
+                apps::imgDnn().toDemand(0.2),
+                apps::stream().toDemand(0.0)};
+    }
+};
+
+TEST_P(ContentionSweep, InvariantsHoldOnSharedLayout)
+{
+    const auto mc = config();
+    perf::ContentionModel model(mc);
+    auto layout = machine::RegionLayout::fullyShared(
+        mc.availableResources(), {0, 1, 2, 3});
+    const auto d = demands();
+    const auto out = model.evaluate(layout, d, policy());
+
+    double ways_sum = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const auto &o = out[i];
+        // Speeds are in (0, 1].
+        EXPECT_GT(o.speed, 0.0) << i;
+        EXPECT_LE(o.speed, 1.0 + 1e-9) << i;
+        // Dilation and stretch at least 1.
+        EXPECT_GE(o.bwDilation, 1.0) << i;
+        EXPECT_GE(o.serviceStretch, 1.0) << i;
+        // Core-equivalents within thread bounds.
+        EXPECT_GE(o.coreEquivalents, 0.0) << i;
+        EXPECT_LE(o.coreEquivalents,
+                  static_cast<double>(d[i].threads) + 1e-9) << i;
+        if (d[i].latencyCritical) {
+            EXPECT_GT(o.serviceRate, 0.0) << i;
+            EXPECT_GT(o.perServerRate, 0.0) << i;
+        } else {
+            EXPECT_GE(o.ipc, 0.0) << i;
+            EXPECT_LE(o.ipc, d[i].ipcSolo * 1.01) << i;
+        }
+        EXPECT_GE(o.effectiveWays, 0.0) << i;
+        EXPECT_GE(o.bwDemandGibps, 0.0) << i;
+        ways_sum += o.effectiveWays;
+    }
+    // Shared ways are partitioned among occupants, never invented.
+    EXPECT_LE(ways_sum,
+              static_cast<double>(mc.availableLlcWays) + 1.0);
+}
+
+TEST_P(ContentionSweep, InvariantsHoldOnArqLayout)
+{
+    const auto mc = config();
+    perf::ContentionModel model(mc);
+    auto layout = machine::RegionLayout::arqInitial(
+        mc.availableResources(), {0, 1, 2}, {3});
+    // Grow app 0's isolated region a little when possible.
+    layout.moveResource(machine::ResourceKind::Cores, 0, 1);
+    layout.moveResource(machine::ResourceKind::LlcWays, 0, 1);
+    const auto d = demands();
+    const auto out = model.evaluate(layout, d, policy());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_GT(out[i].speed, 0.0) << i;
+        EXPECT_LE(out[i].speed, 1.0 + 1e-9) << i;
+        if (d[i].latencyCritical) {
+            EXPECT_GT(out[i].serviceRate, 0.0) << i;
+        }
+    }
+}
+
+TEST_P(ContentionSweep, LcPriorityNeverWorseThanFairShareForLc)
+{
+    const auto mc = config();
+    perf::ContentionModel model(mc);
+    auto layout = machine::RegionLayout::fullyShared(
+        mc.availableResources(), {0, 1, 2, 3});
+    const auto d = demands();
+    const auto fair =
+        model.evaluate(layout, d, CoreSharePolicy::FairShare);
+    const auto pri =
+        model.evaluate(layout, d, CoreSharePolicy::LcPriority);
+    // Priority shields the LC class from BE work, not from sibling
+    // LC apps, so the guarantee is on the class aggregate: total LC
+    // capacity at least matches fair sharing, and no LC app suffers
+    // timeslice stretching.
+    double fair_total = 0.0, pri_total = 0.0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        if (!d[i].latencyCritical)
+            continue;
+        fair_total += fair[i].serviceRate;
+        pri_total += pri[i].serviceRate;
+        EXPECT_LE(pri[i].serviceStretch,
+                  fair[i].serviceStretch + 1e-9) << i;
+    }
+    EXPECT_GE(pri_total, fair_total * 0.98);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyMachineLoad, ContentionSweep,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(4, 6, 10),
+                       ::testing::Values(4, 12, 20),
+                       ::testing::Values(10, 50, 90)));
+
+TEST(ContentionScaling, BiggerMachineHelpsEveryone)
+{
+    // The Gold 6248 config (20 cores) must dominate the E5 (10
+    // cores) for the same colocation under the same policy.
+    const auto small = machine::MachineConfig::xeonE52630v4();
+    const auto big = machine::MachineConfig::xeonGold6248();
+    ASSERT_TRUE(big.valid());
+
+    const std::vector<perf::AppDemand> d{
+        apps::xapian().toDemand(0.7), apps::moses().toDemand(0.4),
+        apps::stream().toDemand(0.0)};
+
+    perf::ContentionModel m_small(small), m_big(big);
+    auto l_small = machine::RegionLayout::fullyShared(
+        small.availableResources(), {0, 1, 2});
+    auto l_big = machine::RegionLayout::fullyShared(
+        big.availableResources(), {0, 1, 2});
+    const auto o_small = m_small.evaluate(
+        l_small, d, CoreSharePolicy::LcPriority);
+    const auto o_big = m_big.evaluate(
+        l_big, d, CoreSharePolicy::LcPriority);
+    for (int i = 0; i < 2; ++i) {
+        EXPECT_GE(o_big[static_cast<std::size_t>(i)].serviceRate,
+                  o_small[static_cast<std::size_t>(i)].serviceRate *
+                      0.95) << i;
+    }
+    EXPECT_GE(o_big[2].ipc, o_small[2].ipc * 0.95);
+}
+
+} // namespace

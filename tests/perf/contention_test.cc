@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests for the contention model: solo baselines, sharing policies,
+ * isolation effects, bandwidth coupling, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/config.hh"
+#include "machine/layout.hh"
+#include "perf/contention.hh"
+
+namespace
+{
+
+using namespace ahq::perf;
+using ahq::machine::MachineConfig;
+using ahq::machine::Region;
+using ahq::machine::RegionLayout;
+using ahq::machine::ResourceKind;
+
+AppDemand
+lcDemand(double lambda, double svc_ms = 1.0)
+{
+    AppDemand d;
+    d.latencyCritical = true;
+    d.arrivalRate = lambda;
+    d.serviceTimeMs = svc_ms;
+    d.threads = 4;
+    d.cpi = CpiModel(MissRateCurve(15.0, 2.0, 5.0), CpiTraits{});
+    return d;
+}
+
+AppDemand
+beDemand(double ipc_solo = 2.0, int threads = 4,
+         double mpki_max = 10.0, double mpki_min = 2.0,
+         double mlp = 2.0)
+{
+    AppDemand d;
+    d.latencyCritical = false;
+    d.ipcSolo = ipc_solo;
+    d.threads = threads;
+    CpiTraits t;
+    t.mlp = mlp;
+    d.cpi = CpiModel(MissRateCurve(mpki_max, mpki_min, 4.0), t);
+    return d;
+}
+
+ContentionModel
+makeModel()
+{
+    return ContentionModel(MachineConfig::xeonE52630v4());
+}
+
+TEST(Contention, SoloLcOnFullMachineRunsAtFullSpeed)
+{
+    const auto model = makeModel();
+    auto layout = RegionLayout::fullyShared({10, 20, 10}, {0});
+    const auto out = model.evaluate(layout, {lcDemand(500.0)},
+                                    CoreSharePolicy::LcPriority);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NEAR(out[0].speed, 1.0, 0.02);
+    EXPECT_NEAR(out[0].coreEquivalents, 4.0, 1e-6);
+    EXPECT_EQ(out[0].serviceStretch, 1.0);
+    EXPECT_NEAR(out[0].effectiveWays, 20.0, 0.5);
+    // Capacity near threads / service time, less the shared-core
+    // pollution penalty.
+    EXPECT_GT(out[0].serviceRate, 3000.0);
+    EXPECT_LE(out[0].serviceRate, 4000.0);
+}
+
+TEST(Contention, IsolatedLcAvoidsSharedPenalty)
+{
+    const auto model = makeModel();
+    // Fully isolated 4 cores vs the same 4 cores in a shared region
+    // with nobody else: isolation should yield strictly more
+    // capacity because shared cores pay the pollution penalty.
+    RegionLayout iso({10, 20, 10});
+    Region r;
+    r.name = "iso";
+    r.shared = false;
+    r.members = {0};
+    r.res = {4, 20, 10};
+    iso.addRegion(std::move(r));
+
+    RegionLayout shared({4, 20, 10});
+    Region s;
+    s.name = "sh";
+    s.shared = true;
+    s.members = {0};
+    s.res = {4, 20, 10};
+    shared.addRegion(std::move(s));
+
+    const auto demands = std::vector<AppDemand>{lcDemand(1000.0)};
+    const auto o_iso = model.evaluate(iso, demands,
+                                      CoreSharePolicy::LcPriority);
+    const auto o_sh = model.evaluate(shared, demands,
+                                     CoreSharePolicy::LcPriority);
+    EXPECT_GT(o_iso[0].serviceRate, o_sh[0].serviceRate * 1.05);
+}
+
+TEST(Contention, LcPriorityShieldsLcFromBe)
+{
+    const auto model = makeModel();
+    auto layout = RegionLayout::fullyShared({10, 20, 10}, {0, 1});
+    const std::vector<AppDemand> demands{lcDemand(800.0),
+                                         beDemand(2.0, 10)};
+    const auto pri = model.evaluate(layout, demands,
+                                    CoreSharePolicy::LcPriority);
+    const auto fair = model.evaluate(layout, demands,
+                                     CoreSharePolicy::FairShare);
+    // Under priority the LC app keeps its full burst capacity and no
+    // timeslice stretch; under fair share with 10 BE threads the
+    // region is oversubscribed.
+    EXPECT_EQ(pri[0].serviceStretch, 1.0);
+    EXPECT_GT(fair[0].serviceStretch, 1.0);
+    EXPECT_GE(pri[0].serviceRate, fair[0].serviceRate);
+}
+
+TEST(Contention, FairShareOversubscriptionStretches)
+{
+    const auto model =
+        ContentionModel(MachineConfig::xeonE52630v4()
+                            .withAvailable(6, 20, 10));
+    auto layout = RegionLayout::fullyShared({6, 20, 10},
+                                            {0, 1, 2, 3});
+    // Three loaded LC apps + one BE app on six cores (the Table II
+    // configuration).
+    const std::vector<AppDemand> demands{
+        lcDemand(700.0), lcDemand(400.0, 1.8), lcDemand(1000.0, 0.6),
+        beDemand(2.6, 4)};
+    const auto out = model.evaluate(layout, demands,
+                                    CoreSharePolicy::FairShare);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_GT(out[i].serviceStretch, 1.0) << "app " << i;
+}
+
+TEST(Contention, BeIpcScalesWithCores)
+{
+    const auto model = makeModel();
+    double prev_ipc = 0.0;
+    for (int cores = 1; cores <= 4; ++cores) {
+        RegionLayout l({10, 20, 10});
+        Region r;
+        r.name = "be";
+        r.shared = true;
+        r.members = {0};
+        r.res = {cores, 20, 10};
+        l.addRegion(std::move(r));
+        const auto out = model.evaluate(l, {beDemand(2.0, 4)},
+                                        CoreSharePolicy::FairShare);
+        EXPECT_GT(out[0].ipc, prev_ipc);
+        prev_ipc = out[0].ipc;
+    }
+    // With all 4 threads backed by cores and the full cache, the BE
+    // app reaches its solo IPC.
+    EXPECT_NEAR(prev_ipc, 2.0, 0.1);
+}
+
+TEST(Contention, BeIpcScalesWithWays)
+{
+    const auto model = makeModel();
+    double prev_ipc = 0.0;
+    for (int ways : {2, 5, 10, 20}) {
+        RegionLayout l({10, 20, 10});
+        Region r;
+        r.name = "be";
+        r.shared = true;
+        r.members = {0};
+        r.res = {4, ways, 10};
+        l.addRegion(std::move(r));
+        const auto out = model.evaluate(
+            l, {beDemand(2.0, 4, 30.0, 5.0)},
+            CoreSharePolicy::FairShare);
+        EXPECT_GT(out[0].ipc, prev_ipc);
+        prev_ipc = out[0].ipc;
+    }
+}
+
+TEST(Contention, BandwidthHogDilatesCorunner)
+{
+    const auto model = makeModel();
+    // A cache-sensitive app isolated from a STREAM-like hog still
+    // shares the memory bus.
+    RegionLayout l({10, 20, 10});
+    Region a;
+    a.name = "victim";
+    a.shared = false;
+    a.members = {0};
+    a.res = {4, 10, 5};
+    l.addRegion(std::move(a));
+    Region b;
+    b.name = "hog";
+    b.shared = true;
+    b.members = {1};
+    b.res = {6, 10, 5};
+    l.addRegion(std::move(b));
+
+    const std::vector<AppDemand> with_hog{
+        lcDemand(500.0), beDemand(0.9, 10, 60.0, 56.0, 8.0)};
+    const std::vector<AppDemand> idle_hog{
+        lcDemand(500.0), beDemand(0.9, 1, 1.0, 0.5, 1.0)};
+    const auto o1 = model.evaluate(l, with_hog,
+                                   CoreSharePolicy::LcPriority);
+    const auto o2 = model.evaluate(l, idle_hog,
+                                   CoreSharePolicy::LcPriority);
+    EXPECT_GT(o1[0].bwDilation, o2[0].bwDilation);
+    EXPECT_LT(o1[0].speed, o2[0].speed);
+}
+
+TEST(Contention, SharedWaysStolenByIntensity)
+{
+    const auto model = makeModel();
+    auto layout = RegionLayout::fullyShared({10, 20, 10}, {0, 1});
+    // A cache-hungry BE app against a flat-MRC streaming app: the
+    // hungry one should end up with more effective ways.
+    const std::vector<AppDemand> demands{
+        beDemand(1.3, 4, 32.0, 6.0),       // cache hungry
+        beDemand(0.9, 4, 60.0, 56.0, 8.0), // streaming
+    };
+    const auto out = model.evaluate(layout, demands,
+                                    CoreSharePolicy::FairShare);
+    EXPECT_GT(out[0].effectiveWays, out[1].effectiveWays);
+    EXPECT_NEAR(out[0].effectiveWays + out[1].effectiveWays, 20.0,
+                1.0);
+}
+
+TEST(Contention, UtilizationReported)
+{
+    const auto model = makeModel();
+    auto layout = RegionLayout::fullyShared({10, 20, 10}, {0});
+    const auto out = model.evaluate(layout, {lcDemand(1000.0)},
+                                    CoreSharePolicy::LcPriority);
+    EXPECT_NEAR(out[0].utilization,
+                1000.0 / out[0].serviceRate, 1e-9);
+}
+
+TEST(Contention, Deterministic)
+{
+    const auto model = makeModel();
+    auto layout = RegionLayout::arqInitial({10, 20, 10}, {0, 1}, {2});
+    const std::vector<AppDemand> demands{
+        lcDemand(800.0), lcDemand(300.0, 1.8), beDemand(2.0, 10)};
+    const auto a = model.evaluate(layout, demands,
+                                  CoreSharePolicy::LcPriority);
+    const auto b = model.evaluate(layout, demands,
+                                  CoreSharePolicy::LcPriority);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].speed, b[i].speed);
+        EXPECT_EQ(a[i].serviceRate, b[i].serviceRate);
+        EXPECT_EQ(a[i].ipc, b[i].ipc);
+        EXPECT_EQ(a[i].effectiveWays, b[i].effectiveWays);
+    }
+}
+
+TEST(Contention, MoreMachineWaysNeverHurtLc)
+{
+    const auto model = makeModel();
+    double prev_rate = 0.0;
+    for (int ways : {4, 8, 12, 16, 20}) {
+        auto layout = RegionLayout::fullyShared({10, ways, 10}, {0});
+        const auto out = model.evaluate(layout, {lcDemand(1500.0)},
+                                        CoreSharePolicy::LcPriority);
+        EXPECT_GE(out[0].serviceRate, prev_rate * 0.999);
+        prev_rate = out[0].serviceRate;
+    }
+}
+
+TEST(Contention, OverloadedLcRationedInSharedRegion)
+{
+    // Two LC apps that together demand more than the shared cores:
+    // both get rationed, neither starves completely.
+    const auto model =
+        ContentionModel(MachineConfig::xeonE52630v4()
+                            .withAvailable(4, 20, 10));
+    auto layout = RegionLayout::fullyShared({4, 20, 10}, {0, 1});
+    const std::vector<AppDemand> demands{
+        lcDemand(4000.0), lcDemand(4000.0)};
+    const auto out = model.evaluate(layout, demands,
+                                    CoreSharePolicy::LcPriority);
+    EXPECT_GT(out[0].coreEquivalents, 0.5);
+    EXPECT_GT(out[1].coreEquivalents, 0.5);
+    EXPECT_GT(out[0].utilization, 1.0); // overloaded
+    EXPECT_LE(out[0].coreEquivalents + out[1].coreEquivalents,
+              4.0 + 1e-6);
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the CPI model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perf/cpi.hh"
+
+namespace
+{
+
+using ahq::perf::CpiModel;
+using ahq::perf::CpiTraits;
+using ahq::perf::MissRateCurve;
+
+CpiModel
+model(double mlp = 2.0)
+{
+    CpiTraits t;
+    t.cpiBase = 0.6;
+    t.missPenaltyCycles = 180.0;
+    t.mlp = mlp;
+    t.coreFreqGhz = 2.2;
+    return CpiModel(MissRateCurve(20.0, 2.0, 5.0), t);
+}
+
+TEST(CpiModel, CpiDecomposition)
+{
+    const CpiModel m = model();
+    // cpi = base + mpki/1000 * penalty/mlp * dilation
+    const double expected =
+        0.6 + 11.0 / 1000.0 * (180.0 / 2.0) * 1.0;
+    EXPECT_NEAR(m.cpi(5.0, 1.0), expected, 1e-12);
+}
+
+TEST(CpiModel, MoreWaysLowerCpi)
+{
+    const CpiModel m = model();
+    EXPECT_LT(m.cpi(15.0, 1.0), m.cpi(5.0, 1.0));
+}
+
+TEST(CpiModel, DilationRaisesCpi)
+{
+    const CpiModel m = model();
+    EXPECT_GT(m.cpi(10.0, 2.0), m.cpi(10.0, 1.0));
+}
+
+TEST(CpiModel, SpeedIsOneAtIdeal)
+{
+    const CpiModel m = model();
+    EXPECT_NEAR(m.speed(20.0, 1.0, 20.0), 1.0, 1e-12);
+}
+
+TEST(CpiModel, SpeedBelowOneUnderPressure)
+{
+    const CpiModel m = model();
+    const double s = m.speed(4.0, 1.5, 20.0);
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+}
+
+TEST(CpiModel, SpeedMonotoneInWays)
+{
+    const CpiModel m = model();
+    double prev = 0.0;
+    for (double w = 1.0; w <= 20.0; w += 1.0) {
+        const double s = m.speed(w, 1.0, 20.0);
+        EXPECT_GT(s, prev);
+        prev = s;
+    }
+}
+
+TEST(CpiModel, HighMlpShieldsCpiButNotBandwidth)
+{
+    const CpiModel low = model(1.0);
+    const CpiModel high = model(8.0);
+    // Same miss rate, but high MLP hides latency...
+    EXPECT_LT(high.cpi(5.0, 1.0), low.cpi(5.0, 1.0));
+    // ...and therefore produces MORE bandwidth demand per core
+    // (faster execution, same misses per instruction).
+    EXPECT_GT(high.bwDemandPerCore(5.0, 1.0),
+              low.bwDemandPerCore(5.0, 1.0));
+}
+
+TEST(CpiModel, BandwidthDemandPositiveAndSane)
+{
+    const CpiModel m = model();
+    const double bw = m.bwDemandPerCore(5.0, 1.0);
+    // 2.2 GHz core with ~11 MPKI: O(1) GiB/s, definitely < 100.
+    EXPECT_GT(bw, 0.1);
+    EXPECT_LT(bw, 100.0);
+}
+
+TEST(CpiModel, BandwidthDemandFallsWithDilation)
+{
+    // A dilated memory system slows the core, which lowers its
+    // bandwidth demand (negative feedback for the fixed point).
+    const CpiModel m = model();
+    EXPECT_LT(m.bwDemandPerCore(5.0, 3.0), m.bwDemandPerCore(5.0, 1.0));
+}
+
+} // namespace

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Parameterised sweeps over the queueing percentile machinery: the
+ * exact and approximate sojourn percentiles across percentile
+ * levels, loads and server counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "perf/queueing.hh"
+
+namespace
+{
+
+using namespace ahq::perf;
+
+class PercentileSweep
+    : public ::testing::TestWithParam<
+          std::tuple<double /*p*/, double /*rho*/, double /*c*/>>
+{
+};
+
+TEST_P(PercentileSweep, ExactPercentileWellBehaved)
+{
+    const auto [p, rho, c] = GetParam();
+    const double mu = 1.0;
+    const double lambda = rho * c * mu;
+    const double t = mmcSojournPercentile(c, lambda, mu, p);
+    ASSERT_TRUE(std::isfinite(t));
+    // Never below the same percentile of the bare service time.
+    const double svc_only = -std::log(1.0 - p) / mu;
+    EXPECT_GE(t, svc_only * 0.999);
+    // And never below the mean sojourn for high percentiles.
+    if (p >= 0.9) {
+        EXPECT_GE(t, mmcMeanSojourn(c, lambda, mu) * 0.8);
+    }
+}
+
+TEST_P(PercentileSweep, MonotoneInPercentile)
+{
+    const auto [p, rho, c] = GetParam();
+    const double mu = 1.0;
+    const double lambda = rho * c * mu;
+    const double t_lo = mmcSojournPercentile(c, lambda, mu, p);
+    const double t_hi =
+        mmcSojournPercentile(c, lambda, mu,
+                             std::min(0.999, p + 0.04));
+    EXPECT_GE(t_hi, t_lo);
+}
+
+TEST_P(PercentileSweep, ApproximationTracksExact)
+{
+    const auto [p, rho, c] = GetParam();
+    // The decomposition T_p ~ S_p + W_p is a *tail* approximation:
+    // it is only advertised (and used by the simulator) for p >= 0.9.
+    if (p < 0.9)
+        GTEST_SKIP() << "approximation is tail-only";
+    const double mu = 1.0;
+    const double lambda = rho * c * mu;
+    const double exact = mmcSojournPercentile(c, lambda, mu, p);
+    const double approx = sojournPercentileApprox(
+        c, lambda, mu, -std::log(1.0 - p), p);
+    // The approximation is conservative (sums the component
+    // percentiles): never more than ~50% above, never below 75%.
+    EXPECT_GE(approx / exact, 0.75)
+        << "p=" << p << " rho=" << rho << " c=" << c;
+    EXPECT_LE(approx / exact, 1.55)
+        << "p=" << p << " rho=" << rho << " c=" << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PercentileSweep,
+    ::testing::Combine(::testing::Values(0.5, 0.9, 0.95, 0.99),
+                       ::testing::Values(0.2, 0.5, 0.8),
+                       ::testing::Values(1.0, 2.0, 4.0, 8.0)));
+
+TEST(PercentileSweep, TailMassConsistency)
+{
+    // The p-percentile at probability p must bracket the
+    // distribution: evaluating the complementary percentile of a
+    // lower p gives a smaller value.
+    const double mu = 1.0, lambda = 1.5, c = 2.0;
+    double prev = 0.0;
+    for (double p = 0.05; p < 0.995; p += 0.05) {
+        const double t = mmcSojournPercentile(c, lambda, mu, p);
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+} // namespace

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests for ASCII chart rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "report/ascii_chart.hh"
+
+namespace
+{
+
+using ahq::report::heatmap;
+using ahq::report::lineChart;
+using ahq::report::Series;
+
+TEST(LineChart, RendersSeriesAndLegend)
+{
+    Series s1{"up", {0, 1, 2, 3}, {0, 1, 2, 3}};
+    Series s2{"down", {0, 1, 2, 3}, {3, 2, 1, 0}};
+    std::ostringstream os;
+    lineChart(os, {s1, s2}, 40, 10, "test chart");
+    const std::string out = os.str();
+    EXPECT_NE(out.find("test chart"), std::string::npos);
+    EXPECT_NE(out.find("[*] up"), std::string::npos);
+    EXPECT_NE(out.find("[o] down"), std::string::npos);
+    EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(LineChart, HandlesEmptyData)
+{
+    std::ostringstream os;
+    lineChart(os, {Series{"empty", {}, {}}}, 40, 10);
+    EXPECT_NE(os.str().find("no finite data"), std::string::npos);
+}
+
+TEST(LineChart, SkipsNonFinitePoints)
+{
+    Series s{"mixed",
+             {0, 1, 2},
+             {1.0, std::numeric_limits<double>::infinity(), 3.0}};
+    std::ostringstream os;
+    lineChart(os, {s}, 40, 8);
+    EXPECT_NE(os.str().find('*'), std::string::npos);
+}
+
+TEST(Heatmap, RendersRowsWithLabels)
+{
+    std::ostringstream os;
+    heatmap(os, {{0.0, 0.5, 1.0}, {1.0, 0.5, 0.0}},
+            {"rowA", "rowB"}, "heat");
+    const std::string out = os.str();
+    EXPECT_NE(out.find("heat"), std::string::npos);
+    EXPECT_NE(out.find("rowA"), std::string::npos);
+    // Highest shade character appears for the max cells.
+    EXPECT_NE(out.find('@'), std::string::npos);
+}
+
+TEST(Heatmap, HandlesConstantMatrix)
+{
+    std::ostringstream os;
+    heatmap(os, {{0.3, 0.3}, {0.3, 0.3}}, {"a", "b"});
+    // Constant data renders at the low end without crashing.
+    EXPECT_NE(os.str().find('|'), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the Unmanaged and LC-first baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/config.hh"
+#include "sched/lc_first.hh"
+#include "sched/unmanaged.hh"
+
+namespace
+{
+
+using namespace ahq::sched;
+using ahq::machine::MachineConfig;
+
+std::vector<AppObservation>
+fourApps()
+{
+    std::vector<AppObservation> obs(4);
+    for (int i = 0; i < 4; ++i) {
+        obs[static_cast<std::size_t>(i)].id = i;
+        obs[static_cast<std::size_t>(i)].latencyCritical = i < 3;
+    }
+    return obs;
+}
+
+TEST(Unmanaged, SingleSharedRegionWithEverything)
+{
+    Unmanaged s;
+    const auto cfg = MachineConfig::xeonE52630v4();
+    auto layout = s.initialLayout(cfg, fourApps());
+    EXPECT_EQ(layout.numRegions(), 1);
+    EXPECT_TRUE(layout.region(0).shared);
+    EXPECT_EQ(layout.region(0).res, cfg.availableResources());
+    EXPECT_EQ(layout.region(0).members.size(), 4u);
+    EXPECT_TRUE(layout.valid());
+}
+
+TEST(Unmanaged, FairSharePolicyAndNoAdjustment)
+{
+    Unmanaged s;
+    EXPECT_EQ(s.corePolicy(), ahq::perf::CoreSharePolicy::FairShare);
+    const auto cfg = MachineConfig::xeonE52630v4();
+    auto layout = s.initialLayout(cfg, fourApps());
+    const auto before = layout.region(0).res;
+    auto obs = fourApps();
+    obs[0].p95Ms = 1e9; // catastrophic violation: still no reaction
+    obs[0].thresholdMs = 1.0;
+    s.adjust(layout, obs, 1.0);
+    EXPECT_EQ(layout.region(0).res, before);
+    EXPECT_EQ(s.name(), "Unmanaged");
+}
+
+TEST(LcFirst, SharedLayoutWithPriorityPolicy)
+{
+    LcFirst s;
+    const auto cfg = MachineConfig::xeonE52630v4();
+    auto layout = s.initialLayout(cfg, fourApps());
+    EXPECT_EQ(layout.numRegions(), 1);
+    EXPECT_EQ(s.corePolicy(),
+              ahq::perf::CoreSharePolicy::LcPriority);
+    EXPECT_EQ(s.name(), "LC-first");
+}
+
+TEST(LcFirst, NoAdjustmentEither)
+{
+    LcFirst s;
+    const auto cfg = MachineConfig::xeonE52630v4();
+    auto layout = s.initialLayout(cfg, fourApps());
+    const auto before = layout.region(0).res;
+    s.adjust(layout, fourApps(), 1.0);
+    EXPECT_EQ(layout.region(0).res, before);
+}
+
+TEST(Baselines, RespectRestrictedAvailability)
+{
+    Unmanaged s;
+    const auto cfg =
+        MachineConfig::xeonE52630v4().withAvailable(6, 12, 5);
+    auto layout = s.initialLayout(cfg, fourApps());
+    EXPECT_EQ(layout.region(0).res,
+              (ahq::machine::ResourceVector{6, 12, 5}));
+}
+
+} // namespace

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the Gaussian process and expected improvement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/gp.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using ahq::sched::GaussianProcess;
+using ahq::sched::normalCdf;
+using ahq::sched::normalPdf;
+using ahq::stats::Rng;
+
+TEST(NormalFunctions, KnownValues)
+{
+    EXPECT_NEAR(normalPdf(0.0), 1.0 / std::sqrt(2.0 * M_PI), 1e-12);
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.6448536), 0.95, 1e-6);
+    EXPECT_NEAR(normalCdf(-1.6448536), 0.05, 1e-6);
+}
+
+TEST(GaussianProcess, InterpolatesTrainingPoints)
+{
+    GaussianProcess gp(0.5, 1.0, 1e-8);
+    const std::vector<std::vector<double>> xs{{0.0}, {0.5}, {1.0}};
+    const std::vector<double> ys{1.0, 2.0, 0.5};
+    gp.fit(xs, ys);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const auto p = gp.predict(xs[i]);
+        EXPECT_NEAR(p.mean, ys[i], 1e-3);
+        EXPECT_LT(p.variance, 1e-4);
+    }
+}
+
+TEST(GaussianProcess, UncertaintyGrowsAwayFromData)
+{
+    GaussianProcess gp(0.3, 1.0, 1e-6);
+    gp.fit({{0.0}, {0.2}}, {1.0, 1.2});
+    const auto near = gp.predict({0.1});
+    const auto far = gp.predict({3.0});
+    EXPECT_LT(near.variance, far.variance);
+    // Far from data the posterior reverts to the (centred) prior.
+    EXPECT_NEAR(far.mean, 1.1, 1e-3);
+    EXPECT_NEAR(far.variance, 1.0, 1e-3);
+}
+
+TEST(GaussianProcess, RecoversSmoothFunction)
+{
+    GaussianProcess gp(0.4, 1.0, 1e-4);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (double x = 0.0; x <= 1.0; x += 0.1) {
+        xs.push_back({x});
+        ys.push_back(std::sin(3.0 * x));
+    }
+    gp.fit(xs, ys);
+    for (double x = 0.05; x < 1.0; x += 0.1) {
+        const auto p = gp.predict({x});
+        EXPECT_NEAR(p.mean, std::sin(3.0 * x), 0.05) << x;
+    }
+}
+
+TEST(GaussianProcess, MultiDimensionalInputs)
+{
+    GaussianProcess gp(0.6, 1.0, 1e-6);
+    // f(x, y) = x + y on a small grid.
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (double x = 0.0; x <= 1.0; x += 0.25) {
+        for (double y = 0.0; y <= 1.0; y += 0.25) {
+            xs.push_back({x, y});
+            ys.push_back(x + y);
+        }
+    }
+    gp.fit(xs, ys);
+    const auto p = gp.predict({0.4, 0.6});
+    EXPECT_NEAR(p.mean, 1.0, 0.05);
+}
+
+TEST(GaussianProcess, ExpectedImprovementPrefersPromising)
+{
+    GaussianProcess gp(0.3, 1.0, 1e-6);
+    // Rising trend: EI beyond the right edge should dominate EI at
+    // the known-bad left edge.
+    gp.fit({{0.0}, {0.3}, {0.6}}, {0.0, 0.5, 1.0});
+    const double ei_right = gp.expectedImprovement({0.8}, 1.0);
+    const double ei_left = gp.expectedImprovement({0.05}, 1.0);
+    EXPECT_GT(ei_right, ei_left);
+}
+
+TEST(GaussianProcess, ExpectedImprovementZeroAtSaturatedPoint)
+{
+    GaussianProcess gp(0.3, 1.0, 1e-9);
+    gp.fit({{0.5}}, {2.0});
+    // The training point itself has ~no variance and no improvement.
+    EXPECT_LT(gp.expectedImprovement({0.5}, 2.0), 1e-4);
+}
+
+TEST(GaussianProcess, ExpectedImprovementNonNegative)
+{
+    GaussianProcess gp(0.4, 1.0, 1e-4);
+    Rng rng(5);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 12; ++i) {
+        xs.push_back({rng.uniform(), rng.uniform()});
+        ys.push_back(rng.normal(0.0, 1.0));
+    }
+    gp.fit(xs, ys);
+    double best = *std::max_element(ys.begin(), ys.end());
+    for (int i = 0; i < 100; ++i) {
+        const double ei = gp.expectedImprovement(
+            {rng.uniform(), rng.uniform()}, best);
+        EXPECT_GE(ei, 0.0);
+    }
+}
+
+TEST(GaussianProcess, NoisyObservationsSmoothed)
+{
+    GaussianProcess gp(0.5, 1.0, 0.25);
+    // Two conflicting observations at the same x: posterior mean
+    // lands between them.
+    gp.fit({{0.5}, {0.5}}, {0.0, 1.0});
+    const auto p = gp.predict({0.5});
+    EXPECT_GT(p.mean, 0.2);
+    EXPECT_LT(p.mean, 0.8);
+}
+
+TEST(GaussianProcess, FittedFlag)
+{
+    GaussianProcess gp(0.5, 1.0, 0.01);
+    EXPECT_FALSE(gp.fitted());
+    gp.fit({{0.0}}, {1.0});
+    EXPECT_TRUE(gp.fitted());
+    EXPECT_EQ(gp.numSamples(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the space-time model of Section IV-A (Fig. 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/spacetime.hh"
+
+namespace
+{
+
+using namespace ahq::sched;
+
+/** Demand patterns shaped like Fig. 4(a): two LC apps and one BE. */
+std::vector<SpacetimeDemand>
+fig4Demands()
+{
+    return {
+        {"LC1", true, {1, 1, 0, 0, 1, 1, 0, 1}},
+        {"LC2", true, {0, 1, 0, 1, 0, 1, 1, 0}},
+        {"BE", false, {1, 0, 1, 1, 1, 1, 1, 1}},
+    };
+}
+
+TEST(Spacetime, IsolatedServesOnlyOwner)
+{
+    const auto res = simulateIsolated(fig4Demands(), 0);
+    // LC1 needs 5 slices and owns the resource: all served.
+    EXPECT_EQ(res.served, 5);
+    EXPECT_EQ(res.overheads, 0);
+    // LC2 (4 demands) and BE (7 demands) are all denied.
+    EXPECT_EQ(res.denied, 4 + 7);
+    // Slices 2 and 3 (0-indexed) are idle for LC1.
+    EXPECT_EQ(res.idleSlices, 3);
+}
+
+TEST(Spacetime, SharedPriorityServesEverySlice)
+{
+    const auto res = simulateSharedPriority(fig4Demands());
+    // Demand exists in every slice, so no idle slices.
+    EXPECT_EQ(res.idleSlices, 0);
+    EXPECT_EQ(res.served, 8);
+    // Sharing wastes fewer demands than isolation.
+    const auto iso = simulateIsolated(fig4Demands(), 0);
+    EXPECT_LT(res.denied, iso.denied);
+    // Ownership changes cost overhead triangles.
+    EXPECT_GT(res.overheads, 0);
+}
+
+TEST(Spacetime, UtilizationNearlyDoubles)
+{
+    // The paper's reading of Fig. 4: sharing roughly doubles the
+    // resource utilisation relative to isolation.
+    const auto iso = simulateIsolated(fig4Demands(), 0);
+    const auto shared = simulateSharedPriority(fig4Demands());
+    EXPECT_GE(shared.utilization() / iso.utilization(), 1.5);
+}
+
+TEST(Spacetime, LcBeatsBeOnConflict)
+{
+    const std::vector<SpacetimeDemand> d{
+        {"LC", true, {1, 1}},
+        {"BE", false, {1, 1}},
+    };
+    const auto res = simulateSharedPriority(d);
+    EXPECT_EQ(res.outcomes[0][0], SlotOutcome::Served);
+    EXPECT_EQ(res.outcomes[1][0], SlotOutcome::Denied);
+}
+
+TEST(Spacetime, EarlierLcWinsTies)
+{
+    const std::vector<SpacetimeDemand> d{
+        {"LC1", true, {1}},
+        {"LC2", true, {1}},
+    };
+    const auto res = simulateSharedPriority(d);
+    EXPECT_EQ(res.outcomes[0][0], SlotOutcome::Served);
+    EXPECT_EQ(res.outcomes[1][0], SlotOutcome::Denied);
+}
+
+TEST(Spacetime, BeServedWhenLcIdle)
+{
+    const std::vector<SpacetimeDemand> d{
+        {"LC", true, {1, 0, 1}},
+        {"BE", false, {0, 1, 1}},
+    };
+    const auto res = simulateSharedPriority(d);
+    EXPECT_EQ(res.outcomes[1][1], SlotOutcome::ServedWithOverhead);
+    EXPECT_EQ(res.outcomes[0][2], SlotOutcome::ServedWithOverhead);
+    EXPECT_EQ(res.overheads, 2);
+}
+
+TEST(Spacetime, NoTransitionNoOverhead)
+{
+    const std::vector<SpacetimeDemand> d{
+        {"LC", true, {1, 1, 1}},
+    };
+    const auto res = simulateSharedPriority(d);
+    EXPECT_EQ(res.served, 3);
+    EXPECT_EQ(res.overheads, 0);
+}
+
+TEST(Spacetime, EmptyDemandAllIdle)
+{
+    const std::vector<SpacetimeDemand> d{
+        {"LC", true, {0, 0, 0}},
+        {"BE", false, {0, 0, 0}},
+    };
+    const auto shared = simulateSharedPriority(d);
+    EXPECT_EQ(shared.idleSlices, 3);
+    EXPECT_EQ(shared.served, 0);
+    EXPECT_EQ(shared.utilization(), 0.0);
+}
+
+TEST(Spacetime, OutcomeGridShapes)
+{
+    const auto res = simulateSharedPriority(fig4Demands());
+    ASSERT_EQ(res.outcomes.size(), 3u);
+    for (const auto &row : res.outcomes)
+        EXPECT_EQ(row.size(), 8u);
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the request-level queue simulators, cross-validating the
+ * analytic M/M/c formulas — the library's own consistency check
+ * between its two modelling paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perf/queueing.hh"
+#include "sim/queue_sim.hh"
+#include "stats/percentile.hh"
+#include "stats/rng.hh"
+#include "stats/summary.hh"
+
+namespace
+{
+
+using ahq::sim::MmcSimulator;
+using ahq::sim::PrioritySimulator;
+using ahq::stats::Rng;
+
+TEST(MmcSimulator, ConservesRequests)
+{
+    MmcSimulator sim(2, 10.0, 8.0);
+    Rng rng(1);
+    const auto res = sim.run(200.0, rng);
+    EXPECT_GT(res.arrivals, 0u);
+    // All but the final in-flight requests complete (runAll drains).
+    EXPECT_EQ(res.completions, res.arrivals);
+}
+
+TEST(MmcSimulator, MeanSojournMatchesAnalytic)
+{
+    const int c = 3;
+    const double lambda = 2.0, mu = 1.0;
+    MmcSimulator sim(c, lambda, mu);
+    Rng rng(7);
+    const auto res = sim.run(20000.0, rng, 100.0);
+    const double analytic =
+        ahq::perf::mmcMeanSojourn(c, lambda, mu);
+    const double measured = ahq::stats::mean(res.sojournTimes);
+    EXPECT_NEAR(measured / analytic, 1.0, 0.05);
+}
+
+class MmcCrossValidation
+    : public ::testing::TestWithParam<std::tuple<int, double>>
+{
+};
+
+TEST_P(MmcCrossValidation, P95MatchesAnalytic)
+{
+    const int c = std::get<0>(GetParam());
+    const double rho = std::get<1>(GetParam());
+    const double mu = 1.0;
+    const double lambda = rho * c * mu;
+
+    MmcSimulator sim(c, lambda, mu);
+    Rng rng(42 + c);
+    const auto res = sim.run(30000.0, rng, 200.0);
+    ASSERT_GT(res.sojournTimes.size(), 1000u);
+
+    const double analytic =
+        ahq::perf::mmcSojournPercentile(c, lambda, mu, 0.95);
+    const double measured =
+        ahq::stats::exactPercentile(res.sojournTimes, 95.0);
+    // Tail estimates near saturation have much higher sampling
+    // variance (long autocorrelated busy periods).
+    const double tol = rho >= 0.8 ? 0.20 : 0.08;
+    EXPECT_NEAR(measured / analytic, 1.0, tol)
+        << "c=" << c << " rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MmcCrossValidation,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(0.3, 0.6, 0.85)));
+
+
+TEST(MmcSimulator, BusyTimeMatchesUtilization)
+{
+    // Aggregate busy time / (servers * duration) ~ rho.
+    const int c = 2;
+    const double lambda = 1.2, mu = 1.0;
+    MmcSimulator sim(c, lambda, mu);
+    Rng rng(23);
+    const double duration = 5000.0;
+    const auto res = sim.run(duration, rng);
+    const double rho = lambda / (c * mu);
+    EXPECT_NEAR(res.busyTime / (c * duration), rho, 0.05);
+}
+
+TEST(MmcSimulator, ZeroArrivalsProducesNothing)
+{
+    MmcSimulator sim(2, 0.0, 1.0);
+    Rng rng(3);
+    const auto res = sim.run(100.0, rng);
+    EXPECT_EQ(res.arrivals, 0u);
+    EXPECT_TRUE(res.sojournTimes.empty());
+}
+
+TEST(PrioritySimulator, BeSaturatesIdleMachine)
+{
+    // With negligible LC load, BE throughput approaches servers *
+    // chunk rate.
+    PrioritySimulator sim(4, 0.01, 100.0, 5.0);
+    Rng rng(11);
+    const auto res = sim.run(2000.0, rng);
+    EXPECT_NEAR(res.beThroughput(), 4 * 5.0, 1.0);
+}
+
+TEST(PrioritySimulator, LcPreemptionStealsBeThroughput)
+{
+    // LC load consuming ~half the machine halves BE throughput.
+    const int servers = 4;
+    const double lc_mu = 2.0;
+    const double lc_lambda = 4.0; // utilisation = 4 / (4*2) = 0.5
+    PrioritySimulator sim(servers, lc_lambda, lc_mu, 5.0);
+    Rng rng(13);
+    const auto res = sim.run(5000.0, rng);
+    EXPECT_NEAR(res.beThroughput(), 0.5 * servers * 5.0,
+                0.08 * servers * 5.0);
+}
+
+TEST(PrioritySimulator, LcLatencyShieldedFromBe)
+{
+    // LC p95 under preemptive priority with saturating BE work
+    // matches the BE-free M/M/c within tolerance: the definition of
+    // "LC apps take precedence" in the paper's LC-first baseline.
+    const int servers = 4;
+    const double lc_mu = 2.0, lc_lambda = 3.0;
+    PrioritySimulator sim(servers, lc_lambda, lc_mu, 5.0);
+    Rng rng(17);
+    const auto res = sim.run(20000.0, rng);
+    ASSERT_GT(res.lcSojournTimes.size(), 1000u);
+    const double measured =
+        ahq::stats::exactPercentile(res.lcSojournTimes, 95.0);
+    const double analytic = ahq::perf::mmcSojournPercentile(
+        servers, lc_lambda, lc_mu, 0.95);
+    EXPECT_NEAR(measured / analytic, 1.0, 0.10);
+}
+
+TEST(PrioritySimulator, HigherLcLoadLowersBeThroughput)
+{
+    Rng rng1(19), rng2(19);
+    PrioritySimulator lo(4, 1.0, 2.0, 5.0);
+    PrioritySimulator hi(4, 6.0, 2.0, 5.0);
+    const auto r_lo = lo.run(3000.0, rng1);
+    const auto r_hi = hi.run(3000.0, rng2);
+    EXPECT_GT(r_lo.beThroughput(), r_hi.beThroughput());
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the discrete-event engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace
+{
+
+using ahq::sim::Simulator;
+
+TEST(Simulator, StartsAtZero)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0.0);
+    EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(3.0, [&] { order.push_back(3); });
+    sim.schedule(1.0, [&] { order.push_back(1); });
+    sim.schedule(2.0, [&] { order.push_back(2); });
+    sim.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, FifoTieBreakAtSameTime)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        sim.schedule(1.0, [&order, i] { order.push_back(i); });
+    sim.runAll();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, HandlersCanScheduleMoreEvents)
+{
+    Simulator sim;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            sim.scheduleAfter(1.0, chain);
+    };
+    sim.schedule(0.0, chain);
+    sim.runAll();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulator, RunUntilHorizonStopsEarly)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(1.0, [&] { ++fired; });
+    sim.schedule(5.0, [&] { ++fired; });
+    const auto executed = sim.run(2.0);
+    EXPECT_EQ(executed, 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 2.0);
+    EXPECT_EQ(sim.pending(), 1u);
+    sim.runAll();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime)
+{
+    Simulator sim;
+    double fired_at = -1.0;
+    sim.schedule(2.0, [&] {
+        sim.scheduleAfter(3.0, [&] { fired_at = sim.now(); });
+    });
+    sim.runAll();
+    EXPECT_EQ(fired_at, 5.0);
+}
+
+TEST(Simulator, RunReturnsEventCount)
+{
+    Simulator sim;
+    for (int i = 0; i < 7; ++i)
+        sim.schedule(i, [] {});
+    EXPECT_EQ(sim.runAll(), 7u);
+}
+
+TEST(Simulator, EmptyRunAdvancesClockToHorizon)
+{
+    Simulator sim;
+    sim.run(10.0);
+    EXPECT_EQ(sim.now(), 10.0);
+}
+
+} // namespace

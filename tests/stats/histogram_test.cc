@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the linear and log histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/histogram.hh"
+#include "stats/percentile.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using ahq::stats::Histogram;
+using ahq::stats::LogHistogram;
+using ahq::stats::Rng;
+
+TEST(Histogram, CountsAndMean)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(1.0);
+    h.add(2.0);
+    h.add(3.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_NEAR(h.mean(), 2.0, 1e-12);
+}
+
+TEST(Histogram, UnderOverflowTracked)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-5.0);
+    h.add(15.0);
+    h.add(5.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(4.0, 10);
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_NEAR(h.mean(), 4.0, 1e-12);
+    EXPECT_EQ(h.binCount(4), 10u);
+}
+
+TEST(Histogram, QuantileEmptyIsZero)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileApproximatesExact)
+{
+    Histogram h(0.0, 1.0, 1000);
+    Rng rng(5);
+    std::vector<double> all;
+    for (int i = 0; i < 50000; ++i) {
+        const double x = rng.uniform();
+        h.add(x);
+        all.push_back(x);
+    }
+    for (double q : {0.5, 0.9, 0.95, 0.99}) {
+        EXPECT_NEAR(h.quantile(q),
+                    ahq::stats::exactPercentile(all, q * 100.0),
+                    0.01);
+    }
+}
+
+TEST(Histogram, EdgeValueJustBelowHiLandsInLastBin)
+{
+    Histogram h(0.0, 1.0, 10);
+    h.add(0.9999999999);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.5);
+    h.add(2.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, BinEdges)
+{
+    Histogram h(2.0, 12.0, 5);
+    EXPECT_NEAR(h.binLo(0), 2.0, 1e-12);
+    EXPECT_NEAR(h.binLo(4), 10.0, 1e-12);
+}
+
+TEST(LogHistogram, QuantileOnWideRangeData)
+{
+    // Latencies spanning 1us..1s in seconds.
+    LogHistogram h(1e-6, 1.0, 30);
+    Rng rng(11);
+    std::vector<double> all;
+    for (int i = 0; i < 50000; ++i) {
+        // Log-uniform data.
+        const double x = std::pow(10.0, rng.uniform(-6.0, 0.0));
+        h.add(x);
+        all.push_back(x);
+    }
+    const double exact = ahq::stats::exactPercentile(all, 95.0);
+    EXPECT_NEAR(h.quantile(0.95) / exact, 1.0, 0.1);
+}
+
+TEST(LogHistogram, CountAndReset)
+{
+    LogHistogram h(0.001, 1000.0, 10);
+    h.add(1.0);
+    h.add(10.0);
+    EXPECT_EQ(h.count(), 2u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+} // namespace

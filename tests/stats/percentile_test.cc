@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for percentile estimators: the exact batch routine and the
+ * streaming P-square estimator, validated against each other.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/percentile.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using ahq::stats::exactPercentile;
+using ahq::stats::P2Quantile;
+using ahq::stats::Rng;
+
+TEST(ExactPercentile, EmptyIsZero)
+{
+    EXPECT_EQ(exactPercentile({}, 95.0), 0.0);
+}
+
+TEST(ExactPercentile, SingleSample)
+{
+    EXPECT_EQ(exactPercentile({42.0}, 0.0), 42.0);
+    EXPECT_EQ(exactPercentile({42.0}, 95.0), 42.0);
+}
+
+TEST(ExactPercentile, MedianOfOddSet)
+{
+    EXPECT_EQ(exactPercentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(ExactPercentile, InterpolatesBetweenRanks)
+{
+    // Ranks 0..3 over [10,20,30,40]; p50 -> rank 1.5 -> 25.
+    EXPECT_NEAR(exactPercentile({10, 20, 30, 40}, 50.0), 25.0, 1e-12);
+}
+
+TEST(ExactPercentile, ExtremesAreMinMax)
+{
+    const std::vector<double> v{5.0, 1.0, 9.0, 3.0};
+    EXPECT_EQ(exactPercentile(v, 0.0), 1.0);
+    EXPECT_EQ(exactPercentile(v, 100.0), 9.0);
+}
+
+TEST(ExactPercentile, UnsortedInputHandled)
+{
+    const std::vector<double> v{9, 1, 8, 2, 7, 3, 6, 4, 5};
+    EXPECT_EQ(exactPercentile(v, 50.0), 5.0);
+}
+
+class P2QuantileParam : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(P2QuantileParam, TracksExactOnUniformData)
+{
+    const double q = GetParam();
+    P2Quantile p2(q);
+    Rng rng(123);
+    std::vector<double> all;
+    for (int i = 0; i < 20000; ++i) {
+        const double x = rng.uniform();
+        p2.add(x);
+        all.push_back(x);
+    }
+    const double exact = exactPercentile(all, q * 100.0);
+    EXPECT_NEAR(p2.value(), exact, 0.02);
+}
+
+TEST_P(P2QuantileParam, TracksExactOnHeavyTailData)
+{
+    const double q = GetParam();
+    P2Quantile p2(q);
+    Rng rng(321);
+    std::vector<double> all;
+    for (int i = 0; i < 20000; ++i) {
+        const double x = rng.exponential(0.5);
+        p2.add(x);
+        all.push_back(x);
+    }
+    const double exact = exactPercentile(all, q * 100.0);
+    EXPECT_NEAR(p2.value(), exact, 0.12 * exact + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2QuantileParam,
+                         ::testing::Values(0.5, 0.9, 0.95, 0.99));
+
+TEST(P2Quantile, FewSamplesFallBackToExact)
+{
+    P2Quantile p2(0.95);
+    p2.add(3.0);
+    p2.add(1.0);
+    EXPECT_NEAR(p2.value(), exactPercentile({3.0, 1.0}, 95.0), 1e-12);
+    EXPECT_EQ(p2.count(), 2u);
+}
+
+TEST(P2Quantile, EmptyIsZero)
+{
+    P2Quantile p2(0.95);
+    EXPECT_EQ(p2.value(), 0.0);
+    EXPECT_EQ(p2.count(), 0u);
+}
+
+TEST(P2Quantile, ResetClears)
+{
+    P2Quantile p2(0.9);
+    for (int i = 0; i < 100; ++i)
+        p2.add(i);
+    p2.reset();
+    EXPECT_EQ(p2.count(), 0u);
+    EXPECT_EQ(p2.value(), 0.0);
+}
+
+TEST(P2Quantile, MonotoneUnderShiftedData)
+{
+    // Estimate on data shifted upward must not decrease.
+    P2Quantile lo(0.95), hi(0.95);
+    Rng rng(77);
+    for (int i = 0; i < 5000; ++i) {
+        const double x = rng.uniform();
+        lo.add(x);
+        hi.add(x + 10.0);
+    }
+    EXPECT_GT(hi.value(), lo.value());
+    EXPECT_NEAR(hi.value() - 10.0, lo.value(), 0.05);
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for Welford running statistics and the EWMA.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hh"
+#include "stats/running.hh"
+
+namespace
+{
+
+using ahq::stats::Ewma;
+using ahq::stats::Rng;
+using ahq::stats::RunningStats;
+
+TEST(RunningStats, EmptyIsZeroed)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, BasicMoments)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+    // Sample variance of the classic data set is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.sum(), 40.0, 1e-9);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero)
+{
+    RunningStats s;
+    s.add(3.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    Rng rng(42);
+    RunningStats all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.normal(5.0, 2.0);
+        all.add(v);
+        (i % 2 == 0 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(2.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_NEAR(b.mean(), 1.5, 1e-12);
+}
+
+TEST(RunningStats, ResetClears)
+{
+    RunningStats s;
+    s.add(10.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Ewma, FirstSampleSeeds)
+{
+    Ewma e(0.1);
+    EXPECT_FALSE(e.seeded());
+    e.add(5.0);
+    EXPECT_TRUE(e.seeded());
+    EXPECT_EQ(e.value(), 5.0);
+}
+
+TEST(Ewma, ConvergesToConstantInput)
+{
+    Ewma e(0.2);
+    e.add(0.0);
+    for (int i = 0; i < 100; ++i)
+        e.add(10.0);
+    EXPECT_NEAR(e.value(), 10.0, 1e-6);
+}
+
+TEST(Ewma, AlphaOneTracksLastSample)
+{
+    Ewma e(1.0);
+    e.add(1.0);
+    e.add(42.0);
+    EXPECT_EQ(e.value(), 42.0);
+}
+
+TEST(Ewma, SmoothsNoise)
+{
+    Rng rng(8);
+    Ewma e(0.05);
+    for (int i = 0; i < 5000; ++i)
+        e.add(3.0 + rng.normal(0.0, 1.0));
+    EXPECT_NEAR(e.value(), 3.0, 0.5);
+}
+
+TEST(Ewma, ResetClears)
+{
+    Ewma e(0.5);
+    e.add(1.0);
+    e.reset();
+    EXPECT_FALSE(e.seeded());
+    EXPECT_EQ(e.value(), 0.0);
+}
+
+} // namespace

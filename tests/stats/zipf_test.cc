@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the Zipf sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rng.hh"
+#include "stats/zipf.hh"
+
+namespace
+{
+
+using ahq::stats::Rng;
+using ahq::stats::ZipfDistribution;
+
+TEST(Zipf, PmfSumsToOne)
+{
+    ZipfDistribution z(1000, 0.9);
+    double sum = 0.0;
+    for (std::uint64_t r = 1; r <= z.size(); ++r)
+        sum += z.pmf(r);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, PmfMonotoneDecreasing)
+{
+    ZipfDistribution z(100, 1.1);
+    for (std::uint64_t r = 2; r <= z.size(); ++r)
+        EXPECT_LE(z.pmf(r), z.pmf(r - 1));
+}
+
+TEST(Zipf, ZeroSkewIsUniform)
+{
+    ZipfDistribution z(50, 0.0);
+    for (std::uint64_t r = 1; r <= 50; ++r)
+        EXPECT_NEAR(z.pmf(r), 1.0 / 50.0, 1e-12);
+}
+
+TEST(Zipf, SamplesInRange)
+{
+    ZipfDistribution z(42, 0.8);
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        const auto r = z.sample(rng);
+        EXPECT_GE(r, 1u);
+        EXPECT_LE(r, 42u);
+    }
+}
+
+TEST(Zipf, EmpiricalFrequenciesMatchPmf)
+{
+    ZipfDistribution z(20, 1.0);
+    Rng rng(9);
+    std::vector<int> counts(21, 0);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[z.sample(rng)];
+    for (std::uint64_t r = 1; r <= 20; ++r) {
+        const double expected = z.pmf(r) * n;
+        EXPECT_NEAR(counts[r], expected, 0.05 * n * z.pmf(1));
+    }
+}
+
+TEST(Zipf, SingleItemAlwaysRankOne)
+{
+    ZipfDistribution z(1, 1.5);
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(z.sample(rng), 1u);
+    EXPECT_NEAR(z.pmf(1), 1.0, 1e-12);
+}
+
+TEST(Zipf, HigherSkewConcentratesHead)
+{
+    ZipfDistribution mild(100, 0.5);
+    ZipfDistribution steep(100, 1.5);
+    EXPECT_GT(steep.pmf(1), mild.pmf(1));
+    EXPECT_LT(steep.pmf(100), mild.pmf(100));
+}
+
+} // namespace

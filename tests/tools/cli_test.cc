@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the `ahq` CLI parsing and subcommands.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli.hh"
+
+namespace
+{
+
+using namespace ahq::cli;
+
+TEST(CliParse, SimulateDefaults)
+{
+    const auto opt = parseSimulateArgs({"xapian=0.5", "stream"});
+    EXPECT_EQ(opt.strategy, "ARQ");
+    EXPECT_EQ(opt.durationSeconds, 120.0);
+    EXPECT_EQ(opt.cores, 10);
+    ASSERT_EQ(opt.lcApps.size(), 1u);
+    EXPECT_EQ(opt.lcApps[0].first, "xapian");
+    EXPECT_NEAR(opt.lcApps[0].second, 0.5, 1e-12);
+    ASSERT_EQ(opt.beApps.size(), 1u);
+    EXPECT_EQ(opt.beApps[0], "stream");
+}
+
+TEST(CliParse, SimulateAllOptions)
+{
+    const auto opt = parseSimulateArgs(
+        {"--strategy", "PARTIES", "--duration", "30", "--warmup",
+         "10", "--cores", "6", "--ways", "12", "--bw", "5",
+         "--seed", "7", "--percentile", "0.99", "--csv", "out.csv",
+         "moses=0.2", "img-dnn=0.3", "fluidanimate"});
+    EXPECT_EQ(opt.strategy, "PARTIES");
+    EXPECT_EQ(opt.durationSeconds, 30.0);
+    EXPECT_EQ(opt.warmupEpochs, 10);
+    EXPECT_EQ(opt.cores, 6);
+    EXPECT_EQ(opt.ways, 12);
+    EXPECT_EQ(opt.bwUnits, 5);
+    EXPECT_EQ(opt.seed, 7u);
+    EXPECT_NEAR(opt.percentile, 0.99, 1e-12);
+    EXPECT_EQ(opt.csvPath, "out.csv");
+    EXPECT_EQ(opt.lcApps.size(), 2u);
+    EXPECT_EQ(opt.beApps.size(), 1u);
+}
+
+TEST(CliParse, Rejections)
+{
+    EXPECT_THROW((void)parseSimulateArgs({}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)parseSimulateArgs({"--bogus", "x=1"}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)parseSimulateArgs({"--duration"}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)parseSimulateArgs({"xapian=notanumber"}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)parseSimulateArgs(
+                     {"--percentile", "1.5", "x=0.5"}),
+                 std::invalid_argument);
+}
+
+TEST(CliObservations, ParsesMixedCsv)
+{
+    const std::string path = "/tmp/ahq_cli_obs.csv";
+    {
+        std::ofstream out(path);
+        out << "kind,name,a,b,c\n";
+        out << "# comment line\n";
+        out << "lc,xapian,2.77,3.9,4.22\n";
+        out << "lc,moses,2.8,16.54,10.53\n";
+        out << "be,stream,0.9,0.4\n";
+    }
+    std::vector<ahq::core::LcObservation> lc;
+    std::vector<ahq::core::BeObservation> be;
+    parseObservationsCsv(path, lc, be);
+    ASSERT_EQ(lc.size(), 2u);
+    ASSERT_EQ(be.size(), 1u);
+    EXPECT_NEAR(lc[1].actualTailMs, 16.54, 1e-12);
+    EXPECT_NEAR(be[0].ipcSolo, 0.9, 1e-12);
+    std::remove(path.c_str());
+}
+
+TEST(CliObservations, RejectsBadRows)
+{
+    const std::string path = "/tmp/ahq_cli_bad.csv";
+    {
+        std::ofstream out(path);
+        out << "lc,xapian,2.77\n"; // too few columns
+    }
+    std::vector<ahq::core::LcObservation> lc;
+    std::vector<ahq::core::BeObservation> be;
+    EXPECT_THROW(parseObservationsCsv(path, lc, be),
+                 std::invalid_argument);
+    std::remove(path.c_str());
+}
+
+TEST(CliEntropy, EndToEnd)
+{
+    const std::string path = "/tmp/ahq_cli_e2e.csv";
+    {
+        std::ofstream out(path);
+        out << "lc,moses,2.80,16.54,10.53\n";
+        out << "be,fluid,2.63,1.0\n";
+    }
+    std::ostringstream out, err;
+    const int rc = dispatch({"entropy", path}, out, err);
+    EXPECT_EQ(rc, 0);
+    EXPECT_NE(out.str().find("E_LC = 0.363"), std::string::npos)
+        << out.str();
+    EXPECT_NE(out.str().find("E_S"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(CliSimulate, EndToEnd)
+{
+    std::ostringstream out, err;
+    const int rc = dispatch(
+        {"simulate", "--duration", "15", "--warmup", "15",
+         "xapian=0.2", "fluidanimate"},
+        out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find("xapian"), std::string::npos);
+    EXPECT_NE(out.str().find("E_S"), std::string::npos);
+}
+
+TEST(CliSimulate, UnknownAppFails)
+{
+    std::ostringstream out, err;
+    const int rc =
+        dispatch({"simulate", "redis=0.5"}, out, err);
+    EXPECT_EQ(rc, 1);
+    EXPECT_NE(err.str().find("unknown application"),
+              std::string::npos);
+}
+
+
+TEST(CliOracle, EndToEnd)
+{
+    std::ostringstream out, err;
+    const int rc = dispatch(
+        {"oracle", "--waystep", "10", "--cores", "6", "--ways",
+         "10", "xapian=0.4", "stream"},
+        out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find("best hybrid partition"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("sharing value"), std::string::npos);
+}
+
+
+TEST(CliSweep, EndToEnd)
+{
+    std::ostringstream out, err;
+    const int rc = dispatch(
+        {"sweep", "--duration", "10", "--warmup", "10",
+         "xapian=0", "fluidanimate"},
+        out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find("E_S by strategy"), std::string::npos);
+    EXPECT_NE(out.str().find("90%"), std::string::npos);
+}
+
+TEST(CliSweep, NeedsLcApp)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(dispatch({"sweep", "stream"}, out, err), 2);
+}
+
+TEST(CliDispatch, ListsAndUsage)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(dispatch({"apps"}, out, err), 0);
+    EXPECT_NE(out.str().find("xapian"), std::string::npos);
+    EXPECT_NE(out.str().find("stream"), std::string::npos);
+
+    std::ostringstream out2;
+    EXPECT_EQ(dispatch({"strategies"}, out2, err), 0);
+    EXPECT_NE(out2.str().find("ARQ"), std::string::npos);
+    EXPECT_NE(out2.str().find("Heracles"), std::string::npos);
+
+    std::ostringstream out3, err3;
+    EXPECT_EQ(dispatch({}, out3, err3), 2);
+    EXPECT_EQ(dispatch({"frobnicate"}, out3, err3), 2);
+
+    std::ostringstream out4, err4;
+    EXPECT_EQ(dispatch({"help"}, out4, err4), 0);
+    EXPECT_NE(out4.str().find("usage: ahq"), std::string::npos);
+    EXPECT_NE(out4.str().find("oracle"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,505 @@
+/**
+ * @file
+ * `ahq` CLI implementation.
+ */
+
+#include "cli.hh"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "apps/catalog.hh"
+#include "cluster/oracle.hh"
+#include "report/csv.hh"
+#include "report/table.hh"
+#include "sched/arq.hh"
+#include "sched/clite.hh"
+#include "sched/copart.hh"
+#include "sched/heracles.hh"
+#include "sched/lc_first.hh"
+#include "sched/parties.hh"
+#include "sched/unmanaged.hh"
+
+namespace ahq::cli
+{
+
+namespace
+{
+
+std::unique_ptr<sched::Scheduler>
+makeScheduler(const std::string &name)
+{
+    if (name == "Unmanaged")
+        return std::make_unique<sched::Unmanaged>();
+    if (name == "LC-first")
+        return std::make_unique<sched::LcFirst>();
+    if (name == "PARTIES")
+        return std::make_unique<sched::Parties>();
+    if (name == "CLITE")
+        return std::make_unique<sched::Clite>();
+    if (name == "ARQ")
+        return std::make_unique<sched::Arq>();
+    if (name == "Heracles")
+        return std::make_unique<sched::Heracles>();
+    if (name == "CoPart")
+        return std::make_unique<sched::CoPart>();
+    throw std::invalid_argument("unknown strategy: " + name);
+}
+
+std::vector<std::string>
+splitCsvRow(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ','))
+        cells.push_back(cell);
+    return cells;
+}
+
+double
+parseDouble(const std::string &s, const std::string &what)
+{
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(s, &used);
+        if (used != s.size())
+            throw std::invalid_argument("trailing characters");
+        return v;
+    } catch (const std::exception &) {
+        throw std::invalid_argument("bad " + what + ": '" + s +
+                                    "'");
+    }
+}
+
+} // namespace
+
+SimulateOptions
+parseSimulateArgs(const std::vector<std::string> &args)
+{
+    SimulateOptions opt;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&](const char *flag) -> const std::string & {
+            if (i + 1 >= args.size()) {
+                throw std::invalid_argument(
+                    std::string(flag) + " needs a value");
+            }
+            return args[++i];
+        };
+        if (a == "--strategy") {
+            opt.strategy = next("--strategy");
+        } else if (a == "--duration") {
+            opt.durationSeconds =
+                parseDouble(next("--duration"), "duration");
+        } else if (a == "--warmup") {
+            opt.warmupEpochs = static_cast<int>(
+                parseDouble(next("--warmup"), "warmup"));
+        } else if (a == "--cores") {
+            opt.cores = static_cast<int>(
+                parseDouble(next("--cores"), "cores"));
+        } else if (a == "--ways") {
+            opt.ways = static_cast<int>(
+                parseDouble(next("--ways"), "ways"));
+        } else if (a == "--bw") {
+            opt.bwUnits = static_cast<int>(
+                parseDouble(next("--bw"), "bw"));
+        } else if (a == "--seed") {
+            opt.seed = static_cast<std::uint64_t>(
+                parseDouble(next("--seed"), "seed"));
+        } else if (a == "--percentile") {
+            opt.percentile =
+                parseDouble(next("--percentile"), "percentile");
+            if (opt.percentile <= 0.0 || opt.percentile >= 1.0) {
+                throw std::invalid_argument(
+                    "--percentile must be in (0, 1)");
+            }
+        } else if (a == "--csv") {
+            opt.csvPath = next("--csv");
+        } else if (!a.empty() && a[0] == '-') {
+            throw std::invalid_argument("unknown option: " + a);
+        } else {
+            const auto eq = a.find('=');
+            if (eq == std::string::npos) {
+                opt.beApps.push_back(a);
+            } else {
+                opt.lcApps.emplace_back(
+                    a.substr(0, eq),
+                    parseDouble(a.substr(eq + 1), "load"));
+            }
+        }
+    }
+    if (opt.lcApps.empty() && opt.beApps.empty()) {
+        throw std::invalid_argument(
+            "no applications given (expected app=load or be_app)");
+    }
+    return opt;
+}
+
+void
+parseObservationsCsv(const std::string &path,
+                     std::vector<core::LcObservation> &lc,
+                     std::vector<core::BeObservation> &be)
+{
+    std::ifstream in(path);
+    if (!in.is_open())
+        throw std::runtime_error("cannot open: " + path);
+    std::string line;
+    int row = 0;
+    while (std::getline(in, line)) {
+        ++row;
+        if (line.empty() || line[0] == '#')
+            continue;
+        const auto cells = splitCsvRow(line);
+        if (cells.empty())
+            continue;
+        if (cells[0] == "kind")
+            continue; // header
+        const std::string where =
+            path + ":" + std::to_string(row);
+        if (cells[0] == "lc") {
+            if (cells.size() < 5) {
+                throw std::invalid_argument(
+                    where + ": lc rows need 5 columns");
+            }
+            lc.push_back({parseDouble(cells[2], "ideal_ms"),
+                          parseDouble(cells[3], "actual_ms"),
+                          parseDouble(cells[4], "threshold_ms")});
+        } else if (cells[0] == "be") {
+            if (cells.size() < 4) {
+                throw std::invalid_argument(
+                    where + ": be rows need 4 columns");
+            }
+            be.push_back({parseDouble(cells[2], "ipc_solo"),
+                          parseDouble(cells[3], "ipc_real")});
+        } else {
+            throw std::invalid_argument(
+                where + ": kind must be 'lc' or 'be'");
+        }
+    }
+    if (lc.empty() && be.empty())
+        throw std::invalid_argument(path + ": no observations");
+}
+
+int
+runEntropy(const std::vector<std::string> &args, std::ostream &out,
+           std::ostream &err)
+{
+    if (args.size() != 1) {
+        err << "usage: ahq entropy <observations.csv>\n";
+        return 2;
+    }
+    std::vector<core::LcObservation> lc;
+    std::vector<core::BeObservation> be;
+    try {
+        parseObservationsCsv(args[0], lc, be);
+    } catch (const std::exception &e) {
+        err << "error: " << e.what() << "\n";
+        return 1;
+    }
+    const auto rep = core::computeEntropy(lc, be);
+    report::TextTable t({"app", "A_i", "R_i", "ReT_i", "Q_i"});
+    for (std::size_t i = 0; i < rep.lcDetail.size(); ++i) {
+        const auto &b = rep.lcDetail[i];
+        t.addRow({"lc" + std::to_string(i),
+                  report::TextTable::num(b.tolerance),
+                  report::TextTable::num(b.interference),
+                  report::TextTable::num(b.remainingTolerance),
+                  report::TextTable::num(b.intolerable)});
+    }
+    t.print(out);
+    out << "E_LC = " << rep.eLc << "\nE_BE = " << rep.eBe
+        << "\nE_S  = " << rep.eS << "  (RI = 0.8)\nyield = "
+        << rep.yieldValue << "\n";
+    return 0;
+}
+
+int
+runSimulate(const std::vector<std::string> &args, std::ostream &out,
+            std::ostream &err)
+{
+    SimulateOptions opt;
+    try {
+        opt = parseSimulateArgs(args);
+    } catch (const std::exception &e) {
+        err << "error: " << e.what() << "\n";
+        return 2;
+    }
+
+    try {
+        std::vector<cluster::ColocatedApp> colocated;
+        for (const auto &[name, load] : opt.lcApps)
+            colocated.push_back(
+                cluster::lcAt(apps::byName(name), load));
+        for (const auto &name : opt.beApps)
+            colocated.push_back(cluster::be(apps::byName(name)));
+
+        const auto mc = machine::MachineConfig::xeonE52630v4()
+                            .withAvailable(opt.cores, opt.ways,
+                                           opt.bwUnits);
+        cluster::Node node(mc, std::move(colocated));
+
+        cluster::SimulationConfig cfg;
+        cfg.durationSeconds = opt.durationSeconds;
+        cfg.warmupEpochs = opt.warmupEpochs;
+        cfg.seed = opt.seed;
+        cfg.tailPercentile = opt.percentile;
+
+        const auto sched = makeScheduler(opt.strategy);
+        cluster::EpochSimulator sim(node, cfg);
+        const auto res = sim.run(*sched);
+
+        report::TextTable t({"app", "kind", "tail (ms)",
+                             "threshold", "IPC", "IPC solo"});
+        for (int i = 0; i < node.numApps(); ++i) {
+            const auto &p = node.profile(i);
+            const auto ui = static_cast<std::size_t>(i);
+            t.addRow({p.name, p.latencyCritical ? "LC" : "BE",
+                      p.latencyCritical ?
+                          report::TextTable::num(res.meanP95Ms[ui],
+                                                 2) : "-",
+                      p.latencyCritical ?
+                          report::TextTable::num(
+                              p.tailThresholdMs, 2) : "-",
+                      p.latencyCritical ? "-" :
+                          report::TextTable::num(res.meanIpc[ui],
+                                                 2),
+                      p.latencyCritical ? "-" :
+                          report::TextTable::num(p.ipcSolo, 2)});
+        }
+        t.print(out);
+        out << "strategy = " << opt.strategy
+            << ", E_LC = " << res.meanELc
+            << ", E_BE = " << res.meanEBe
+            << ", E_S = " << res.meanES
+            << ", yield = " << res.yieldValue
+            << ", violations = " << res.violations << "\n";
+
+        if (!opt.csvPath.empty()) {
+            report::CsvWriter csv(
+                opt.csvPath,
+                {"time_s", "e_lc", "e_be", "e_s"});
+            for (const auto &rec : res.epochs) {
+                csv.addRow({report::TextTable::num(rec.time, 2),
+                            report::TextTable::num(rec.entropy.eLc),
+                            report::TextTable::num(rec.entropy.eBe),
+                            report::TextTable::num(rec.entropy.eS)});
+            }
+            out << "timeline written to " << opt.csvPath << "\n";
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        err << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+int
+runOracle(const std::vector<std::string> &args, std::ostream &out,
+          std::ostream &err)
+{
+    // Reuse the simulate grammar; --waystep rides on top.
+    std::vector<std::string> passthrough;
+    int way_step = 2;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--waystep") {
+            if (i + 1 >= args.size()) {
+                err << "error: --waystep needs a value\n";
+                return 2;
+            }
+            way_step = std::stoi(args[++i]);
+        } else {
+            passthrough.push_back(args[i]);
+        }
+    }
+
+    SimulateOptions opt;
+    try {
+        opt = parseSimulateArgs(passthrough);
+    } catch (const std::exception &e) {
+        err << "error: " << e.what() << "\n";
+        return 2;
+    }
+
+    try {
+        std::vector<cluster::ColocatedApp> colocated;
+        for (const auto &[name, load] : opt.lcApps)
+            colocated.push_back(
+                cluster::lcAt(apps::byName(name), load));
+        for (const auto &name : opt.beApps)
+            colocated.push_back(cluster::be(apps::byName(name)));
+        const auto mc = machine::MachineConfig::xeonE52630v4()
+                            .withAvailable(opt.cores, opt.ways,
+                                           opt.bwUnits);
+        cluster::Node node(mc, std::move(colocated));
+
+        cluster::OracleConfig ocfg;
+        ocfg.wayStep = way_step;
+        ocfg.tailPercentile = opt.percentile;
+
+        const auto iso = cluster::bestIsolatedPartition(node, ocfg);
+        const auto hyb = cluster::bestHybridPartition(node, ocfg);
+
+        out << "best fully-isolated partition (E_S = "
+            << iso.report.eS << ", " << iso.evaluated
+            << " layouts searched):\n"
+            << iso.layout.toString();
+        out << "best hybrid partition (E_S = " << hyb.report.eS
+            << ", " << hyb.evaluated << " layouts searched):\n"
+            << hyb.layout.toString();
+        out << "sharing value (iso - hybrid E_S): "
+            << iso.report.eS - hyb.report.eS << "\n";
+        return 0;
+    } catch (const std::exception &e) {
+        err << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+int
+runSweep(const std::vector<std::string> &args, std::ostream &out,
+         std::ostream &err)
+{
+    SimulateOptions opt;
+    try {
+        opt = parseSimulateArgs(args);
+        if (opt.lcApps.empty()) {
+            throw std::invalid_argument(
+                "sweep needs at least one LC app (app=load)");
+        }
+    } catch (const std::exception &e) {
+        err << "error: " << e.what() << "\n";
+        return 2;
+    }
+
+    try {
+        const auto mc = machine::MachineConfig::xeonE52630v4()
+                            .withAvailable(opt.cores, opt.ways,
+                                           opt.bwUnits);
+        const std::vector<std::string> strategies{
+            "Unmanaged", "LC-first", "PARTIES", "CLITE", "ARQ"};
+
+        std::vector<std::string> header{opt.lcApps[0].first +
+                                        " load"};
+        header.insert(header.end(), strategies.begin(),
+                      strategies.end());
+        report::TextTable t(header);
+
+        for (double load : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+            std::vector<cluster::ColocatedApp> colocated;
+            colocated.push_back(
+                cluster::lcAt(apps::byName(opt.lcApps[0].first),
+                              load));
+            for (std::size_t i = 1; i < opt.lcApps.size(); ++i) {
+                colocated.push_back(cluster::lcAt(
+                    apps::byName(opt.lcApps[i].first),
+                    opt.lcApps[i].second));
+            }
+            for (const auto &name : opt.beApps)
+                colocated.push_back(
+                    cluster::be(apps::byName(name)));
+            cluster::Node node(mc, std::move(colocated));
+
+            cluster::SimulationConfig cfg;
+            cfg.durationSeconds = opt.durationSeconds;
+            cfg.warmupEpochs = opt.warmupEpochs;
+            cfg.seed = opt.seed;
+            cfg.tailPercentile = opt.percentile;
+
+            std::vector<std::string> row{
+                report::TextTable::num(load * 100, 0) + "%"};
+            for (const auto &name : strategies) {
+                const auto sched = makeScheduler(name);
+                cluster::EpochSimulator sim(node, cfg);
+                row.push_back(report::TextTable::num(
+                    sim.run(*sched).meanES));
+            }
+            t.addRow(row);
+        }
+        out << "E_S by strategy ("
+            << opt.lcApps[0].first << " sweeping):\n";
+        t.print(out);
+        return 0;
+    } catch (const std::exception &e) {
+        err << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+int
+runApps(std::ostream &out)
+{
+    report::TextTable t({"name", "kind", "threshold (ms)",
+                         "max load (QPS)", "threads"});
+    for (const auto &name : apps::allNames()) {
+        const auto p = apps::byName(name);
+        t.addRow({p.name, p.latencyCritical ? "LC" : "BE",
+                  p.latencyCritical ?
+                      report::TextTable::num(p.tailThresholdMs, 2) :
+                      "-",
+                  p.latencyCritical ?
+                      report::TextTable::num(p.maxLoadQps, 1) : "-",
+                  std::to_string(p.threads)});
+    }
+    t.print(out);
+    return 0;
+}
+
+int
+runStrategies(std::ostream &out)
+{
+    for (const char *s : {"Unmanaged", "LC-first", "PARTIES",
+                          "CLITE", "ARQ", "Heracles", "CoPart"}) {
+        out << s << "\n";
+    }
+    return 0;
+}
+
+int
+dispatch(const std::vector<std::string> &argv, std::ostream &out,
+         std::ostream &err)
+{
+    auto usage = [](std::ostream &os) {
+        os << "usage: ahq <subcommand> [args]\n"
+              "  entropy <obs.csv>          E_S from measurements\n"
+              "  simulate [opts] app=load.. one colocation run\n"
+              "  sweep [opts] app=load..    Fig.8-style E_S table\n"
+              "  oracle [opts] app=load..   best static partitions\n"
+              "  apps                       workload catalogue\n"
+              "  strategies                 scheduler registry\n"
+              "options (simulate/sweep/oracle): --strategy S "
+              "--duration S --warmup N\n"
+              "  --cores N --ways N --bw N --seed N "
+              "--percentile P --csv FILE --waystep N\n";
+    };
+    if (argv.empty()) {
+        usage(err);
+        return 2;
+    }
+    if (argv[0] == "help" || argv[0] == "--help" ||
+        argv[0] == "-h") {
+        usage(out);
+        return 0;
+    }
+    const std::string cmd = argv[0];
+    const std::vector<std::string> rest(argv.begin() + 1,
+                                        argv.end());
+    if (cmd == "entropy")
+        return runEntropy(rest, out, err);
+    if (cmd == "simulate")
+        return runSimulate(rest, out, err);
+    if (cmd == "oracle")
+        return runOracle(rest, out, err);
+    if (cmd == "sweep")
+        return runSweep(rest, out, err);
+    if (cmd == "apps")
+        return runApps(out);
+    if (cmd == "strategies")
+        return runStrategies(out);
+    err << "unknown subcommand: " << cmd << "\n";
+    return 2;
+}
+
+} // namespace ahq::cli

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The `ahq` command-line tool's parsing and execution layer, kept
+ * separate from main() so the test suite can exercise it.
+ *
+ * Subcommands:
+ *   ahq entropy <observations.csv>
+ *       Compute E_LC / E_BE / E_S from measured observations.
+ *       CSV rows: "lc,<name>,<ideal_ms>,<actual_ms>,<threshold_ms>"
+ *               | "be,<name>,<ipc_solo>,<ipc_real>"
+ *   ahq simulate [options] <app>=<load>... <be_app>...
+ *       Simulate a colocation under a strategy.
+ *   ahq apps | ahq strategies
+ *       List the catalogue / the strategy registry.
+ */
+
+#ifndef AHQ_TOOLS_CLI_HH
+#define AHQ_TOOLS_CLI_HH
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cluster/epoch_sim.hh"
+#include "core/entropy.hh"
+
+namespace ahq::cli
+{
+
+/** Parsed command line for the simulate subcommand. */
+struct SimulateOptions
+{
+    std::string strategy = "ARQ";
+    double durationSeconds = 120.0;
+    int warmupEpochs = 120;
+    int cores = 10;
+    int ways = 20;
+    int bwUnits = 10;
+    std::uint64_t seed = 42;
+    double percentile = 0.95;
+    std::string csvPath; // empty = no CSV dump
+
+    /** "name=load" LC entries and bare BE names, in order. */
+    std::vector<std::pair<std::string, double>> lcApps;
+    std::vector<std::string> beApps;
+};
+
+/**
+ * Parse simulate-subcommand arguments (everything after the
+ * subcommand word).
+ *
+ * @throws std::invalid_argument on malformed input.
+ */
+SimulateOptions
+parseSimulateArgs(const std::vector<std::string> &args);
+
+/**
+ * Parse an observations CSV into entropy inputs.
+ *
+ * @throws std::invalid_argument on malformed rows,
+ *         std::runtime_error when the file cannot be read.
+ */
+void parseObservationsCsv(const std::string &path,
+                          std::vector<core::LcObservation> &lc,
+                          std::vector<core::BeObservation> &be);
+
+/** Run `ahq entropy`. Returns a process exit code. */
+int runEntropy(const std::vector<std::string> &args,
+               std::ostream &out, std::ostream &err);
+
+/** Run `ahq simulate`. Returns a process exit code. */
+int runSimulate(const std::vector<std::string> &args,
+                std::ostream &out, std::ostream &err);
+
+/**
+ * Run `ahq oracle`: search the best static partition of both
+ * families (isolated / hybrid) for a colocation. Accepts the same
+ * app specs and machine flags as simulate, plus --waystep.
+ */
+int runOracle(const std::vector<std::string> &args,
+              std::ostream &out, std::ostream &err);
+
+/**
+ * Run `ahq sweep`: sweep the FIRST LC app's load from 10% to 90%
+ * (its given load is ignored) under every strategy, printing the
+ * E_S table — a command-line Fig. 8. Accepts simulate's grammar.
+ */
+int runSweep(const std::vector<std::string> &args, std::ostream &out,
+             std::ostream &err);
+
+/** Run `ahq apps`. */
+int runApps(std::ostream &out);
+
+/** Run `ahq strategies`. */
+int runStrategies(std::ostream &out);
+
+/** Top-level dispatch; argv excludes the program name. */
+int dispatch(const std::vector<std::string> &argv, std::ostream &out,
+             std::ostream &err);
+
+} // namespace ahq::cli
+
+#endif // AHQ_TOOLS_CLI_HH

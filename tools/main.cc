@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Entry point of the `ahq` command-line tool.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    return ahq::cli::dispatch(args, std::cout, std::cerr);
+}
