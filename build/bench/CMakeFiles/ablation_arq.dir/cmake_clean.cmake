@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_arq.dir/ablation_arq.cc.o"
+  "CMakeFiles/ablation_arq.dir/ablation_arq.cc.o.d"
+  "ablation_arq"
+  "ablation_arq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_arq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahq_bench_common.dir/common.cc.o"
+  "CMakeFiles/ahq_bench_common.dir/common.cc.o.d"
+  "libahq_bench_common.a"
+  "libahq_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahq_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_comparison.dir/fairness_comparison.cc.o"
+  "CMakeFiles/fairness_comparison.dir/fairness_comparison.cc.o.d"
+  "fairness_comparison"
+  "fairness_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_two_strategies.dir/fig01_two_strategies.cc.o"
+  "CMakeFiles/fig01_two_strategies.dir/fig01_two_strategies.cc.o.d"
+  "fig01_two_strategies"
+  "fig01_two_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_two_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

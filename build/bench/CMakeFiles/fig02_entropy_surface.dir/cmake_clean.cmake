@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_entropy_surface.dir/fig02_entropy_surface.cc.o"
+  "CMakeFiles/fig02_entropy_surface.dir/fig02_entropy_surface.cc.o.d"
+  "fig02_entropy_surface"
+  "fig02_entropy_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_entropy_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

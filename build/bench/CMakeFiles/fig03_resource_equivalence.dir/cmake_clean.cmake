@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_resource_equivalence.dir/fig03_resource_equivalence.cc.o"
+  "CMakeFiles/fig03_resource_equivalence.dir/fig03_resource_equivalence.cc.o.d"
+  "fig03_resource_equivalence"
+  "fig03_resource_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_resource_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_spacetime_model.dir/fig04_spacetime_model.cc.o"
+  "CMakeFiles/fig04_spacetime_model.dir/fig04_spacetime_model.cc.o.d"
+  "fig04_spacetime_model"
+  "fig04_spacetime_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_spacetime_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_06_snapshots.dir/fig05_06_snapshots.cc.o"
+  "CMakeFiles/fig05_06_snapshots.dir/fig05_06_snapshots.cc.o.d"
+  "fig05_06_snapshots"
+  "fig05_06_snapshots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_06_snapshots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_latency_load.dir/fig07_latency_load.cc.o"
+  "CMakeFiles/fig07_latency_load.dir/fig07_latency_load.cc.o.d"
+  "fig07_latency_load"
+  "fig07_latency_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_latency_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_colocate_fluidanimate.dir/fig08_colocate_fluidanimate.cc.o"
+  "CMakeFiles/fig08_colocate_fluidanimate.dir/fig08_colocate_fluidanimate.cc.o.d"
+  "fig08_colocate_fluidanimate"
+  "fig08_colocate_fluidanimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_colocate_fluidanimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_colocate_stream.dir/fig09_colocate_stream.cc.o"
+  "CMakeFiles/fig09_colocate_stream.dir/fig09_colocate_stream.cc.o.d"
+  "fig09_colocate_stream"
+  "fig09_colocate_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_colocate_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

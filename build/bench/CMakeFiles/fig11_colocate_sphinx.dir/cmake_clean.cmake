@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_colocate_sphinx.dir/fig11_colocate_sphinx.cc.o"
+  "CMakeFiles/fig11_colocate_sphinx.dir/fig11_colocate_sphinx.cc.o.d"
+  "fig11_colocate_sphinx"
+  "fig11_colocate_sphinx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_colocate_sphinx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_eight_apps.dir/fig12_eight_apps.cc.o"
+  "CMakeFiles/fig12_eight_apps.dir/fig12_eight_apps.cc.o.d"
+  "fig12_eight_apps"
+  "fig12_eight_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_eight_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

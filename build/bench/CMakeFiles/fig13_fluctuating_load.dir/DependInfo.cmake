@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_fluctuating_load.cc" "bench/CMakeFiles/fig13_fluctuating_load.dir/fig13_fluctuating_load.cc.o" "gcc" "bench/CMakeFiles/fig13_fluctuating_load.dir/fig13_fluctuating_load.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ahq_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ahq_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ahq_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ahq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ahq_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/ahq_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ahq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ahq_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ahq_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/ahq_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ahq_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_machines.dir/scaling_machines.cc.o"
+  "CMakeFiles/scaling_machines.dir/scaling_machines.cc.o.d"
+  "scaling_machines"
+  "scaling_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

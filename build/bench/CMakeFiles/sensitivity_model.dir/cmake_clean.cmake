@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_model.dir/sensitivity_model.cc.o"
+  "CMakeFiles/sensitivity_model.dir/sensitivity_model.cc.o.d"
+  "sensitivity_model"
+  "sensitivity_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_resource_amount.dir/table2_resource_amount.cc.o"
+  "CMakeFiles/table2_resource_amount.dir/table2_resource_amount.cc.o.d"
+  "table2_resource_amount"
+  "table2_resource_amount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_resource_amount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_max_load.dir/table4_max_load.cc.o"
+  "CMakeFiles/table4_max_load.dir/table4_max_load.cc.o.d"
+  "table4_max_load"
+  "table4_max_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_max_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

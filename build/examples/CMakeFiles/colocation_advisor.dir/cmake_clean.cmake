@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocation_advisor.dir/colocation_advisor.cpp.o"
+  "CMakeFiles/colocation_advisor.dir/colocation_advisor.cpp.o.d"
+  "colocation_advisor"
+  "colocation_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocation_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entropy_monitor.dir/entropy_monitor.cpp.o"
+  "CMakeFiles/entropy_monitor.dir/entropy_monitor.cpp.o.d"
+  "entropy_monitor"
+  "entropy_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entropy_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

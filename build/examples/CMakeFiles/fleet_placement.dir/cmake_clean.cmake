@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_placement.dir/fleet_placement.cpp.o"
+  "CMakeFiles/fleet_placement.dir/fleet_placement.cpp.o.d"
+  "fleet_placement"
+  "fleet_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/builder.cc" "src/apps/CMakeFiles/ahq_apps.dir/builder.cc.o" "gcc" "src/apps/CMakeFiles/ahq_apps.dir/builder.cc.o.d"
+  "/root/repo/src/apps/catalog.cc" "src/apps/CMakeFiles/ahq_apps.dir/catalog.cc.o" "gcc" "src/apps/CMakeFiles/ahq_apps.dir/catalog.cc.o.d"
+  "/root/repo/src/apps/profile.cc" "src/apps/CMakeFiles/ahq_apps.dir/profile.cc.o" "gcc" "src/apps/CMakeFiles/ahq_apps.dir/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/ahq_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ahq_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ahq_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

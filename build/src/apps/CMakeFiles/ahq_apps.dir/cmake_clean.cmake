@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahq_apps.dir/builder.cc.o"
+  "CMakeFiles/ahq_apps.dir/builder.cc.o.d"
+  "CMakeFiles/ahq_apps.dir/catalog.cc.o"
+  "CMakeFiles/ahq_apps.dir/catalog.cc.o.d"
+  "CMakeFiles/ahq_apps.dir/profile.cc.o"
+  "CMakeFiles/ahq_apps.dir/profile.cc.o.d"
+  "libahq_apps.a"
+  "libahq_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahq_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

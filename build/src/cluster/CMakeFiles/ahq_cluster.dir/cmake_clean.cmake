@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahq_cluster.dir/epoch_sim.cc.o"
+  "CMakeFiles/ahq_cluster.dir/epoch_sim.cc.o.d"
+  "CMakeFiles/ahq_cluster.dir/fleet.cc.o"
+  "CMakeFiles/ahq_cluster.dir/fleet.cc.o.d"
+  "CMakeFiles/ahq_cluster.dir/node.cc.o"
+  "CMakeFiles/ahq_cluster.dir/node.cc.o.d"
+  "CMakeFiles/ahq_cluster.dir/oracle.cc.o"
+  "CMakeFiles/ahq_cluster.dir/oracle.cc.o.d"
+  "libahq_cluster.a"
+  "libahq_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahq_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dual.cc" "src/core/CMakeFiles/ahq_core.dir/dual.cc.o" "gcc" "src/core/CMakeFiles/ahq_core.dir/dual.cc.o.d"
+  "/root/repo/src/core/entropy.cc" "src/core/CMakeFiles/ahq_core.dir/entropy.cc.o" "gcc" "src/core/CMakeFiles/ahq_core.dir/entropy.cc.o.d"
+  "/root/repo/src/core/equivalence.cc" "src/core/CMakeFiles/ahq_core.dir/equivalence.cc.o" "gcc" "src/core/CMakeFiles/ahq_core.dir/equivalence.cc.o.d"
+  "/root/repo/src/core/weighted.cc" "src/core/CMakeFiles/ahq_core.dir/weighted.cc.o" "gcc" "src/core/CMakeFiles/ahq_core.dir/weighted.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/ahq_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

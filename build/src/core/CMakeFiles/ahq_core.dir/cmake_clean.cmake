@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahq_core.dir/dual.cc.o"
+  "CMakeFiles/ahq_core.dir/dual.cc.o.d"
+  "CMakeFiles/ahq_core.dir/entropy.cc.o"
+  "CMakeFiles/ahq_core.dir/entropy.cc.o.d"
+  "CMakeFiles/ahq_core.dir/equivalence.cc.o"
+  "CMakeFiles/ahq_core.dir/equivalence.cc.o.d"
+  "CMakeFiles/ahq_core.dir/weighted.cc.o"
+  "CMakeFiles/ahq_core.dir/weighted.cc.o.d"
+  "libahq_core.a"
+  "libahq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

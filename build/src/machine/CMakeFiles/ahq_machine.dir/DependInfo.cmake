@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/config.cc" "src/machine/CMakeFiles/ahq_machine.dir/config.cc.o" "gcc" "src/machine/CMakeFiles/ahq_machine.dir/config.cc.o.d"
+  "/root/repo/src/machine/layout.cc" "src/machine/CMakeFiles/ahq_machine.dir/layout.cc.o" "gcc" "src/machine/CMakeFiles/ahq_machine.dir/layout.cc.o.d"
+  "/root/repo/src/machine/mask.cc" "src/machine/CMakeFiles/ahq_machine.dir/mask.cc.o" "gcc" "src/machine/CMakeFiles/ahq_machine.dir/mask.cc.o.d"
+  "/root/repo/src/machine/pqos.cc" "src/machine/CMakeFiles/ahq_machine.dir/pqos.cc.o" "gcc" "src/machine/CMakeFiles/ahq_machine.dir/pqos.cc.o.d"
+  "/root/repo/src/machine/resources.cc" "src/machine/CMakeFiles/ahq_machine.dir/resources.cc.o" "gcc" "src/machine/CMakeFiles/ahq_machine.dir/resources.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/ahq_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahq_machine.dir/config.cc.o"
+  "CMakeFiles/ahq_machine.dir/config.cc.o.d"
+  "CMakeFiles/ahq_machine.dir/layout.cc.o"
+  "CMakeFiles/ahq_machine.dir/layout.cc.o.d"
+  "CMakeFiles/ahq_machine.dir/mask.cc.o"
+  "CMakeFiles/ahq_machine.dir/mask.cc.o.d"
+  "CMakeFiles/ahq_machine.dir/pqos.cc.o"
+  "CMakeFiles/ahq_machine.dir/pqos.cc.o.d"
+  "CMakeFiles/ahq_machine.dir/resources.cc.o"
+  "CMakeFiles/ahq_machine.dir/resources.cc.o.d"
+  "libahq_machine.a"
+  "libahq_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahq_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/bandwidth.cc" "src/perf/CMakeFiles/ahq_perf.dir/bandwidth.cc.o" "gcc" "src/perf/CMakeFiles/ahq_perf.dir/bandwidth.cc.o.d"
+  "/root/repo/src/perf/contention.cc" "src/perf/CMakeFiles/ahq_perf.dir/contention.cc.o" "gcc" "src/perf/CMakeFiles/ahq_perf.dir/contention.cc.o.d"
+  "/root/repo/src/perf/cpi.cc" "src/perf/CMakeFiles/ahq_perf.dir/cpi.cc.o" "gcc" "src/perf/CMakeFiles/ahq_perf.dir/cpi.cc.o.d"
+  "/root/repo/src/perf/mrc.cc" "src/perf/CMakeFiles/ahq_perf.dir/mrc.cc.o" "gcc" "src/perf/CMakeFiles/ahq_perf.dir/mrc.cc.o.d"
+  "/root/repo/src/perf/mrc_fit.cc" "src/perf/CMakeFiles/ahq_perf.dir/mrc_fit.cc.o" "gcc" "src/perf/CMakeFiles/ahq_perf.dir/mrc_fit.cc.o.d"
+  "/root/repo/src/perf/queueing.cc" "src/perf/CMakeFiles/ahq_perf.dir/queueing.cc.o" "gcc" "src/perf/CMakeFiles/ahq_perf.dir/queueing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/ahq_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ahq_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

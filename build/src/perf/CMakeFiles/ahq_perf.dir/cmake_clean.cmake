@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahq_perf.dir/bandwidth.cc.o"
+  "CMakeFiles/ahq_perf.dir/bandwidth.cc.o.d"
+  "CMakeFiles/ahq_perf.dir/contention.cc.o"
+  "CMakeFiles/ahq_perf.dir/contention.cc.o.d"
+  "CMakeFiles/ahq_perf.dir/cpi.cc.o"
+  "CMakeFiles/ahq_perf.dir/cpi.cc.o.d"
+  "CMakeFiles/ahq_perf.dir/mrc.cc.o"
+  "CMakeFiles/ahq_perf.dir/mrc.cc.o.d"
+  "CMakeFiles/ahq_perf.dir/mrc_fit.cc.o"
+  "CMakeFiles/ahq_perf.dir/mrc_fit.cc.o.d"
+  "CMakeFiles/ahq_perf.dir/queueing.cc.o"
+  "CMakeFiles/ahq_perf.dir/queueing.cc.o.d"
+  "libahq_perf.a"
+  "libahq_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahq_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahq_report.dir/ascii_chart.cc.o"
+  "CMakeFiles/ahq_report.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/ahq_report.dir/csv.cc.o"
+  "CMakeFiles/ahq_report.dir/csv.cc.o.d"
+  "CMakeFiles/ahq_report.dir/table.cc.o"
+  "CMakeFiles/ahq_report.dir/table.cc.o.d"
+  "libahq_report.a"
+  "libahq_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahq_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

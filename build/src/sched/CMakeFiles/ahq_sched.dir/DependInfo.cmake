@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/arq.cc" "src/sched/CMakeFiles/ahq_sched.dir/arq.cc.o" "gcc" "src/sched/CMakeFiles/ahq_sched.dir/arq.cc.o.d"
+  "/root/repo/src/sched/clite.cc" "src/sched/CMakeFiles/ahq_sched.dir/clite.cc.o" "gcc" "src/sched/CMakeFiles/ahq_sched.dir/clite.cc.o.d"
+  "/root/repo/src/sched/copart.cc" "src/sched/CMakeFiles/ahq_sched.dir/copart.cc.o" "gcc" "src/sched/CMakeFiles/ahq_sched.dir/copart.cc.o.d"
+  "/root/repo/src/sched/gp.cc" "src/sched/CMakeFiles/ahq_sched.dir/gp.cc.o" "gcc" "src/sched/CMakeFiles/ahq_sched.dir/gp.cc.o.d"
+  "/root/repo/src/sched/heracles.cc" "src/sched/CMakeFiles/ahq_sched.dir/heracles.cc.o" "gcc" "src/sched/CMakeFiles/ahq_sched.dir/heracles.cc.o.d"
+  "/root/repo/src/sched/lc_first.cc" "src/sched/CMakeFiles/ahq_sched.dir/lc_first.cc.o" "gcc" "src/sched/CMakeFiles/ahq_sched.dir/lc_first.cc.o.d"
+  "/root/repo/src/sched/parties.cc" "src/sched/CMakeFiles/ahq_sched.dir/parties.cc.o" "gcc" "src/sched/CMakeFiles/ahq_sched.dir/parties.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/sched/CMakeFiles/ahq_sched.dir/scheduler.cc.o" "gcc" "src/sched/CMakeFiles/ahq_sched.dir/scheduler.cc.o.d"
+  "/root/repo/src/sched/spacetime.cc" "src/sched/CMakeFiles/ahq_sched.dir/spacetime.cc.o" "gcc" "src/sched/CMakeFiles/ahq_sched.dir/spacetime.cc.o.d"
+  "/root/repo/src/sched/unmanaged.cc" "src/sched/CMakeFiles/ahq_sched.dir/unmanaged.cc.o" "gcc" "src/sched/CMakeFiles/ahq_sched.dir/unmanaged.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ahq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ahq_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/ahq_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ahq_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

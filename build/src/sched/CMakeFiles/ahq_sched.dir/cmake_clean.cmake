@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahq_sched.dir/arq.cc.o"
+  "CMakeFiles/ahq_sched.dir/arq.cc.o.d"
+  "CMakeFiles/ahq_sched.dir/clite.cc.o"
+  "CMakeFiles/ahq_sched.dir/clite.cc.o.d"
+  "CMakeFiles/ahq_sched.dir/copart.cc.o"
+  "CMakeFiles/ahq_sched.dir/copart.cc.o.d"
+  "CMakeFiles/ahq_sched.dir/gp.cc.o"
+  "CMakeFiles/ahq_sched.dir/gp.cc.o.d"
+  "CMakeFiles/ahq_sched.dir/heracles.cc.o"
+  "CMakeFiles/ahq_sched.dir/heracles.cc.o.d"
+  "CMakeFiles/ahq_sched.dir/lc_first.cc.o"
+  "CMakeFiles/ahq_sched.dir/lc_first.cc.o.d"
+  "CMakeFiles/ahq_sched.dir/parties.cc.o"
+  "CMakeFiles/ahq_sched.dir/parties.cc.o.d"
+  "CMakeFiles/ahq_sched.dir/scheduler.cc.o"
+  "CMakeFiles/ahq_sched.dir/scheduler.cc.o.d"
+  "CMakeFiles/ahq_sched.dir/spacetime.cc.o"
+  "CMakeFiles/ahq_sched.dir/spacetime.cc.o.d"
+  "CMakeFiles/ahq_sched.dir/unmanaged.cc.o"
+  "CMakeFiles/ahq_sched.dir/unmanaged.cc.o.d"
+  "libahq_sched.a"
+  "libahq_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahq_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahq_sim.dir/multiclass_sim.cc.o"
+  "CMakeFiles/ahq_sim.dir/multiclass_sim.cc.o.d"
+  "CMakeFiles/ahq_sim.dir/queue_sim.cc.o"
+  "CMakeFiles/ahq_sim.dir/queue_sim.cc.o.d"
+  "CMakeFiles/ahq_sim.dir/simulator.cc.o"
+  "CMakeFiles/ahq_sim.dir/simulator.cc.o.d"
+  "libahq_sim.a"
+  "libahq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

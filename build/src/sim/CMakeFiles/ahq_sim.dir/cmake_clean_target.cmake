@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libahq_sim.a"
+)

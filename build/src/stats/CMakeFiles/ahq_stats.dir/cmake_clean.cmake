@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahq_stats.dir/bootstrap.cc.o"
+  "CMakeFiles/ahq_stats.dir/bootstrap.cc.o.d"
+  "CMakeFiles/ahq_stats.dir/histogram.cc.o"
+  "CMakeFiles/ahq_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/ahq_stats.dir/percentile.cc.o"
+  "CMakeFiles/ahq_stats.dir/percentile.cc.o.d"
+  "CMakeFiles/ahq_stats.dir/rng.cc.o"
+  "CMakeFiles/ahq_stats.dir/rng.cc.o.d"
+  "CMakeFiles/ahq_stats.dir/running.cc.o"
+  "CMakeFiles/ahq_stats.dir/running.cc.o.d"
+  "CMakeFiles/ahq_stats.dir/summary.cc.o"
+  "CMakeFiles/ahq_stats.dir/summary.cc.o.d"
+  "CMakeFiles/ahq_stats.dir/zipf.cc.o"
+  "CMakeFiles/ahq_stats.dir/zipf.cc.o.d"
+  "libahq_stats.a"
+  "libahq_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahq_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

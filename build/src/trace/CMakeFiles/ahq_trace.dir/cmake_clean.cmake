@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahq_trace.dir/load_trace.cc.o"
+  "CMakeFiles/ahq_trace.dir/load_trace.cc.o.d"
+  "libahq_trace.a"
+  "libahq_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahq_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/determinism_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/determinism_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/entropy_properties_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/entropy_properties_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/fluctuating_load_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/fluctuating_load_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/fuzz_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/fuzz_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/scheduler_comparison_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/scheduler_comparison_test.cc.o.d"
+  "integration_test"
+  "integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

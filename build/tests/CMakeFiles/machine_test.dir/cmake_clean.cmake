@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_test.dir/machine/config_test.cc.o"
+  "CMakeFiles/machine_test.dir/machine/config_test.cc.o.d"
+  "CMakeFiles/machine_test.dir/machine/layout_test.cc.o"
+  "CMakeFiles/machine_test.dir/machine/layout_test.cc.o.d"
+  "CMakeFiles/machine_test.dir/machine/mask_test.cc.o"
+  "CMakeFiles/machine_test.dir/machine/mask_test.cc.o.d"
+  "CMakeFiles/machine_test.dir/machine/pqos_test.cc.o"
+  "CMakeFiles/machine_test.dir/machine/pqos_test.cc.o.d"
+  "CMakeFiles/machine_test.dir/machine/resources_test.cc.o"
+  "CMakeFiles/machine_test.dir/machine/resources_test.cc.o.d"
+  "machine_test"
+  "machine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_test.dir/perf/bandwidth_test.cc.o"
+  "CMakeFiles/perf_test.dir/perf/bandwidth_test.cc.o.d"
+  "CMakeFiles/perf_test.dir/perf/contention_sweep_test.cc.o"
+  "CMakeFiles/perf_test.dir/perf/contention_sweep_test.cc.o.d"
+  "CMakeFiles/perf_test.dir/perf/contention_test.cc.o"
+  "CMakeFiles/perf_test.dir/perf/contention_test.cc.o.d"
+  "CMakeFiles/perf_test.dir/perf/cpi_test.cc.o"
+  "CMakeFiles/perf_test.dir/perf/cpi_test.cc.o.d"
+  "CMakeFiles/perf_test.dir/perf/mrc_fit_test.cc.o"
+  "CMakeFiles/perf_test.dir/perf/mrc_fit_test.cc.o.d"
+  "CMakeFiles/perf_test.dir/perf/mrc_test.cc.o"
+  "CMakeFiles/perf_test.dir/perf/mrc_test.cc.o.d"
+  "CMakeFiles/perf_test.dir/perf/percentile_sweep_test.cc.o"
+  "CMakeFiles/perf_test.dir/perf/percentile_sweep_test.cc.o.d"
+  "CMakeFiles/perf_test.dir/perf/queueing_test.cc.o"
+  "CMakeFiles/perf_test.dir/perf/queueing_test.cc.o.d"
+  "perf_test"
+  "perf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

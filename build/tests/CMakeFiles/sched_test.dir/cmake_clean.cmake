@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_test.dir/sched/arq_test.cc.o"
+  "CMakeFiles/sched_test.dir/sched/arq_test.cc.o.d"
+  "CMakeFiles/sched_test.dir/sched/baselines_test.cc.o"
+  "CMakeFiles/sched_test.dir/sched/baselines_test.cc.o.d"
+  "CMakeFiles/sched_test.dir/sched/clite_test.cc.o"
+  "CMakeFiles/sched_test.dir/sched/clite_test.cc.o.d"
+  "CMakeFiles/sched_test.dir/sched/copart_test.cc.o"
+  "CMakeFiles/sched_test.dir/sched/copart_test.cc.o.d"
+  "CMakeFiles/sched_test.dir/sched/gp_test.cc.o"
+  "CMakeFiles/sched_test.dir/sched/gp_test.cc.o.d"
+  "CMakeFiles/sched_test.dir/sched/heracles_test.cc.o"
+  "CMakeFiles/sched_test.dir/sched/heracles_test.cc.o.d"
+  "CMakeFiles/sched_test.dir/sched/parties_test.cc.o"
+  "CMakeFiles/sched_test.dir/sched/parties_test.cc.o.d"
+  "CMakeFiles/sched_test.dir/sched/spacetime_test.cc.o"
+  "CMakeFiles/sched_test.dir/sched/spacetime_test.cc.o.d"
+  "sched_test"
+  "sched_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahq.dir/main.cc.o"
+  "CMakeFiles/ahq.dir/main.cc.o.d"
+  "ahq"
+  "ahq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahq_cli.dir/cli.cc.o"
+  "CMakeFiles/ahq_cli.dir/cli.cc.o.d"
+  "libahq_cli.a"
+  "libahq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
