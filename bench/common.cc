@@ -5,9 +5,13 @@
 
 #include "common.hh"
 
+#include <cstdlib>
 #include <iostream>
 #include <stdexcept>
 #include <sys/stat.h>
+
+#include "exec/jobs.hh"
+#include "sched/registry.hh"
 
 namespace ahq::bench
 {
@@ -15,12 +19,22 @@ namespace ahq::bench
 std::string
 outputDir()
 {
+    // Magic-static init makes the mkdir race-free when pool
+    // threads hit the first call concurrently.
     static const std::string dir = [] {
-        std::string d = "bench_out";
+        const char *env = std::getenv("AHQ_BENCH_OUT");
+        std::string d =
+            env != nullptr && *env != '\0' ? env : "bench_out";
         ::mkdir(d.c_str(), 0755); // best effort; may already exist
         return d;
     }();
     return dir;
+}
+
+exec::ThreadPool &
+pool()
+{
+    return exec::globalPool();
 }
 
 std::unique_ptr<report::CsvWriter>
@@ -34,17 +48,7 @@ openCsv(const std::string &filename,
 std::unique_ptr<sched::Scheduler>
 makeScheduler(const std::string &name)
 {
-    if (name == "Unmanaged")
-        return std::make_unique<sched::Unmanaged>();
-    if (name == "LC-first")
-        return std::make_unique<sched::LcFirst>();
-    if (name == "PARTIES")
-        return std::make_unique<sched::Parties>();
-    if (name == "CLITE")
-        return std::make_unique<sched::Clite>();
-    if (name == "ARQ")
-        return std::make_unique<sched::Arq>();
-    throw std::invalid_argument("unknown strategy: " + name);
+    return sched::makeScheduler(name);
 }
 
 const std::vector<std::string> &
@@ -83,6 +87,12 @@ runScenario(const std::string &strategy, const cluster::Node &node,
     return sim.run(*sched);
 }
 
+std::vector<cluster::SimulationResult>
+runScenarios(const std::vector<exec::ScenarioJob> &jobs)
+{
+    return exec::ScenarioRunner(&pool()).run(jobs);
+}
+
 cluster::Node
 canonicalNode(double xapian_load, double moses_load,
               double imgdnn_load, const apps::AppProfile &be_app,
@@ -100,15 +110,20 @@ entropyVsCores(const std::string &strategy,
                const std::vector<int> &core_counts, int ways,
                const apps::AppProfile &be_app, double xapian_load)
 {
-    core::EntropyCurve curve;
+    std::vector<exec::ScenarioJob> jobs;
     for (int cores : core_counts) {
         const auto mc = machine::MachineConfig::xeonE52630v4()
                             .withAvailable(cores, ways, 10);
-        const auto node = canonicalNode(xapian_load, 0.2, 0.2,
-                                        be_app, mc);
-        const auto res = runScenario(strategy, node,
-                                     standardConfig());
-        curve.push_back({static_cast<double>(cores), res.meanES});
+        jobs.push_back({strategy,
+                        canonicalNode(xapian_load, 0.2, 0.2,
+                                      be_app, mc),
+                        standardConfig()});
+    }
+    const auto results = bench::runScenarios(jobs);
+    core::EntropyCurve curve;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        curve.push_back({static_cast<double>(core_counts[i]),
+                         results[i].meanES});
     }
     return curve;
 }
@@ -132,8 +147,27 @@ loadSweepFigure(const std::string &fig_name,
                         "p95_primary", "p95_a", "p95_b", "be_ipc"});
 
     const std::vector<double> sweep{0.1, 0.3, 0.5, 0.7, 0.9};
+    const std::vector<double> fixed_loads{0.2, 0.4};
 
-    for (double fixed : {0.2, 0.4}) {
+    // Simulate the whole (fixed, load, strategy) grid as one batch
+    // across the pool, then render in the original order.
+    std::vector<exec::ScenarioJob> grid;
+    for (double fixed : fixed_loads) {
+        for (double load : sweep) {
+            cluster::Node node(
+                machine::MachineConfig::xeonE52630v4(),
+                {cluster::lcAt(primary, load),
+                 cluster::lcAt(secondary_a, fixed),
+                 cluster::lcAt(secondary_b, fixed),
+                 cluster::be(be_app)});
+            for (const auto &s : allStrategies())
+                grid.push_back({s, node, standardConfig()});
+        }
+    }
+    const auto results = bench::runScenarios(grid);
+
+    std::size_t ji = 0;
+    for (double fixed : fixed_loads) {
         report::heading(std::cout,
                         fig_name + " — " + secondary_a.name + "/" +
                             secondary_b.name + " at " +
@@ -151,16 +185,9 @@ loadSweepFigure(const std::string &fig_name,
             es_series.push_back({s, {}, {}});
 
         for (double load : sweep) {
-            cluster::Node node(
-                machine::MachineConfig::xeonE52630v4(),
-                {cluster::lcAt(primary, load),
-                 cluster::lcAt(secondary_a, fixed),
-                 cluster::lcAt(secondary_b, fixed),
-                 cluster::be(be_app)});
             std::size_t si = 0;
             for (const auto &s : allStrategies()) {
-                const auto res = runScenario(s, node,
-                                             standardConfig());
+                const auto &res = results[ji++];
                 t.addRow({num(load * 100, 0) + "%", s,
                           num(res.meanELc), num(res.meanEBe),
                           num(res.meanES), num(res.yieldValue, 2),

@@ -16,6 +16,8 @@
 #include "apps/catalog.hh"
 #include "cluster/epoch_sim.hh"
 #include "core/equivalence.hh"
+#include "exec/scenario_runner.hh"
+#include "exec/thread_pool.hh"
 #include "report/ascii_chart.hh"
 #include "report/csv.hh"
 #include "report/table.hh"
@@ -28,8 +30,18 @@
 namespace ahq::bench
 {
 
-/** Directory CSV series are written into (created on demand). */
+/**
+ * Directory CSV series are written into (created on demand).
+ * Overridable via the AHQ_BENCH_OUT environment variable;
+ * thread-safe, so pool workers may race on the first call.
+ */
 std::string outputDir();
+
+/**
+ * The bench-wide thread pool: AHQ_JOBS threads, defaulting to the
+ * hardware concurrency. All batch helpers below fan out on it.
+ */
+exec::ThreadPool &pool();
 
 /** Open a CSV in the output directory ("fig08.csv" etc.). */
 std::unique_ptr<report::CsvWriter>
@@ -62,6 +74,14 @@ cluster::SimulationConfig standardConfig();
 cluster::SimulationResult
 runScenario(const std::string &strategy, const cluster::Node &node,
             const cluster::SimulationConfig &cfg);
+
+/**
+ * Batch counterpart of runScenario(): fan the jobs across pool()
+ * and return results in job order, bitwise identical to running
+ * each job serially (each job carries its own seed).
+ */
+std::vector<cluster::SimulationResult>
+runScenarios(const std::vector<exec::ScenarioJob> &jobs);
 
 /** The paper's canonical 3-LC colocation plus a chosen BE app. */
 cluster::Node

@@ -8,9 +8,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "apps/catalog.hh"
 #include "cluster/epoch_sim.hh"
+#include "cluster/oracle.hh"
 #include "core/entropy.hh"
+#include "exec/scenario_runner.hh"
+#include "exec/thread_pool.hh"
 #include "perf/queueing.hh"
 #include "sched/arq.hh"
 #include "sched/gp.hh"
@@ -126,5 +131,67 @@ BM_EpochSimulationSecond(benchmark::State &state)
     }
 }
 BENCHMARK(BM_EpochSimulationSecond);
+
+void
+JobsArgs(benchmark::internal::Benchmark *b)
+{
+    b->Arg(1)->Arg(2);
+    const int hw =
+        static_cast<int>(std::thread::hardware_concurrency());
+    if (hw > 2)
+        b->Arg(hw);
+}
+
+void
+BM_ScenarioRunnerBatch(benchmark::State &state)
+{
+    // Eight independent one-second scenarios fanned across the
+    // pool — the batch shape every figure bench now uses.
+    std::vector<exec::ScenarioJob> jobs;
+    cluster::SimulationConfig cfg;
+    cfg.durationSeconds = 1.0;
+    cfg.warmupEpochs = 0;
+    for (int j = 0; j < 8; ++j) {
+        cfg.seed = static_cast<std::uint64_t>(j + 1);
+        cluster::Node node(
+            machine::MachineConfig::xeonE52630v4(),
+            {cluster::lcAt(apps::xapian(), 0.1 * (j + 1)),
+             cluster::lcAt(apps::moses(), 0.2),
+             cluster::be(apps::stream())});
+        jobs.push_back({"ARQ", node, cfg});
+    }
+    exec::ThreadPool pool(static_cast<int>(state.range(0)));
+    exec::ScenarioRunner runner(&pool);
+    for (auto _ : state) {
+        auto res = runner.run(jobs);
+        benchmark::DoNotOptimize(res[0].meanES);
+    }
+}
+BENCHMARK(BM_ScenarioRunnerBatch)
+    ->Apply(JobsArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_OracleSearchParallel(benchmark::State &state)
+{
+    // The oracle-bound workload: exhaustive hybrid search on the
+    // canonical colocation, fanned over core splits.
+    cluster::Node node(machine::MachineConfig::xeonE52630v4(),
+                       {cluster::lcAt(apps::xapian(), 0.5),
+                        cluster::lcAt(apps::moses(), 0.2),
+                        cluster::lcAt(apps::imgDnn(), 0.2),
+                        cluster::be(apps::stream())});
+    exec::ThreadPool pool(static_cast<int>(state.range(0)));
+    cluster::OracleConfig cfg;
+    cfg.wayStep = 4;
+    cfg.pool = &pool;
+    for (auto _ : state) {
+        auto res = cluster::bestHybridPartition(node, cfg);
+        benchmark::DoNotOptimize(res.report.eS);
+    }
+}
+BENCHMARK(BM_OracleSearchParallel)
+    ->Apply(JobsArgs)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace

@@ -9,6 +9,9 @@
 #include <cassert>
 #include <limits>
 
+#include "exec/jobs.hh"
+#include "exec/parallel.hh"
+
 namespace ahq::cluster
 {
 
@@ -53,19 +56,24 @@ fleetEntropy(const std::vector<const Node *> &nodes,
 }
 
 Fleet::FleetResult
-Fleet::run(const SimulationConfig &config)
+Fleet::run(const SimulationConfig &config, exec::ThreadPool *pool)
 {
     FleetResult out;
     std::vector<const Node *> node_ptrs;
     std::vector<const SimulationResult *> result_ptrs;
 
-    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    out.nodes.resize(nodes_.size());
+    exec::ThreadPool &p = pool ? *pool : exec::globalPool();
+    // Each task touches only its own node entry (its scheduler
+    // instance included) and result slot.
+    exec::parallelFor(p, nodes_.size(), [&](std::size_t n) {
         SimulationConfig per_node = config;
         per_node.seed = config.seed + 0x9e37 * (n + 1);
         EpochSimulator sim(nodes_[n].node, per_node);
-        out.nodes.push_back(sim.run(*nodes_[n].scheduler));
-        out.violations += out.nodes.back().violations;
-    }
+        out.nodes[n] = sim.run(*nodes_[n].scheduler);
+    });
+    for (const auto &res : out.nodes)
+        out.violations += res.violations;
     for (std::size_t n = 0; n < nodes_.size(); ++n) {
         node_ptrs.push_back(&nodes_[n].node);
         result_ptrs.push_back(&out.nodes[n]);
@@ -91,7 +99,8 @@ PlacementAdvisor::PlacementAdvisor(
 
 PlacementAdvisor::Placement
 PlacementAdvisor::place(const std::vector<ColocatedApp> &apps,
-                        const SimulationConfig &trial_config) const
+                        const SimulationConfig &trial_config,
+                        exec::ThreadPool *pool) const
 {
     // Hungriest first: LC apps by mean core demand at their initial
     // load, then BE apps by thread count.
@@ -128,13 +137,25 @@ PlacementAdvisor::place(const std::vector<ColocatedApp> &apps,
         return sim.run(*sched).meanES;
     };
 
+    exec::ThreadPool &p = pool ? *pool : exec::globalPool();
+    std::vector<double> trial_es(
+        static_cast<std::size_t>(numNodes_), 0.0);
     for (std::size_t oi : order) {
+        // Trial-simulate the app on every candidate node in
+        // parallel; the argmin below scans in node order with
+        // strict <, matching the serial greedy choice exactly.
+        exec::parallelFor(
+            p, static_cast<std::size_t>(numNodes_),
+            [&](std::size_t n) {
+                auto trial = per_node[n];
+                trial.push_back(apps[oi]);
+                trial_es[n] = node_entropy(trial);
+            });
         int best_node = 0;
         double best_es = std::numeric_limits<double>::infinity();
         for (int n = 0; n < numNodes_; ++n) {
-            auto trial = per_node[static_cast<std::size_t>(n)];
-            trial.push_back(apps[oi]);
-            const double es = node_entropy(trial);
+            const double es =
+                trial_es[static_cast<std::size_t>(n)];
             if (es < best_es) {
                 best_es = es;
                 best_node = n;

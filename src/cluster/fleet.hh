@@ -18,6 +18,11 @@
 #include "cluster/epoch_sim.hh"
 #include "sched/scheduler.hh"
 
+namespace ahq::exec
+{
+class ThreadPool;
+}
+
 namespace ahq::cluster
 {
 
@@ -59,9 +64,14 @@ class Fleet
      * Simulate every node under the shared configuration and pool
      * the steady-state observations into one datacenter entropy.
      * Per-node seeds are derived from config.seed so runs stay
-     * deterministic yet nodes see independent noise.
+     * deterministic yet nodes see independent noise. Nodes run in
+     * parallel across the pool; results are bitwise identical at
+     * any thread count.
+     *
+     * @param pool Pool to fan out on; nullptr = globalPool().
      */
-    FleetResult run(const SimulationConfig &config);
+    FleetResult run(const SimulationConfig &config,
+                    exec::ThreadPool *pool = nullptr);
 
   private:
     struct Entry
@@ -98,7 +108,9 @@ class PlacementAdvisor
      * @param node_config The (identical) node hardware.
      * @param num_nodes Number of nodes available.
      * @param make_scheduler Factory for the strategy evaluating each
-     *        trial placement (a fresh instance per trial).
+     *        trial placement (a fresh instance per trial); called
+     *        concurrently from pool workers, so it must be
+     *        thread-safe.
      */
     PlacementAdvisor(
         machine::MachineConfig node_config, int num_nodes,
@@ -119,14 +131,19 @@ class PlacementAdvisor
     };
 
     /**
-     * Place the given applications.
+     * Place the given applications. The candidate-node trials for
+     * each app run in parallel; the greedy choice itself stays
+     * sequential (each decision feeds the next), so the placement
+     * matches the serial algorithm exactly.
      *
      * @param apps The applications (with their load traces).
      * @param trial_config Simulation settings for trial runs; keep
      *        short — the advisor runs O(apps x nodes) trials.
+     * @param pool Pool to fan out on; nullptr = globalPool().
      */
     Placement place(const std::vector<ColocatedApp> &apps,
-                    const SimulationConfig &trial_config) const;
+                    const SimulationConfig &trial_config,
+                    exec::ThreadPool *pool = nullptr) const;
 
   private:
     machine::MachineConfig nodeConfig;

@@ -10,6 +10,8 @@
 #include <functional>
 #include <limits>
 
+#include "exec/jobs.hh"
+#include "exec/parallel.hh"
 #include "perf/queueing.hh"
 
 namespace ahq::cluster
@@ -62,6 +64,50 @@ forEachComposition(int total, const std::vector<int> &mins, int step,
         }
     };
     rec(0, extra_units);
+}
+
+/** Materialize an enumeration so it can be fanned across a pool. */
+std::vector<std::vector<int>>
+allCompositions(int total, const std::vector<int> &mins, int step)
+{
+    std::vector<std::vector<int>> out;
+    forEachComposition(total, mins, step,
+                       [&](const std::vector<int> &c) {
+                           out.push_back(c);
+                       });
+    return out;
+}
+
+/**
+ * Best layout within one core split. The sentinel es (infinity
+ * when the split admitted no way composition) keeps empty splits
+ * out of the merge.
+ */
+struct SplitBest
+{
+    OracleResult result;
+    double es = std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Merge per-split bests in enumeration order with the same
+ * strict-< rule the serial scan applied, so the first global
+ * minimum in (core split, way split) order wins either way.
+ */
+OracleResult
+mergeSplitBests(const std::vector<SplitBest> &locals)
+{
+    OracleResult best;
+    double best_es = std::numeric_limits<double>::infinity();
+    for (const auto &l : locals) {
+        best.evaluated += l.result.evaluated;
+        if (l.es < best_es) {
+            best_es = l.es;
+            best.layout = l.result.layout;
+            best.report = l.result.report;
+        }
+    }
+    return best;
 }
 
 /** Distribute bandwidth units proportionally to cores. */
@@ -139,16 +185,15 @@ bestIsolatedPartition(const Node &node, const OracleConfig &cfg)
         static_cast<int>(lc.size()) + (has_be ? 1 : 0);
     assert(groups >= 1);
 
-    OracleResult best;
-    double best_es = std::numeric_limits<double>::infinity();
-
     const std::vector<int> core_mins(
         static_cast<std::size_t>(groups), 1);
     const std::vector<int> way_mins(
         static_cast<std::size_t>(groups), 1);
 
-    forEachComposition(avail.cores, core_mins, cfg.coreStep,
-                       [&](const std::vector<int> &cores) {
+    const auto splits =
+        allCompositions(avail.cores, core_mins, cfg.coreStep);
+    auto eval_split = [&](const std::vector<int> &cores) {
+        SplitBest local;
         const auto bw = bwProportionalToCores(cores, avail.memBw);
         forEachComposition(avail.llcWays, way_mins, cfg.wayStep,
                            [&](const std::vector<int> &ways) {
@@ -173,15 +218,19 @@ bestIsolatedPartition(const Node &node, const OracleConfig &cfg)
             const auto rep = steadyStateEntropy(
                 node, layout, perf::CoreSharePolicy::FairShare,
                 cfg);
-            ++best.evaluated;
-            if (rep.eS < best_es) {
-                best_es = rep.eS;
-                best.layout = layout;
-                best.report = rep;
+            ++local.result.evaluated;
+            if (rep.eS < local.es) {
+                local.es = rep.eS;
+                local.result.layout = layout;
+                local.result.report = rep;
             }
         });
-    });
-    return best;
+        return local;
+    };
+    exec::ThreadPool &pool =
+        cfg.pool ? *cfg.pool : exec::globalPool();
+    return mergeSplitBests(
+        exec::parallelMap(pool, splits, eval_split));
 }
 
 OracleResult
@@ -190,9 +239,6 @@ bestHybridPartition(const Node &node, const OracleConfig &cfg)
     const auto avail = node.config().availableResources();
     const auto &lc = node.lcApps();
     const int groups = static_cast<int>(lc.size()) + 1;
-
-    OracleResult best;
-    double best_es = std::numeric_limits<double>::infinity();
 
     // Group 0 is the shared region (min 1 core / 1 way so that BE
     // members stay viable); iso regions may be empty.
@@ -205,8 +251,10 @@ bestHybridPartition(const Node &node, const OracleConfig &cfg)
     everyone.insert(everyone.end(), node.beApps().begin(),
                     node.beApps().end());
 
-    forEachComposition(avail.cores, core_mins, cfg.coreStep,
-                       [&](const std::vector<int> &cores) {
+    const auto splits =
+        allCompositions(avail.cores, core_mins, cfg.coreStep);
+    auto eval_split = [&](const std::vector<int> &cores) {
+        SplitBest local;
         const auto bw = bwProportionalToCores(cores, avail.memBw);
         forEachComposition(avail.llcWays, way_mins, cfg.wayStep,
                            [&](const std::vector<int> &ways) {
@@ -228,15 +276,19 @@ bestHybridPartition(const Node &node, const OracleConfig &cfg)
             const auto rep = steadyStateEntropy(
                 node, layout, perf::CoreSharePolicy::LcPriority,
                 cfg);
-            ++best.evaluated;
-            if (rep.eS < best_es) {
-                best_es = rep.eS;
-                best.layout = layout;
-                best.report = rep;
+            ++local.result.evaluated;
+            if (rep.eS < local.es) {
+                local.es = rep.eS;
+                local.result.layout = layout;
+                local.result.report = rep;
             }
         });
-    });
-    return best;
+        return local;
+    };
+    exec::ThreadPool &pool =
+        cfg.pool ? *cfg.pool : exec::globalPool();
+    return mergeSplitBests(
+        exec::parallelMap(pool, splits, eval_split));
 }
 
 } // namespace ahq::cluster

@@ -27,6 +27,11 @@
 #include "core/entropy.hh"
 #include "machine/layout.hh"
 
+namespace ahq::exec
+{
+class ThreadPool;
+}
+
 namespace ahq::cluster
 {
 
@@ -47,6 +52,15 @@ struct OracleConfig
 
     /** Contention model tunables. */
     perf::ContentionTraits contention;
+
+    /**
+     * Pool the search fans out on (the outer core-split loop);
+     * nullptr = the process-global pool. The best layout, its
+     * report and the evaluated count are bitwise identical at any
+     * thread count: per-split bests are merged in enumeration
+     * order with the same strict-< rule the serial scan used.
+     */
+    exec::ThreadPool *pool = nullptr;
 };
 
 /** The outcome of one oracle search. */

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Default-jobs resolution and the global pool.
+ */
+
+#include "exec/jobs.hh"
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "exec/thread_pool.hh"
+
+namespace ahq::exec
+{
+
+namespace
+{
+
+std::mutex g_mutex;
+int g_jobs = 0; // 0 = not resolved yet
+std::unique_ptr<ThreadPool> g_pool;
+
+int
+resolveJobs()
+{
+    if (const char *env = std::getenv("AHQ_JOBS")) {
+        try {
+            const int v = std::stoi(env);
+            if (v >= 1)
+                return v;
+        } catch (const std::exception &) {
+            // fall through to the hardware default
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+} // namespace
+
+int
+defaultJobs()
+{
+    std::lock_guard<std::mutex> lk(g_mutex);
+    if (g_jobs < 1)
+        g_jobs = resolveJobs();
+    return g_jobs;
+}
+
+void
+setDefaultJobs(int jobs)
+{
+    std::unique_ptr<ThreadPool> retired;
+    {
+        std::lock_guard<std::mutex> lk(g_mutex);
+        g_jobs = jobs >= 1 ? jobs : resolveJobs();
+        if (g_pool && g_pool->threads() != g_jobs)
+            retired = std::move(g_pool);
+    }
+    // retired joins its workers here, outside the lock
+}
+
+ThreadPool &
+globalPool()
+{
+    std::lock_guard<std::mutex> lk(g_mutex);
+    if (g_jobs < 1)
+        g_jobs = resolveJobs();
+    if (!g_pool)
+        g_pool = std::make_unique<ThreadPool>(g_jobs);
+    return *g_pool;
+}
+
+} // namespace ahq::exec

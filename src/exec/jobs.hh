@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Process-wide thread-count policy and the shared pool.
+ *
+ * Thread count resolves, in order: setDefaultJobs() (the CLI's
+ * --jobs flag), the AHQ_JOBS environment variable, then
+ * std::thread::hardware_concurrency(). Every parallel entry point
+ * in the repo accepts an explicit ThreadPool for tests and falls
+ * back to globalPool() — results do not depend on the choice.
+ */
+
+#ifndef AHQ_EXEC_JOBS_HH
+#define AHQ_EXEC_JOBS_HH
+
+namespace ahq::exec
+{
+
+class ThreadPool;
+
+/** Resolved default thread count (>= 1). */
+int defaultJobs();
+
+/**
+ * Override the default thread count (values < 1 reset to the
+ * AHQ_JOBS / hardware default). Recreates the global pool if it
+ * already exists at a different size; call while no parallel work
+ * is in flight (e.g. during argument parsing).
+ */
+void setDefaultJobs(int jobs);
+
+/** The lazily-created process-wide pool at defaultJobs() threads. */
+ThreadPool &globalPool();
+
+} // namespace ahq::exec
+
+#endif // AHQ_EXEC_JOBS_HH

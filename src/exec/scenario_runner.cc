@@ -1,0 +1,40 @@
+/**
+ * @file
+ * ScenarioRunner implementation.
+ */
+
+#include "exec/scenario_runner.hh"
+
+#include "exec/jobs.hh"
+#include "exec/parallel.hh"
+#include "sched/registry.hh"
+
+namespace ahq::exec
+{
+
+ScenarioRunner::ScenarioRunner(ThreadPool *pool,
+                               SchedulerFactory factory)
+    : pool_(pool),
+      factory_(factory ? std::move(factory)
+                       : SchedulerFactory(&sched::makeScheduler))
+{
+}
+
+std::vector<cluster::SimulationResult>
+ScenarioRunner::run(const std::vector<ScenarioJob> &jobs) const
+{
+    ThreadPool &pool = pool_ ? *pool_ : globalPool();
+    return parallelMap(pool, jobs, [&](const ScenarioJob &job) {
+        const auto sched = factory_(job.strategy);
+        cluster::EpochSimulator sim(job.node, job.config);
+        return sim.run(*sched);
+    });
+}
+
+std::vector<cluster::SimulationResult>
+runScenarios(const std::vector<ScenarioJob> &jobs)
+{
+    return ScenarioRunner().run(jobs);
+}
+
+} // namespace ahq::exec

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Strategy registry implementation.
+ */
+
+#include "sched/registry.hh"
+
+#include <stdexcept>
+
+#include "sched/arq.hh"
+#include "sched/clite.hh"
+#include "sched/copart.hh"
+#include "sched/heracles.hh"
+#include "sched/lc_first.hh"
+#include "sched/parties.hh"
+#include "sched/unmanaged.hh"
+
+namespace ahq::sched
+{
+
+std::unique_ptr<Scheduler>
+makeScheduler(const std::string &name)
+{
+    if (name == "Unmanaged")
+        return std::make_unique<Unmanaged>();
+    if (name == "LC-first")
+        return std::make_unique<LcFirst>();
+    if (name == "PARTIES")
+        return std::make_unique<Parties>();
+    if (name == "CLITE")
+        return std::make_unique<Clite>();
+    if (name == "ARQ")
+        return std::make_unique<Arq>();
+    if (name == "Heracles")
+        return std::make_unique<Heracles>();
+    if (name == "CoPart")
+        return std::make_unique<CoPart>();
+    throw std::invalid_argument("unknown strategy: " + name);
+}
+
+const std::vector<std::string> &
+allStrategyNames()
+{
+    static const std::vector<std::string> v{
+        "Unmanaged", "LC-first", "PARTIES", "CLITE",
+        "ARQ",       "Heracles", "CoPart"};
+    return v;
+}
+
+} // namespace ahq::sched

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The strategy registry: one name -> scheduler factory shared by
+ * the bench binaries, the CLI and the batch scenario runner
+ * (previously each kept its own copy).
+ */
+
+#ifndef AHQ_SCHED_REGISTRY_HH
+#define AHQ_SCHED_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hh"
+
+namespace ahq::sched
+{
+
+/**
+ * Fresh scheduler instance for a registered strategy name.
+ * Thread-safe; the batch runner calls it from pool workers.
+ *
+ * @throws std::invalid_argument for unknown names.
+ */
+std::unique_ptr<Scheduler> makeScheduler(const std::string &name);
+
+/** Every registered strategy name, in presentation order. */
+const std::vector<std::string> &allStrategyNames();
+
+} // namespace ahq::sched
+
+#endif // AHQ_SCHED_REGISTRY_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * ThreadPool and parallelFor/parallelMap unit tests: startup and
+ * shutdown, exception propagation, nested submission without
+ * deadlock, and ordered result collection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/jobs.hh"
+#include "exec/parallel.hh"
+#include "exec/thread_pool.hh"
+
+namespace
+{
+
+using namespace ahq;
+
+TEST(ThreadPool, StartupShutdownIdle)
+{
+    for (int n : {1, 2, 4, 8}) {
+        exec::ThreadPool pool(n);
+        EXPECT_EQ(pool.threads(), n);
+    }
+    // A non-positive request still yields a working 1-thread pool.
+    exec::ThreadPool clamped(0);
+    EXPECT_EQ(clamped.threads(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsPostedWork)
+{
+    std::atomic<int> ran{0};
+    {
+        exec::ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.post([&ran] { ++ran; });
+    }
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, SubmitReturnsValue)
+{
+    exec::ThreadPool pool(2);
+    auto fut = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException)
+{
+    exec::ThreadPool pool(2);
+    auto fut = pool.submit([]() -> int {
+        throw std::runtime_error("task boom");
+    });
+    EXPECT_THROW((void)fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, NestedSubmitNoDeadlock)
+{
+    exec::ThreadPool pool(1); // worst case: a single worker
+    std::atomic<int> inner_ran{0};
+    auto outer = pool.submit([&] {
+        // Enqueue from inside a pool task; must not block.
+        pool.post([&inner_ran] { ++inner_ran; });
+        return exec::ThreadPool::onPoolThread();
+    });
+    EXPECT_TRUE(outer.get());
+    // The destructor drains the nested task.
+    auto fence = pool.submit([] { return true; });
+    EXPECT_TRUE(fence.get());
+    EXPECT_EQ(inner_ran.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    exec::ThreadPool pool(2);
+    auto fut = pool.submit([&] {
+        std::vector<int> out(16, 0);
+        exec::parallelFor(pool, out.size(), [&](std::size_t i) {
+            out[i] = static_cast<int>(i);
+        });
+        return std::accumulate(out.begin(), out.end(), 0);
+    });
+    EXPECT_EQ(fut.get(), 120);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    exec::ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto &h : hits)
+        h = 0;
+    exec::parallelFor(pool, hits.size(),
+                      [&](std::size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroAndOneIndexRunInline)
+{
+    exec::ThreadPool pool(4);
+    int calls = 0;
+    exec::parallelFor(pool, 0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    exec::parallelFor(pool, 1, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesFirstException)
+{
+    exec::ThreadPool pool(4);
+    EXPECT_THROW(
+        exec::parallelFor(pool, 64,
+                          [&](std::size_t i) {
+                              if (i == 13)
+                                  throw std::runtime_error("13");
+                          }),
+        std::runtime_error);
+}
+
+TEST(ParallelMap, ResultsAreInInputOrder)
+{
+    exec::ThreadPool pool(4);
+    std::vector<int> in(100);
+    std::iota(in.begin(), in.end(), 0);
+    const auto out = exec::parallelMap(
+        pool, in, [](const int &v) { return v * v; });
+    ASSERT_EQ(out.size(), in.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(Jobs, EnvAndOverrideResolution)
+{
+    EXPECT_GE(exec::defaultJobs(), 1);
+    exec::setDefaultJobs(3);
+    EXPECT_EQ(exec::defaultJobs(), 3);
+    EXPECT_EQ(exec::globalPool().threads(), 3);
+    exec::setDefaultJobs(0); // back to the environment default
+    EXPECT_GE(exec::defaultJobs(), 1);
+}
+
+} // namespace

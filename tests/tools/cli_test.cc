@@ -49,6 +49,17 @@ TEST(CliParse, SimulateAllOptions)
     EXPECT_EQ(opt.beApps.size(), 1u);
 }
 
+TEST(CliParse, JobsFlag)
+{
+    const auto opt = parseSimulateArgs(
+        {"--jobs", "4", "xapian=0.5", "stream"});
+    EXPECT_EQ(opt.jobs, 4);
+    EXPECT_EQ(parseSimulateArgs({"xapian=0.5", "stream"}).jobs, 0);
+    EXPECT_THROW((void)parseSimulateArgs(
+                     {"--jobs", "0", "xapian=0.5"}),
+                 std::invalid_argument);
+}
+
 TEST(CliParse, Rejections)
 {
     EXPECT_THROW((void)parseSimulateArgs({}),

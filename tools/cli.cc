@@ -12,15 +12,10 @@
 
 #include "apps/catalog.hh"
 #include "cluster/oracle.hh"
+#include "exec/jobs.hh"
 #include "report/csv.hh"
 #include "report/table.hh"
-#include "sched/arq.hh"
-#include "sched/clite.hh"
-#include "sched/copart.hh"
-#include "sched/heracles.hh"
-#include "sched/lc_first.hh"
-#include "sched/parties.hh"
-#include "sched/unmanaged.hh"
+#include "sched/registry.hh"
 
 namespace ahq::cli
 {
@@ -28,24 +23,14 @@ namespace ahq::cli
 namespace
 {
 
-std::unique_ptr<sched::Scheduler>
-makeScheduler(const std::string &name)
+using sched::makeScheduler;
+
+/** Apply --jobs (0 keeps the AHQ_JOBS / hardware default). */
+void
+applyJobs(const SimulateOptions &opt)
 {
-    if (name == "Unmanaged")
-        return std::make_unique<sched::Unmanaged>();
-    if (name == "LC-first")
-        return std::make_unique<sched::LcFirst>();
-    if (name == "PARTIES")
-        return std::make_unique<sched::Parties>();
-    if (name == "CLITE")
-        return std::make_unique<sched::Clite>();
-    if (name == "ARQ")
-        return std::make_unique<sched::Arq>();
-    if (name == "Heracles")
-        return std::make_unique<sched::Heracles>();
-    if (name == "CoPart")
-        return std::make_unique<sched::CoPart>();
-    throw std::invalid_argument("unknown strategy: " + name);
+    if (opt.jobs > 0)
+        exec::setDefaultJobs(opt.jobs);
 }
 
 std::vector<std::string>
@@ -118,6 +103,13 @@ parseSimulateArgs(const std::vector<std::string> &args)
             }
         } else if (a == "--csv") {
             opt.csvPath = next("--csv");
+        } else if (a == "--jobs") {
+            opt.jobs = static_cast<int>(
+                parseDouble(next("--jobs"), "jobs"));
+            if (opt.jobs < 1) {
+                throw std::invalid_argument(
+                    "--jobs must be >= 1");
+            }
         } else if (!a.empty() && a[0] == '-') {
             throw std::invalid_argument("unknown option: " + a);
         } else {
@@ -229,6 +221,7 @@ runSimulate(const std::vector<std::string> &args, std::ostream &out,
     }
 
     try {
+        applyJobs(opt);
         std::vector<cluster::ColocatedApp> colocated;
         for (const auto &[name, load] : opt.lcApps)
             colocated.push_back(
@@ -324,6 +317,7 @@ runOracle(const std::vector<std::string> &args, std::ostream &out,
     }
 
     try {
+        applyJobs(opt);
         std::vector<cluster::ColocatedApp> colocated;
         for (const auto &[name, load] : opt.lcApps)
             colocated.push_back(
@@ -375,6 +369,7 @@ runSweep(const std::vector<std::string> &args, std::ostream &out,
     }
 
     try {
+        applyJobs(opt);
         const auto mc = machine::MachineConfig::xeonE52630v4()
                             .withAvailable(opt.cores, opt.ways,
                                            opt.bwUnits);
@@ -450,10 +445,8 @@ runApps(std::ostream &out)
 int
 runStrategies(std::ostream &out)
 {
-    for (const char *s : {"Unmanaged", "LC-first", "PARTIES",
-                          "CLITE", "ARQ", "Heracles", "CoPart"}) {
+    for (const auto &s : sched::allStrategyNames())
         out << s << "\n";
-    }
     return 0;
 }
 
@@ -472,7 +465,9 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
               "options (simulate/sweep/oracle): --strategy S "
               "--duration S --warmup N\n"
               "  --cores N --ways N --bw N --seed N "
-              "--percentile P --csv FILE --waystep N\n";
+              "--percentile P --csv FILE --waystep N\n"
+              "  --jobs N (worker threads; default AHQ_JOBS or "
+              "all cores)\n";
     };
     if (argv.empty()) {
         usage(err);

@@ -42,6 +42,13 @@ struct SimulateOptions
     double percentile = 0.95;
     std::string csvPath; // empty = no CSV dump
 
+    /**
+     * Worker threads for parallel paths (the oracle search); 0 =
+     * keep the AHQ_JOBS / hardware default. Results are identical
+     * at any thread count.
+     */
+    int jobs = 0;
+
     /** "name=load" LC entries and bare BE names, in order. */
     std::vector<std::pair<std::string, double>> lcApps;
     std::vector<std::string> beApps;
