@@ -51,6 +51,29 @@ makeScheduler(const std::string &name)
     return sched::makeScheduler(name);
 }
 
+obs::Scope
+benchScope()
+{
+    // Magic static: the sink and registry are process-wide and live
+    // until exit, so pool workers can hold copies of this scope.
+    static const obs::Scope scope = [] {
+        obs::Scope s;
+        const char *trace = std::getenv("AHQ_TRACE");
+        if (trace != nullptr && *trace != '\0') {
+            static obs::FileTraceSink sink{std::string(trace)};
+            s.sink = &sink;
+        }
+        const char *metrics = std::getenv("AHQ_METRICS");
+        if (metrics != nullptr && *metrics != '\0') {
+            s.metrics = &obs::globalMetrics();
+            std::atexit(
+                [] { obs::globalMetrics().print(std::cerr); });
+        }
+        return s;
+    }();
+    return scope;
+}
+
 const std::vector<std::string> &
 allStrategies()
 {
@@ -90,7 +113,9 @@ runScenario(const std::string &strategy, const cluster::Node &node,
 std::vector<cluster::SimulationResult>
 runScenarios(const std::vector<exec::ScenarioJob> &jobs)
 {
-    return exec::ScenarioRunner(&pool()).run(jobs);
+    exec::ScenarioRunner runner(&pool());
+    runner.setObsScope(benchScope());
+    return runner.run(jobs);
 }
 
 cluster::Node
@@ -117,7 +142,9 @@ entropyVsCores(const std::string &strategy,
         jobs.push_back({strategy,
                         canonicalNode(xapian_load, 0.2, 0.2,
                                       be_app, mc),
-                        standardConfig()});
+                        standardConfig(),
+                        strategy + "@" + std::to_string(cores) +
+                            "c"});
     }
     const auto results = bench::runScenarios(jobs);
     core::EntropyCurve curve;
@@ -160,8 +187,12 @@ loadSweepFigure(const std::string &fig_name,
                  cluster::lcAt(secondary_a, fixed),
                  cluster::lcAt(secondary_b, fixed),
                  cluster::be(be_app)});
-            for (const auto &s : allStrategies())
-                grid.push_back({s, node, standardConfig()});
+            for (const auto &s : allStrategies()) {
+                grid.push_back({s, node, standardConfig(),
+                                fig_name + "/" + s + "@" +
+                                    num(fixed * 100, 0) + "-" +
+                                    num(load * 100, 0)});
+            }
         }
     }
     const auto results = bench::runScenarios(grid);

@@ -18,6 +18,7 @@
 #include "core/equivalence.hh"
 #include "exec/scenario_runner.hh"
 #include "exec/thread_pool.hh"
+#include "obs/scope.hh"
 #include "report/ascii_chart.hh"
 #include "report/csv.hh"
 #include "report/table.hh"
@@ -47,6 +48,15 @@ exec::ThreadPool &pool();
 std::unique_ptr<report::CsvWriter>
 openCsv(const std::string &filename,
         const std::vector<std::string> &header);
+
+/**
+ * The bench-wide telemetry scope, configured from the environment:
+ * AHQ_TRACE=<path> opens a JSONL trace sink (parent directories
+ * created on demand), AHQ_METRICS=1 routes counters into the global
+ * registry and dumps it to stderr at exit. Both default to off, so
+ * an unconfigured bench pays only null-pointer branches.
+ */
+obs::Scope benchScope();
 
 /** Factory for a named strategy: one fresh instance per run. */
 std::unique_ptr<sched::Scheduler>

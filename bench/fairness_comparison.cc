@@ -16,7 +16,6 @@
 #include <iostream>
 
 #include "common.hh"
-#include "sched/copart.hh"
 
 using namespace ahq;
 using namespace ahq::bench;
@@ -86,10 +85,10 @@ main()
             const char *name;
             cluster::SimulationResult res;
         };
-        sched::CoPart copart;
-        cluster::EpochSimulator sim(node, standardConfig());
         std::vector<Entry> entries;
-        entries.push_back({"CoPart", sim.run(copart)});
+        entries.push_back(
+            {"CoPart",
+             runScenario("CoPart", node, standardConfig())});
         entries.push_back(
             {"PARTIES",
              runScenario("PARTIES", node, standardConfig())});

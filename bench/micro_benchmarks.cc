@@ -16,9 +16,11 @@
 #include "core/entropy.hh"
 #include "exec/scenario_runner.hh"
 #include "exec/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_sink.hh"
 #include "perf/queueing.hh"
-#include "sched/arq.hh"
 #include "sched/gp.hh"
+#include "sched/registry.hh"
 #include "stats/percentile.hh"
 #include "stats/rng.hh"
 
@@ -124,13 +126,47 @@ BM_EpochSimulationSecond(benchmark::State &state)
     cfg.durationSeconds = 1.0;
     cfg.warmupEpochs = 0;
     for (auto _ : state) {
-        sched::Arq sched;
+        const auto sched = sched::makeScheduler("ARQ");
         cluster::EpochSimulator sim(node, cfg);
-        auto res = sim.run(sched);
+        auto res = sim.run(*sched);
         benchmark::DoNotOptimize(res.meanES);
     }
 }
 BENCHMARK(BM_EpochSimulationSecond);
+
+void
+BM_EpochSimTracing(benchmark::State &state)
+{
+    // The obs-layer overhead contract: Arg(0) runs the epoch loop
+    // with telemetry disabled (null sink and registry — the default
+    // for every production run), Arg(1) with a live in-memory trace
+    // sink and metrics registry. Arg(0) must stay within 2% of
+    // BM_EpochSimulationSecond; the Arg(1) delta is the real cost
+    // of tracing.
+    cluster::Node node(machine::MachineConfig::xeonE52630v4(),
+                       {cluster::lcAt(apps::xapian(), 0.5),
+                        cluster::lcAt(apps::moses(), 0.2),
+                        cluster::lcAt(apps::imgDnn(), 0.2),
+                        cluster::be(apps::stream())});
+    cluster::SimulationConfig cfg;
+    cfg.durationSeconds = 1.0;
+    cfg.warmupEpochs = 0;
+    obs::BufferTraceSink sink;
+    obs::MetricsRegistry metrics;
+    if (state.range(0) == 1) {
+        cfg.obs.sink = &sink;
+        cfg.obs.metrics = &metrics;
+        cfg.obs.scenario = "bench";
+    }
+    for (auto _ : state) {
+        const auto sched = sched::makeScheduler("ARQ");
+        cluster::EpochSimulator sim(node, cfg);
+        auto res = sim.run(*sched);
+        benchmark::DoNotOptimize(res.meanES);
+        sink.clear();
+    }
+}
+BENCHMARK(BM_EpochSimTracing)->Arg(0)->Arg(1);
 
 void
 JobsArgs(benchmark::internal::Benchmark *b)
@@ -158,7 +194,7 @@ BM_ScenarioRunnerBatch(benchmark::State &state)
             {cluster::lcAt(apps::xapian(), 0.1 * (j + 1)),
              cluster::lcAt(apps::moses(), 0.2),
              cluster::be(apps::stream())});
-        jobs.push_back({"ARQ", node, cfg});
+        jobs.push_back({"ARQ", node, cfg, ""});
     }
     exec::ThreadPool pool(static_cast<int>(state.range(0)));
     exec::ScenarioRunner runner(&pool);

@@ -52,7 +52,7 @@ scenarioBatch()
             jobs.push_back({s,
                             canonicalNode(load, 0.2, 0.2,
                                           apps::stream()),
-                            cfg});
+                            cfg, ""});
         }
     }
     return jobs;

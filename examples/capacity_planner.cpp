@@ -16,9 +16,7 @@
 #include "cluster/epoch_sim.hh"
 #include "core/equivalence.hh"
 #include "report/table.hh"
-#include "sched/arq.hh"
-#include "sched/parties.hh"
-#include "sched/unmanaged.hh"
+#include "sched/registry.hh"
 
 int
 main()
@@ -52,13 +50,9 @@ main()
         return curve;
     };
 
-    sched::Unmanaged unmanaged;
-    sched::Parties parties;
-    sched::Arq arq;
-
-    const auto cu = curve_for(unmanaged);
-    const auto cp = curve_for(parties);
-    const auto ca = curve_for(arq);
+    const auto cu = curve_for(*sched::makeScheduler("Unmanaged"));
+    const auto cp = curve_for(*sched::makeScheduler("PARTIES"));
+    const auto ca = curve_for(*sched::makeScheduler("ARQ"));
 
     report::TextTable t({"cores", "Unmanaged E_S", "PARTIES E_S",
                          "ARQ E_S"});

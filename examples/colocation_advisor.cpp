@@ -22,12 +22,7 @@
 #include "apps/catalog.hh"
 #include "cluster/epoch_sim.hh"
 #include "report/table.hh"
-#include "sched/arq.hh"
-#include "sched/clite.hh"
-#include "sched/heracles.hh"
-#include "sched/lc_first.hh"
-#include "sched/parties.hh"
-#include "sched/unmanaged.hh"
+#include "sched/registry.hh"
 
 namespace
 {
@@ -81,12 +76,11 @@ main(int argc, char **argv)
     cluster::EpochSimulator sim(node, cfg);
 
     std::vector<std::unique_ptr<sched::Scheduler>> strategies;
-    strategies.push_back(std::make_unique<sched::Unmanaged>());
-    strategies.push_back(std::make_unique<sched::LcFirst>());
-    strategies.push_back(std::make_unique<sched::Parties>());
-    strategies.push_back(std::make_unique<sched::Clite>());
-    strategies.push_back(std::make_unique<sched::Heracles>());
-    strategies.push_back(std::make_unique<sched::Arq>());
+    for (const auto &name :
+         {"Unmanaged", "LC-first", "PARTIES", "CLITE", "Heracles",
+          "ARQ"}) {
+        strategies.push_back(sched::makeScheduler(name));
+    }
 
     report::TextTable t({"strategy", "E_LC", "E_BE", "E_S", "yield",
                          "QoS violations"});

@@ -20,8 +20,7 @@
 #include "cluster/epoch_sim.hh"
 #include "perf/mrc_fit.hh"
 #include "report/table.hh"
-#include "sched/arq.hh"
-#include "sched/parties.hh"
+#include "sched/registry.hh"
 
 int
 main()
@@ -66,11 +65,8 @@ main()
     report::TextTable t({"strategy", "checkout p95 (ms)",
                          "masstree p95 (ms)", "stream IPC", "E_S",
                          "yield"});
-    sched::Parties parties;
-    sched::Arq arq;
-    for (sched::Scheduler *s :
-         {static_cast<sched::Scheduler *>(&parties),
-          static_cast<sched::Scheduler *>(&arq)}) {
+    for (const auto &name : {"PARTIES", "ARQ"}) {
+        const auto s = sched::makeScheduler(name);
         const auto r = sim.run(*s);
         t.addRow({s->name(),
                   report::TextTable::num(r.meanP95Ms[0], 2),

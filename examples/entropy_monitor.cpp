@@ -14,7 +14,7 @@
 #include "apps/catalog.hh"
 #include "cluster/epoch_sim.hh"
 #include "report/ascii_chart.hh"
-#include "sched/arq.hh"
+#include "sched/registry.hh"
 #include "trace/load_trace.hh"
 
 int
@@ -36,9 +36,9 @@ main()
     cfg.durationSeconds = kDay;
     cfg.warmupEpochs = 0;
 
-    sched::Arq arq;
+    const auto arq = sched::makeScheduler("ARQ");
     cluster::EpochSimulator sim(node, cfg);
-    const auto res = sim.run(arq);
+    const auto res = sim.run(*arq);
 
     std::cout << "time    load   E_LC   E_BE   E_S    note\n";
     std::cout << "-------------------------------------------\n";

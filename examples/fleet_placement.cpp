@@ -15,7 +15,7 @@
 #include "apps/catalog.hh"
 #include "cluster/fleet.hh"
 #include "report/table.hh"
-#include "sched/arq.hh"
+#include "sched/registry.hh"
 
 int
 main()
@@ -36,7 +36,7 @@ main()
 
     // ---- entropy-driven placement --------------------------------
     PlacementAdvisor advisor(mc, 2, [] {
-        return std::make_unique<sched::Arq>();
+        return sched::makeScheduler("ARQ");
     });
     SimulationConfig trial;
     trial.durationSeconds = 20.0;
@@ -59,7 +59,7 @@ main()
         Fleet fleet;
         for (auto &set : per_node) {
             fleet.addNode(Node(mc, std::move(set)),
-                          std::make_unique<sched::Arq>());
+                          sched::makeScheduler("ARQ"));
         }
         return fleet;
     };

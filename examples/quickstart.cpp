@@ -18,8 +18,7 @@
 #include "apps/catalog.hh"
 #include "cluster/epoch_sim.hh"
 #include "core/entropy.hh"
-#include "sched/arq.hh"
-#include "sched/unmanaged.hh"
+#include "sched/registry.hh"
 
 int
 main()
@@ -58,16 +57,16 @@ main()
 
     cluster::EpochSimulator sim(node, cfg);
 
-    sched::Unmanaged unmanaged;
-    const auto r_base = sim.run(unmanaged);
+    const auto unmanaged = sched::makeScheduler("Unmanaged");
+    const auto r_base = sim.run(*unmanaged);
     std::cout << "Unmanaged: E_S = " << r_base.meanES
               << ", yield = " << r_base.yieldValue
               << ", xapian p95 = " << r_base.meanP95Ms[0]
               << " ms, stream IPC = " << r_base.meanIpc[3] << "\n";
 
     // ---- 3. Same node, ARQ --------------------------------------
-    sched::Arq arq;
-    const auto r_arq = sim.run(arq);
+    const auto arq = sched::makeScheduler("ARQ");
+    const auto r_arq = sim.run(*arq);
     std::cout << "ARQ:       E_S = " << r_arq.meanES
               << ", yield = " << r_arq.yieldValue
               << ", xapian p95 = " << r_arq.meanP95Ms[0]

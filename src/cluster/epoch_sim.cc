@@ -38,6 +38,21 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
     perf::ContentionModel contention(node_.config(), cfg.contention);
 
     scheduler.reset();
+    // Always (re)attach the run's scope: a scheduler reused across
+    // runs must not keep reporting into the previous run's sinks.
+    scheduler.setObsScope(cfg.obs);
+    const bool tracing = cfg.obs.tracing();
+    if (tracing) {
+        obs::Event ev("run_start");
+        ev.str("scheduler", scheduler.name())
+            .str("node", node_.describe())
+            .integer("epochs", epochs)
+            .num("epoch_seconds", dt)
+            .integer("seed", static_cast<long long>(cfg.seed))
+            .integer("warmup", std::min(cfg.warmupEpochs, epochs));
+        cfg.obs.emit(ev);
+    }
+
     auto static_obs = node_.staticObservations();
     machine::RegionLayout layout =
         scheduler.initialLayout(node_.config(), static_obs);
@@ -56,6 +71,8 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
         const double t = e * dt;
 
         // 1) Scheduler reacts to last epoch's measurements.
+        if (tracing)
+            scheduler.setObsScope(cfg.obs.atEpoch(e));
         if (e > 0) {
             scheduler.adjust(layout, last_obs, t);
             assert(layout.valid());
@@ -158,6 +175,25 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
             rec.regionRes.push_back(layout.region(r).res);
         rec.layout = layout;
 
+        if (tracing) {
+            std::vector<double> p95, ipc;
+            p95.reserve(static_cast<std::size_t>(n));
+            ipc.reserve(static_cast<std::size_t>(n));
+            for (const auto &o : rec.obs) {
+                p95.push_back(o.latencyCritical ? o.p95Ms : 0.0);
+                ipc.push_back(o.latencyCritical ? 0.0 : o.ipc);
+            }
+            obs::Event ev("epoch");
+            ev.num("t", t)
+                .num("e_lc", rec.entropy.eLc)
+                .num("e_be", rec.entropy.eBe)
+                .num("e_s", rec.entropy.eS)
+                .nums("p95_ms", p95)
+                .nums("ipc", ipc);
+            cfg.obs.atEpoch(e).emit(ev);
+        }
+        cfg.obs.count("sim.epochs");
+
         last_obs = rec.obs;
         result.epochs.push_back(std::move(rec));
     }
@@ -211,6 +247,20 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
     }
     result.yieldValue = lc_total > 0 ?
         static_cast<double>(lc_ok) / lc_total : 1.0;
+
+    if (tracing) {
+        obs::Event ev("run_end");
+        ev.str("scheduler", scheduler.name())
+            .num("mean_e_lc", result.meanELc)
+            .num("mean_e_be", result.meanEBe)
+            .num("mean_e_s", result.meanES)
+            .num("yield", result.yieldValue)
+            .integer("violations", result.violations);
+        cfg.obs.emit(ev);
+    }
+    cfg.obs.count("sim.runs");
+    cfg.obs.count("sim.violations", result.violations);
+    cfg.obs.observe("sim.mean_e_s", result.meanES);
     return result;
 }
 

@@ -21,6 +21,7 @@
 #include "cluster/node.hh"
 #include "core/entropy.hh"
 #include "machine/layout.hh"
+#include "obs/scope.hh"
 #include "perf/contention.hh"
 #include "sched/scheduler.hh"
 
@@ -74,6 +75,14 @@ struct SimulationConfig
 
     /** Contention model tunables. */
     perf::ContentionTraits contention;
+
+    /**
+     * Telemetry scope for this run (null sinks by default). The
+     * simulator forwards it to the scheduler and emits run/epoch
+     * events through it; with no sink attached the instrumentation
+     * reduces to one branch per epoch.
+     */
+    obs::Scope obs;
 };
 
 /** Everything recorded about one epoch. */

@@ -62,6 +62,20 @@ Fleet::run(const SimulationConfig &config, exec::ThreadPool *pool)
     std::vector<const Node *> node_ptrs;
     std::vector<const SimulationResult *> result_ptrs;
 
+    const obs::Scope &scope = config.obs;
+    const bool tracing = scope.tracing();
+    if (tracing) {
+        obs::Event ev("fleet_start");
+        ev.integer("nodes", numNodes())
+            .integer("seed", static_cast<long long>(config.seed));
+        scope.emit(ev);
+    }
+    // While tracing, each node's run writes into a private buffer;
+    // the buffers flush in node order below, keeping fleet traces
+    // byte-identical at any thread count.
+    std::vector<obs::BufferTraceSink> buffers(
+        tracing ? nodes_.size() : 0);
+
     out.nodes.resize(nodes_.size());
     exec::ThreadPool &p = pool ? *pool : exec::globalPool();
     // Each task touches only its own node entry (its scheduler
@@ -69,6 +83,14 @@ Fleet::run(const SimulationConfig &config, exec::ThreadPool *pool)
     exec::parallelFor(p, nodes_.size(), [&](std::size_t n) {
         SimulationConfig per_node = config;
         per_node.seed = config.seed + 0x9e37 * (n + 1);
+        if (tracing) {
+            per_node.obs = scope
+                .tagged(scope.scenario.empty()
+                            ? "node" + std::to_string(n)
+                            : scope.scenario + "/node" +
+                                  std::to_string(n))
+                .withSink(&buffers[n]);
+        }
         EpochSimulator sim(nodes_[n].node, per_node);
         out.nodes[n] = sim.run(*nodes_[n].scheduler);
     });
@@ -84,6 +106,28 @@ Fleet::run(const SimulationConfig &config, exec::ThreadPool *pool)
     out.eBe = rep.eBe;
     out.eS = rep.eS;
     out.yieldValue = rep.yieldValue;
+
+    if (tracing) {
+        for (std::size_t n = 0; n < nodes_.size(); ++n) {
+            for (const auto &line : buffers[n].lines())
+                scope.sink->write(line);
+            obs::Event ev("fleet_node");
+            ev.integer("node", static_cast<long long>(n))
+                .str("colocation", nodes_[n].node.describe())
+                .str("scheduler", nodes_[n].scheduler->name())
+                .num("mean_e_s", out.nodes[n].meanES)
+                .integer("violations", out.nodes[n].violations);
+            scope.emit(ev);
+        }
+        obs::Event ev("fleet_end");
+        ev.num("e_lc", out.eLc)
+            .num("e_be", out.eBe)
+            .num("e_s", out.eS)
+            .num("yield", out.yieldValue)
+            .integer("violations", out.violations);
+        scope.emit(ev);
+    }
+    scope.count("fleet.runs");
     return out;
 }
 

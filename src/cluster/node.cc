@@ -97,4 +97,28 @@ Node::staticObservations() const
     return obs;
 }
 
+std::string
+Node::describe() const
+{
+    std::string out;
+    for (machine::AppId id : lc) {
+        if (!out.empty())
+            out += '+';
+        out += profile(id).name;
+    }
+    if (!be_.empty()) {
+        if (!out.empty())
+            out += '|';
+        out += "be:";
+        bool first = true;
+        for (machine::AppId id : be_) {
+            if (!first)
+                out += '+';
+            out += profile(id).name;
+            first = false;
+        }
+    }
+    return out;
+}
+
 } // namespace ahq::cluster

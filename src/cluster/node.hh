@@ -8,6 +8,7 @@
 #define AHQ_CLUSTER_NODE_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "apps/profile.hh"
@@ -71,6 +72,12 @@ class Node
      * threads, threshold, solo IPC) filled in; measurements zeroed.
      */
     std::vector<sched::AppObservation> staticObservations() const;
+
+    /**
+     * Compact colocation summary for reports and trace events,
+     * e.g. "xapian+moses|be:sphinx" (LC apps, then BE apps).
+     */
+    std::string describe() const;
 
   private:
     machine::MachineConfig config_;

@@ -5,6 +5,8 @@
 
 #include "exec/scenario_runner.hh"
 
+#include <chrono>
+
 #include "exec/jobs.hh"
 #include "exec/parallel.hh"
 #include "sched/registry.hh"
@@ -24,11 +26,71 @@ std::vector<cluster::SimulationResult>
 ScenarioRunner::run(const std::vector<ScenarioJob> &jobs) const
 {
     ThreadPool &pool = pool_ ? *pool_ : globalPool();
-    return parallelMap(pool, jobs, [&](const ScenarioJob &job) {
+    if (!obs_.tracing() && obs_.metrics == nullptr) {
+        return parallelMap(pool, jobs, [&](const ScenarioJob &job) {
+            const auto sched = factory_(job.strategy);
+            cluster::EpochSimulator sim(job.node, job.config);
+            return sim.run(*sched);
+        });
+    }
+
+    // Telemetry path. Each job traces into its own buffer; the
+    // buffers are flushed to the real sink in job order afterwards,
+    // so the trace is byte-identical at any thread count. Metrics
+    // go straight to the shared registry — counter and histogram
+    // updates commute, so those totals are order-independent too.
+    const bool tracing = obs_.tracing();
+    std::vector<obs::BufferTraceSink> buffers(jobs.size());
+    std::vector<cluster::SimulationResult> results(jobs.size());
+    parallelFor(pool, jobs.size(), [&](std::size_t i) {
+        const ScenarioJob &job = jobs[i];
+        obs::Scope scope =
+            obs_.tagged(job.tag.empty() ? job.strategy : job.tag);
+        if (tracing)
+            scope.sink = &buffers[i];
+
+        const auto start = std::chrono::steady_clock::now();
+        if (tracing) {
+            obs::Event ev("scenario_start");
+            ev.str("scheduler", job.strategy)
+                .str("node", job.node.describe())
+                .integer("job",
+                         static_cast<long long>(i));
+            scope.emit(ev);
+        }
+
         const auto sched = factory_(job.strategy);
-        cluster::EpochSimulator sim(job.node, job.config);
-        return sim.run(*sched);
+        cluster::SimulationConfig cfg = job.config;
+        cfg.obs = scope;
+        cluster::EpochSimulator sim(job.node, cfg);
+        results[i] = sim.run(*sched);
+
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (tracing) {
+            obs::Event ev("scenario_end");
+            ev.str("scheduler", job.strategy)
+                .num("mean_e_s", results[i].meanES)
+                .num("yield", results[i].yieldValue);
+            // Wall time is opt-in: it varies run to run and would
+            // break trace reproducibility.
+            if (obs_.wallClock)
+                ev.num("wall_ms", wall_ms);
+            scope.emit(ev);
+        }
+        scope.count("exec.scenarios");
+        scope.observe("exec.scenario_wall_ms", wall_ms);
     });
+
+    if (tracing) {
+        for (auto &buf : buffers) {
+            for (const auto &line : buf.lines())
+                obs_.sink->write(line);
+        }
+    }
+    return results;
 }
 
 std::vector<cluster::SimulationResult>

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cluster/epoch_sim.hh"
+#include "obs/scope.hh"
 #include "sched/scheduler.hh"
 
 namespace ahq::exec
@@ -37,6 +38,13 @@ struct ScenarioJob
 
     /** Simulation settings, including the job's own seed. */
     cluster::SimulationConfig config;
+
+    /**
+     * Scenario id stamped into trace events (defaults to the
+     * strategy name when empty). Tag jobs when a batch runs the
+     * same strategy more than once.
+     */
+    std::string tag;
 };
 
 /**
@@ -58,6 +66,14 @@ class ScenarioRunner
     explicit ScenarioRunner(ThreadPool *pool = nullptr,
                             SchedulerFactory factory = {});
 
+    /**
+     * Attach telemetry for subsequent batches. While tracing, each
+     * job writes into a private buffer that is flushed to the real
+     * sink in job order after the batch, so the trace bytes are
+     * identical at any thread count.
+     */
+    void setObsScope(obs::Scope scope) { obs_ = std::move(scope); }
+
     /** Run every job; results are in job order. */
     std::vector<cluster::SimulationResult>
     run(const std::vector<ScenarioJob> &jobs) const;
@@ -65,6 +81,7 @@ class ScenarioRunner
   private:
     ThreadPool *pool_;
     SchedulerFactory factory_;
+    obs::Scope obs_;
 };
 
 /** Convenience: one batch on the global pool, registry factory. */

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Minimal JSON serialisation helpers for the telemetry layer.
+ *
+ * Only what JSONL trace events need: escaped strings and
+ * deterministic number formatting (shortest round-trip via
+ * std::to_chars, so the same double always renders as the same
+ * bytes — the property the serial==parallel trace-identity test
+ * relies on). Non-finite doubles render as null, which keeps every
+ * emitted line valid JSON.
+ */
+
+#ifndef AHQ_OBS_JSON_HH
+#define AHQ_OBS_JSON_HH
+
+#include <string>
+#include <string_view>
+
+namespace ahq::obs::json
+{
+
+/** Append s as a quoted, escaped JSON string. */
+void appendString(std::string &out, std::string_view s);
+
+/** Append a double (shortest round-trip; null when non-finite). */
+void appendNumber(std::string &out, double v);
+
+/** Append an integer. */
+void appendNumber(std::string &out, long long v);
+
+/** Quoted, escaped JSON string (convenience). */
+std::string quoted(std::string_view s);
+
+} // namespace ahq::obs::json
+
+#endif // AHQ_OBS_JSON_HH

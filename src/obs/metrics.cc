@@ -1,0 +1,170 @@
+/**
+ * @file
+ * MetricsRegistry implementation.
+ */
+
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace ahq::obs
+{
+
+const std::vector<double> &
+MetricsRegistry::defaultBounds()
+{
+    static const std::vector<double> bounds{
+        0.1, 0.25, 0.5, 1.0,  2.5,   5.0,   10.0,
+        25.0, 50.0, 100.0, 250.0, 500.0, 1000.0};
+    return bounds;
+}
+
+void
+MetricsRegistry::add(const std::string &name, double delta)
+{
+    std::lock_guard<std::mutex> lk(m);
+    counters_[name] += delta;
+}
+
+void
+MetricsRegistry::set(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lk(m);
+    gauges_[name] = value;
+}
+
+void
+MetricsRegistry::observe(const std::string &name, double value,
+                         const std::vector<double> &bounds)
+{
+    std::lock_guard<std::mutex> lk(m);
+    auto it = hists_.find(name);
+    if (it == hists_.end()) {
+        Histogram h;
+        h.bounds = bounds;
+        std::sort(h.bounds.begin(), h.bounds.end());
+        h.counts.assign(h.bounds.size() + 1, 0);
+        it = hists_.emplace(name, std::move(h)).first;
+    }
+    Histogram &h = it->second;
+    const auto bucket = static_cast<std::size_t>(
+        std::lower_bound(h.bounds.begin(), h.bounds.end(), value) -
+        h.bounds.begin());
+    ++h.counts[bucket];
+    ++h.total;
+    h.sum += value;
+}
+
+double
+MetricsRegistry::counter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lk(m);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0.0 : it->second;
+}
+
+double
+MetricsRegistry::gauge(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lk(m);
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+HistogramSnapshot
+MetricsRegistry::histogram(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lk(m);
+    const auto it = hists_.find(name);
+    if (it == hists_.end())
+        return {};
+    return {it->second.bounds, it->second.counts, it->second.total,
+            it->second.sum};
+}
+
+void
+MetricsRegistry::merge(const MetricsRegistry &other)
+{
+    // Copy out first so self-merge and lock ordering are non-issues.
+    std::map<std::string, double> counters, gauges;
+    std::map<std::string, Histogram> hists;
+    {
+        std::lock_guard<std::mutex> lk(other.m);
+        counters = other.counters_;
+        gauges = other.gauges_;
+        hists = other.hists_;
+    }
+    std::lock_guard<std::mutex> lk(m);
+    for (const auto &[name, v] : counters)
+        counters_[name] += v;
+    for (const auto &[name, v] : gauges)
+        gauges_[name] = v;
+    for (const auto &[name, h] : hists) {
+        auto it = hists_.find(name);
+        if (it == hists_.end()) {
+            hists_.emplace(name, h);
+            continue;
+        }
+        Histogram &mine = it->second;
+        if (mine.bounds != h.bounds) {
+            // Incompatible layouts: keep ours, fold totals only.
+            mine.total += h.total;
+            mine.sum += h.sum;
+            continue;
+        }
+        for (std::size_t i = 0; i < mine.counts.size(); ++i)
+            mine.counts[i] += h.counts[i];
+        mine.total += h.total;
+        mine.sum += h.sum;
+    }
+}
+
+void
+MetricsRegistry::clear()
+{
+    std::lock_guard<std::mutex> lk(m);
+    counters_.clear();
+    gauges_.clear();
+    hists_.clear();
+}
+
+bool
+MetricsRegistry::empty() const
+{
+    std::lock_guard<std::mutex> lk(m);
+    return counters_.empty() && gauges_.empty() && hists_.empty();
+}
+
+void
+MetricsRegistry::print(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lk(m);
+    for (const auto &[name, v] : counters_)
+        os << "counter " << name << " = " << v << "\n";
+    for (const auto &[name, v] : gauges_)
+        os << "gauge " << name << " = " << v << "\n";
+    for (const auto &[name, h] : hists_) {
+        os << "histogram " << name << " count = " << h.total
+           << " sum = " << h.sum << "\n";
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            if (h.counts[i] == 0)
+                continue;
+            os << "  ";
+            if (i < h.bounds.size())
+                os << "<= " << h.bounds[i];
+            else
+                os << "> " << h.bounds.back();
+            os << ": " << h.counts[i] << "\n";
+        }
+    }
+}
+
+MetricsRegistry &
+globalMetrics()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace ahq::obs

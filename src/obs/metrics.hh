@@ -1,0 +1,117 @@
+/**
+ * @file
+ * MetricsRegistry: named counters, gauges and fixed-bucket
+ * histograms for the telemetry layer.
+ *
+ * Design constraints (see DESIGN.md §8):
+ *  - cheap enough for the epoch hot path: one mutex-protected map
+ *    update per recording, and instrumentation sites only call in
+ *    when a registry is attached to their obs::Scope;
+ *  - mergeable: worker threads may record into one shared registry
+ *    (counter and histogram updates commute, so totals are
+ *    deterministic at any thread count) or into private registries
+ *    merged in job order afterwards — both preserve the exec
+ *    layer's serial==parallel contract;
+ *  - self-contained: no dependency on any other ahq module.
+ */
+
+#ifndef AHQ_OBS_METRICS_HH
+#define AHQ_OBS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ahq::obs
+{
+
+/** Snapshot of one fixed-bucket histogram. */
+struct HistogramSnapshot
+{
+    /**
+     * Upper bounds of the finite buckets, ascending. A value v is
+     * counted in the first bucket with v <= bound; values above the
+     * last bound land in the implicit overflow bucket.
+     */
+    std::vector<double> bounds;
+
+    /** Per-bucket counts; size == bounds.size() + 1 (overflow last). */
+    std::vector<std::uint64_t> counts;
+
+    std::uint64_t total = 0;
+    double sum = 0.0;
+};
+
+/**
+ * A registry of named metrics. All operations are thread-safe.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Default histogram bounds (latency-flavoured, ms scale). */
+    static const std::vector<double> &defaultBounds();
+
+    /** Add delta to a counter (created at 0 on first use). */
+    void add(const std::string &name, double delta = 1.0);
+
+    /** Set a gauge to the given value. */
+    void set(const std::string &name, double value);
+
+    /**
+     * Record a value into a histogram. The bucket layout is fixed
+     * by the first observation for the name; later calls reuse it
+     * regardless of the bounds they pass.
+     */
+    void observe(const std::string &name, double value,
+                 const std::vector<double> &bounds = defaultBounds());
+
+    /** Counter value (0 when absent). */
+    double counter(const std::string &name) const;
+
+    /** Gauge value (0 when absent). */
+    double gauge(const std::string &name) const;
+
+    /** Histogram snapshot (empty when absent). */
+    HistogramSnapshot histogram(const std::string &name) const;
+
+    /**
+     * Fold another registry into this one: counters and histogram
+     * buckets add, gauges take the other registry's value. Merging
+     * per-worker registries in job order yields the same totals as
+     * a serial run.
+     */
+    void merge(const MetricsRegistry &other);
+
+    /** Drop every metric. */
+    void clear();
+
+    /** True when nothing has been recorded. */
+    bool empty() const;
+
+    /** Human-readable dump, one metric per line, sorted by name. */
+    void print(std::ostream &os) const;
+
+  private:
+    struct Histogram
+    {
+        std::vector<double> bounds;
+        std::vector<std::uint64_t> counts;
+        std::uint64_t total = 0;
+        double sum = 0.0;
+    };
+
+    mutable std::mutex m;
+    std::map<std::string, double> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, Histogram> hists_;
+};
+
+/** The process-wide registry (what `ahq --metrics` dumps). */
+MetricsRegistry &globalMetrics();
+
+} // namespace ahq::obs
+
+#endif // AHQ_OBS_METRICS_HH

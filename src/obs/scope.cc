@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Event rendering.
+ */
+
+#include "obs/scope.hh"
+
+#include "obs/json.hh"
+
+namespace ahq::obs
+{
+
+void
+Event::key(std::string_view k)
+{
+    payload_.push_back(',');
+    json::appendString(payload_, k);
+    payload_.push_back(':');
+}
+
+Event &
+Event::num(std::string_view k, double v)
+{
+    key(k);
+    json::appendNumber(payload_, v);
+    return *this;
+}
+
+Event &
+Event::integer(std::string_view k, long long v)
+{
+    key(k);
+    json::appendNumber(payload_, v);
+    return *this;
+}
+
+Event &
+Event::str(std::string_view k, std::string_view v)
+{
+    key(k);
+    json::appendString(payload_, v);
+    return *this;
+}
+
+Event &
+Event::nums(std::string_view k, const std::vector<double> &v)
+{
+    key(k);
+    payload_.push_back('[');
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i > 0)
+            payload_.push_back(',');
+        json::appendNumber(payload_, v[i]);
+    }
+    payload_.push_back(']');
+    return *this;
+}
+
+Event &
+Event::ints(std::string_view k, const std::vector<int> &v)
+{
+    key(k);
+    payload_.push_back('[');
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i > 0)
+            payload_.push_back(',');
+        json::appendNumber(payload_,
+                           static_cast<long long>(v[i]));
+    }
+    payload_.push_back(']');
+    return *this;
+}
+
+Event &
+Event::strs(std::string_view k, const std::vector<std::string> &v)
+{
+    key(k);
+    payload_.push_back('[');
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i > 0)
+            payload_.push_back(',');
+        json::appendString(payload_, v[i]);
+    }
+    payload_.push_back(']');
+    return *this;
+}
+
+std::string
+Event::render(std::string_view scenario, int epoch) const
+{
+    std::string line = "{\"v\":";
+    json::appendNumber(line,
+                       static_cast<long long>(kSchemaVersion));
+    line += ",\"type\":";
+    json::appendString(line, type_);
+    if (!scenario.empty()) {
+        line += ",\"scenario\":";
+        json::appendString(line, scenario);
+    }
+    if (epoch >= 0) {
+        line += ",\"epoch\":";
+        json::appendNumber(line, static_cast<long long>(epoch));
+    }
+    line += payload_;
+    line.push_back('}');
+    return line;
+}
+
+} // namespace ahq::obs

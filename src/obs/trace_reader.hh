@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Reader for JSONL traces written by obs::Scope.
+ *
+ * A deliberately small parser covering exactly the shapes the
+ * writer produces: flat objects whose values are strings, numbers,
+ * booleans, null, or arrays of strings/numbers. Anything else (and
+ * any malformed line) raises std::runtime_error with the offending
+ * line number, so a truncated or foreign file fails loudly instead
+ * of being silently misread.
+ */
+
+#ifndef AHQ_OBS_TRACE_READER_HH
+#define AHQ_OBS_TRACE_READER_HH
+
+#include <istream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ahq::obs
+{
+
+/** One decoded field value. */
+struct TraceValue
+{
+    enum class Kind
+    {
+        Null,
+        Number,
+        String,
+        NumberArray,
+        StringArray,
+    };
+
+    Kind kind = Kind::Null;
+    double number = 0.0;
+    std::string string;
+    std::vector<double> numbers;
+    std::vector<std::string> strings;
+};
+
+/** One decoded trace event (a flat field map). */
+struct TraceEvent
+{
+    std::map<std::string, TraceValue> fields;
+
+    /** Number field, or def when absent / not a number. */
+    double num(const std::string &key, double def = 0.0) const;
+
+    /** String field, or def when absent / not a string. */
+    std::string str(const std::string &key,
+                    const std::string &def = {}) const;
+
+    /** Number-array field (empty when absent). */
+    std::vector<double> nums(const std::string &key) const;
+
+    /** String-array field (empty when absent). */
+    std::vector<std::string> strs(const std::string &key) const;
+
+    /** Whether the field exists. */
+    bool has(const std::string &key) const;
+
+    /** The event's "type" field ("" when missing). */
+    std::string type() const { return str("type"); }
+};
+
+/** Parse one JSONL line. @throws std::runtime_error on bad input. */
+TraceEvent parseTraceLine(const std::string &line);
+
+/** Parse a whole stream (blank lines skipped). */
+std::vector<TraceEvent> readTrace(std::istream &in);
+
+/**
+ * Parse a trace file.
+ * @throws std::runtime_error when the file cannot be opened or a
+ *         line is malformed.
+ */
+std::vector<TraceEvent> readTraceFile(const std::string &path);
+
+} // namespace ahq::obs
+
+#endif // AHQ_OBS_TRACE_READER_HH

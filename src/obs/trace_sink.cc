@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Trace sink implementation.
+ */
+
+#include "obs/trace_sink.hh"
+
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+namespace ahq::obs
+{
+
+void
+ensureParentDirs(const std::string &path)
+{
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (parent.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+        throw std::runtime_error(
+            "cannot create trace directory '" + parent.string() +
+            "' for '" + path + "': " + ec.message());
+    }
+    // create_directories reports success when the path already
+    // exists — even as a regular file; reject that explicitly.
+    if (!std::filesystem::is_directory(parent)) {
+        throw std::runtime_error(
+            "trace path parent '" + parent.string() +
+            "' exists and is not a directory (for '" + path + "')");
+    }
+}
+
+FileTraceSink::FileTraceSink(const std::string &path)
+    : path_(path)
+{
+    ensureParentDirs(path);
+    out.open(path, std::ios::out | std::ios::trunc);
+    if (!out.is_open()) {
+        throw std::runtime_error("cannot open trace file '" + path +
+                                 "': " + std::strerror(errno));
+    }
+}
+
+void
+FileTraceSink::write(std::string_view line)
+{
+    std::lock_guard<std::mutex> lk(m);
+    out << line << '\n';
+}
+
+void
+FileTraceSink::flush()
+{
+    std::lock_guard<std::mutex> lk(m);
+    out.flush();
+}
+
+void
+BufferTraceSink::write(std::string_view line)
+{
+    std::lock_guard<std::mutex> lk(m);
+    lines_.emplace_back(line);
+}
+
+std::string
+BufferTraceSink::str() const
+{
+    std::lock_guard<std::mutex> lk(m);
+    std::string out;
+    for (const auto &l : lines_) {
+        out += l;
+        out += '\n';
+    }
+    return out;
+}
+
+std::vector<std::string>
+BufferTraceSink::lines() const
+{
+    std::lock_guard<std::mutex> lk(m);
+    return lines_;
+}
+
+void
+BufferTraceSink::clear()
+{
+    std::lock_guard<std::mutex> lk(m);
+    lines_.clear();
+}
+
+} // namespace ahq::obs

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Trace sinks: where JSONL trace events go.
+ *
+ * FileTraceSink appends lines to a file (creating parent
+ * directories, with a clear error on unwritable paths);
+ * BufferTraceSink accumulates lines in memory — the exec layer
+ * gives each parallel scenario job its own buffer and flushes them
+ * in job order, which is what makes batch traces byte-identical at
+ * any thread count.
+ */
+
+#ifndef AHQ_OBS_TRACE_SINK_HH
+#define AHQ_OBS_TRACE_SINK_HH
+
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ahq::obs
+{
+
+/** Destination for rendered JSONL event lines (no trailing \n). */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Append one event line. Must be callable concurrently. */
+    virtual void write(std::string_view line) = 0;
+};
+
+/**
+ * Create every missing parent directory of the given file path.
+ *
+ * @throws std::runtime_error naming the path and the OS error when
+ *         a component cannot be created (e.g. it exists as a file).
+ */
+void ensureParentDirs(const std::string &path);
+
+/** Sink writing one line per event to a file. */
+class FileTraceSink : public TraceSink
+{
+  public:
+    /**
+     * Open (truncate) the trace file, creating parent directories.
+     *
+     * @throws std::runtime_error with the path and reason when the
+     *         file cannot be created.
+     */
+    explicit FileTraceSink(const std::string &path);
+
+    void write(std::string_view line) override;
+
+    /** Flush buffered lines to the OS. */
+    void flush();
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::mutex m;
+    std::ofstream out;
+};
+
+/** Sink accumulating lines in memory (tests, batch buffering). */
+class BufferTraceSink : public TraceSink
+{
+  public:
+    void write(std::string_view line) override;
+
+    /** Everything written so far, newline-terminated lines. */
+    std::string str() const;
+
+    /** The individual lines. */
+    std::vector<std::string> lines() const;
+
+    void clear();
+
+  private:
+    mutable std::mutex m;
+    std::vector<std::string> lines_;
+};
+
+} // namespace ahq::obs
+
+#endif // AHQ_OBS_TRACE_SINK_HH

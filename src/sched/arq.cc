@@ -201,26 +201,69 @@ Arq::adjust(RegionLayout &layout,
     const double es = report.eS;
     const auto ret = remainingTolerance(obs);
 
+    const char *action = "hold";
+    double ban_until = -1.0;
+
     // Let the last adjustment's one-off repartitioning overhead
     // drain before judging it by E_S.
     if (settleLeft > 0) {
         --settleLeft;
-        return;
-    }
-
-    if (cfg.rollbackEnabled && isAdjust && es > prevEs) {
+        action = "settle";
+    } else if (cfg.rollbackEnabled && isAdjust && es > prevEs) {
         // Cancel the last adjustment and ban the victim region from
         // being penalised again for banSeconds.
         layout.moveResource(lastMove.kind, lastMove.to,
                             lastMove.from);
-        banUntil[lastMove.from] = now_s + cfg.banSeconds;
+        ban_until = now_s + cfg.banSeconds;
+        banUntil[lastMove.from] = ban_until;
         isAdjust = false;
+        action = "rollback";
+        prevEs = es;
     } else {
         isAdjust = adjustResource(layout, ret, now_s);
-        if (isAdjust)
+        if (isAdjust) {
             settleLeft = cfg.settleEpochs;
+            action = "move";
+        }
+        prevEs = es;
     }
-    prevEs = es;
+
+    const obs::Scope &scope = obsScope();
+    scope.count(std::string("arq.") + action);
+    if (scope.tracing()) {
+        // One decision event per interval: the entropy inputs, the
+        // full ReT/Q arrays and what Algorithm 1 did about them.
+        std::vector<int> app_ids;
+        std::vector<double> ret_arr, q_arr;
+        for (const auto &[app, t] : ret) {
+            app_ids.push_back(app);
+            ret_arr.push_back(t.ret);
+            q_arr.push_back(t.q);
+        }
+        obs::Event ev("arq_decision");
+        ev.num("t", now_s)
+            .str("action", action)
+            .num("e_lc", report.eLc)
+            .num("e_be", report.eBe)
+            .num("e_s", es)
+            .ints("apps", app_ids)
+            .nums("ret", ret_arr)
+            .nums("q", q_arr);
+        if (action == std::string("move") ||
+            action == std::string("rollback")) {
+            ev.str("kind", machine::toString(lastMove.kind))
+                .integer("victim", lastMove.from)
+                .integer("beneficiary", lastMove.to);
+            const auto fsm = fsmIndex.find(lastMove.from);
+            ev.integer("fsm", fsm != fsmIndex.end() ?
+                                  fsm->second : 0);
+        }
+        if (ban_until >= 0.0) {
+            ev.integer("ban_region", lastMove.from)
+                .num("ban_until_s", ban_until);
+        }
+        scope.emit(ev);
+    }
 }
 
 } // namespace ahq::sched

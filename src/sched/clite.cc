@@ -322,6 +322,12 @@ Clite::adjust(machine::RegionLayout &layout,
                 exploreCount = 0;
                 violationStreak = 0;
                 settleLeft = 0;
+                obsScope().count("clite.load_shift");
+                if (obsScope().tracing()) {
+                    obs::Event ev("clite_decision");
+                    ev.str("action", "re_explore");
+                    obsScope().emit(ev);
+                }
                 break;
             }
         }
@@ -333,6 +339,7 @@ Clite::adjust(machine::RegionLayout &layout,
     // feasible configuration measure as a violation.
     if (!exploiting && settleLeft > 0) {
         --settleLeft;
+        obsScope().count("clite.settle");
         return;
     }
 
@@ -415,6 +422,19 @@ Clite::adjust(machine::RegionLayout &layout,
     applyAlloc(layout, next);
     if (!exploiting)
         settleLeft = cfg.settleEpochs;
+
+    const obs::Scope &scope = obsScope();
+    scope.count(exploiting ? "clite.exploit" : "clite.sample");
+    if (scope.tracing()) {
+        obs::Event ev("clite_decision");
+        ev.str("action", exploiting ? "exploit" : "sample")
+            .num("score", score)
+            .num("best",
+                 *std::max_element(ys.begin(), ys.end()))
+            .integer("samples",
+                     static_cast<long long>(ys.size()));
+        scope.emit(ev);
+    }
 }
 
 } // namespace ahq::sched

@@ -128,6 +128,7 @@ Parties::upsizeApp(RegionLayout &layout,
         if (pool != machine::kNoRegion &&
             layout.moveResource(kind, pool, target)) {
             fsm = (fsm + attempt) % kNumResourceKinds;
+            recordMove("upsize", app, kind, pool, target);
             return true;
         }
 
@@ -154,6 +155,8 @@ Parties::upsizeApp(RegionLayout &layout,
                 layout.isolatedRegionOf(donor);
             if (layout.moveResource(kind, donor_region, target)) {
                 fsm = (fsm + attempt) % kNumResourceKinds;
+                recordMove("upsize", app, kind, donor_region,
+                           target);
                 return true;
             }
         }
@@ -161,6 +164,24 @@ Parties::upsizeApp(RegionLayout &layout,
     // Nothing movable this interval; rotate the FSM for next time.
     fsm = (fsm + 1) % kNumResourceKinds;
     return false;
+}
+
+void
+Parties::recordMove(const char *action, AppId app,
+                    ResourceKind kind, RegionId from,
+                    RegionId to) const
+{
+    const obs::Scope &scope = obsScope();
+    scope.count(std::string("parties.") + action);
+    if (!scope.tracing())
+        return;
+    obs::Event ev("parties_decision");
+    ev.str("action", action)
+        .integer("app", app)
+        .str("kind", machine::toString(kind))
+        .integer("from", from)
+        .integer("to", to);
+    scope.emit(ev);
 }
 
 void
@@ -203,12 +224,18 @@ Parties::adjust(RegionLayout &layout,
                 cooldown[trial.app] = cfg.revertCooldown;
                 trial.active = false;
                 reverted = true;
+                recordMove("revert", trial.app, trial.kind,
+                           bePool(layout),
+                           layout.isolatedRegionOf(trial.app));
                 break;
             }
         }
         if (!reverted && --trial.watchLeft <= 0) {
             cooldown[trial.app] = cfg.commitCooldown;
             trial.active = false;
+            recordMove("commit", trial.app, trial.kind,
+                       layout.isolatedRegionOf(trial.app),
+                       bePool(layout));
         }
     }
 
@@ -257,6 +284,8 @@ Parties::adjust(RegionLayout &layout,
                     if (layout.moveResource(kind, region, pool)) {
                         trial = {true, richest->id, kind,
                                  cfg.trialWatch};
+                        recordMove("downsize_trial", richest->id,
+                                   kind, region, pool);
                         break;
                     }
                 }

@@ -109,6 +109,12 @@ class Parties : public Scheduler
                    const std::vector<AppObservation> &obs,
                    machine::AppId app);
 
+    /** Report one decision through the attached telemetry scope. */
+    void recordMove(const char *action, machine::AppId app,
+                    machine::ResourceKind kind,
+                    machine::RegionId from,
+                    machine::RegionId to) const;
+
     /** The BE pool region id (the shared region). */
     static machine::RegionId bePool(const machine::RegionLayout &l);
 };

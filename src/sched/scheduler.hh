@@ -18,6 +18,7 @@
 
 #include "machine/config.hh"
 #include "machine/layout.hh"
+#include "obs/scope.hh"
 #include "perf/contention.hh"
 
 namespace ahq::sched
@@ -96,11 +97,24 @@ class Scheduler
     /** Reset any internal controller state (new run). */
     virtual void reset() {}
 
+    /**
+     * Attach the telemetry scope decisions are reported through.
+     * The simulator sets this every run (and re-points it at the
+     * current epoch while tracing), so schedulers never need to.
+     */
+    void setObsScope(obs::Scope scope) { obs_ = std::move(scope); }
+
   protected:
+    /** The attached telemetry scope (null sinks by default). */
+    const obs::Scope &obsScope() const { return obs_; }
+
     /** Split observations into LC and BE app id lists. */
     static void splitKinds(const std::vector<AppObservation> &apps,
                            std::vector<machine::AppId> &lc,
                            std::vector<machine::AppId> &be);
+
+  private:
+    obs::Scope obs_;
 };
 
 } // namespace ahq::sched

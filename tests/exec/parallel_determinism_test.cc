@@ -45,7 +45,7 @@ batch()
                 {cluster::lcAt(apps::xapian(), load),
                  cluster::lcAt(apps::moses(), 0.2),
                  cluster::be(apps::stream())});
-            jobs.push_back({strategy, node, shortConfig(seed++)});
+            jobs.push_back({strategy, node, shortConfig(seed++), ""});
         }
     }
     return jobs;

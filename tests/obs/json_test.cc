@@ -1,0 +1,138 @@
+/**
+ * @file
+ * JSON writer/reader: escaping round-trips through the trace
+ * parser, number formatting is deterministic (std::to_chars), and
+ * the reader fails loudly on malformed input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "obs/trace_reader.hh"
+
+namespace
+{
+
+namespace json = ahq::obs::json;
+using ahq::obs::parseTraceLine;
+using ahq::obs::readTrace;
+using ahq::obs::readTraceFile;
+using ahq::obs::TraceValue;
+
+TEST(Json, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(json::quoted("plain"), "\"plain\"");
+    EXPECT_EQ(json::quoted("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(json::quoted("back\\slash"), "\"back\\\\slash\"");
+    EXPECT_EQ(json::quoted("tab\there"), "\"tab\\there\"");
+    EXPECT_EQ(json::quoted("line\nbreak"), "\"line\\nbreak\"");
+    EXPECT_EQ(json::quoted(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(Json, EscapingRoundTripsThroughTheReader)
+{
+    const std::string nasty =
+        "quote\" back\\ tab\t nl\n cr\r ctl\x02 end";
+    std::string line = "{\"type\":\"t\",\"s\":";
+    json::appendString(line, nasty);
+    line += "}";
+
+    const auto ev = parseTraceLine(line);
+    EXPECT_EQ(ev.str("s"), nasty);
+}
+
+TEST(Json, NumberFormattingIsShortestRoundTrip)
+{
+    std::string out;
+    json::appendNumber(out, 0.5);
+    EXPECT_EQ(out, "0.5");
+
+    out.clear();
+    json::appendNumber(out, static_cast<long long>(-42));
+    EXPECT_EQ(out, "-42");
+
+    // Same double -> same bytes, and parsing recovers the value
+    // exactly — the trace byte-identity tests lean on this.
+    const double v = 0.1 + 0.2;
+    std::string a, b;
+    json::appendNumber(a, v);
+    json::appendNumber(b, v);
+    EXPECT_EQ(a, b);
+    const auto ev = parseTraceLine("{\"x\":" + a + "}");
+    EXPECT_EQ(ev.num("x"), v);
+}
+
+TEST(Json, NonFiniteDoublesRenderAsNull)
+{
+    std::string out;
+    json::appendNumber(out,
+                       std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(out, "null");
+    out.clear();
+    json::appendNumber(out,
+                       std::numeric_limits<double>::infinity());
+    EXPECT_EQ(out, "null");
+
+    const auto ev = parseTraceLine("{\"x\":null}");
+    ASSERT_TRUE(ev.has("x"));
+    EXPECT_EQ(ev.fields.at("x").kind, TraceValue::Kind::Null);
+    EXPECT_EQ(ev.num("x", -1.0), -1.0); // null is not a number
+}
+
+TEST(Json, ReaderParsesArraysAndTypedAccessors)
+{
+    const auto ev = parseTraceLine(
+        "{\"v\":1,\"type\":\"epoch\",\"ret\":[0.1,0.2,3],"
+        "\"apps\":[\"a\",\"b\"],\"ok\":true}");
+    EXPECT_EQ(ev.type(), "epoch");
+    EXPECT_EQ(ev.num("v"), 1.0);
+    EXPECT_EQ(ev.nums("ret"),
+              (std::vector<double>{0.1, 0.2, 3.0}));
+    EXPECT_EQ(ev.strs("apps"),
+              (std::vector<std::string>{"a", "b"}));
+    // Absent / wrong-kind fields fall back to defaults.
+    EXPECT_EQ(ev.str("missing", "d"), "d");
+    EXPECT_TRUE(ev.nums("apps").empty());
+    EXPECT_FALSE(ev.has("nope"));
+}
+
+TEST(Json, ReaderRejectsMalformedLines)
+{
+    EXPECT_THROW(parseTraceLine("not json"), std::runtime_error);
+    EXPECT_THROW(parseTraceLine("{\"a\":}"), std::runtime_error);
+    EXPECT_THROW(parseTraceLine("{\"a\":1"), std::runtime_error);
+    EXPECT_THROW(parseTraceLine("{\"a\":[1,}"),
+                 std::runtime_error);
+    EXPECT_THROW(parseTraceLine("{\"a\":{\"nested\":1}}"),
+                 std::runtime_error);
+}
+
+TEST(Json, StreamReaderSkipsBlankLinesAndNumbersErrors)
+{
+    std::istringstream ok("{\"a\":1}\n\n{\"a\":2}\n");
+    const auto evs = readTrace(ok);
+    ASSERT_EQ(evs.size(), 2u);
+    EXPECT_EQ(evs[1].num("a"), 2.0);
+
+    std::istringstream bad("{\"a\":1}\ngarbage\n");
+    try {
+        readTrace(bad);
+        FAIL() << "expected parse error";
+    } catch (const std::runtime_error &e) {
+        // The error names the offending line number.
+        EXPECT_NE(std::string(e.what()).find("2"),
+                  std::string::npos);
+    }
+}
+
+TEST(Json, MissingTraceFileFailsLoudly)
+{
+    EXPECT_THROW(readTraceFile("/nonexistent/dir/trace.jsonl"),
+                 std::runtime_error);
+}
+
+} // namespace

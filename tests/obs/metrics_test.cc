@@ -1,0 +1,205 @@
+/**
+ * @file
+ * MetricsRegistry: counter/gauge semantics, histogram bucketing
+ * (inclusive upper bounds, overflow bucket), and the merge rules
+ * that make per-worker registries equivalent to a serial run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "obs/metrics.hh"
+
+namespace
+{
+
+using ahq::obs::HistogramSnapshot;
+using ahq::obs::MetricsRegistry;
+
+TEST(Metrics, CountersAccumulateAndDefaultToZero)
+{
+    MetricsRegistry m;
+    EXPECT_DOUBLE_EQ(m.counter("missing"), 0.0);
+    EXPECT_TRUE(m.empty());
+
+    m.add("arq.move");
+    m.add("arq.move");
+    m.add("arq.move", 2.5);
+    EXPECT_DOUBLE_EQ(m.counter("arq.move"), 4.5);
+    EXPECT_FALSE(m.empty());
+}
+
+TEST(Metrics, GaugesAreLastWriteWins)
+{
+    MetricsRegistry m;
+    EXPECT_DOUBLE_EQ(m.gauge("missing"), 0.0);
+    m.set("fsm.state", 1.0);
+    m.set("fsm.state", 3.0);
+    EXPECT_DOUBLE_EQ(m.gauge("fsm.state"), 3.0);
+}
+
+TEST(Metrics, HistogramBucketingUsesInclusiveUpperBounds)
+{
+    MetricsRegistry m;
+    const std::vector<double> bounds{1.0, 5.0, 10.0};
+
+    // A value equal to a bound lands in that bound's bucket.
+    m.observe("lat", 1.0, bounds);  // bucket 0 (v <= 1)
+    m.observe("lat", 0.2, bounds);  // bucket 0
+    m.observe("lat", 5.0, bounds);  // bucket 1 (v <= 5)
+    m.observe("lat", 9.9, bounds);  // bucket 2
+    m.observe("lat", 10.1, bounds); // overflow
+    m.observe("lat", 1e9, bounds);  // overflow
+
+    const HistogramSnapshot h = m.histogram("lat");
+    ASSERT_EQ(h.bounds.size(), 3u);
+    ASSERT_EQ(h.counts.size(), 4u); // bounds + overflow
+    EXPECT_EQ(h.counts[0], 2u);
+    EXPECT_EQ(h.counts[1], 1u);
+    EXPECT_EQ(h.counts[2], 1u);
+    EXPECT_EQ(h.counts[3], 2u);
+    EXPECT_EQ(h.total, 6u);
+    EXPECT_DOUBLE_EQ(h.sum, 1.0 + 0.2 + 5.0 + 9.9 + 10.1 + 1e9);
+}
+
+TEST(Metrics, HistogramLayoutFixedByFirstObservation)
+{
+    MetricsRegistry m;
+    m.observe("x", 2.0, {1.0, 10.0});
+    // Later bounds are ignored; the value is bucketed in the
+    // original layout.
+    m.observe("x", 2.0, {100.0});
+    const auto h = m.histogram("x");
+    ASSERT_EQ(h.bounds.size(), 2u);
+    EXPECT_EQ(h.counts[1], 2u);
+    EXPECT_EQ(h.total, 2u);
+}
+
+TEST(Metrics, MissingHistogramSnapshotIsEmpty)
+{
+    MetricsRegistry m;
+    const auto h = m.histogram("absent");
+    EXPECT_TRUE(h.bounds.empty());
+    EXPECT_TRUE(h.counts.empty());
+    EXPECT_EQ(h.total, 0u);
+}
+
+TEST(Metrics, MergeAddsCountersAndHistogramsTakesGauges)
+{
+    MetricsRegistry a;
+    MetricsRegistry b;
+    a.add("c", 2.0);
+    b.add("c", 3.0);
+    b.add("only_b", 1.0);
+    a.set("g", 1.0);
+    b.set("g", 9.0);
+    a.observe("h", 0.5, {1.0, 2.0});
+    b.observe("h", 1.5, {1.0, 2.0});
+    b.observe("h", 99.0, {1.0, 2.0});
+
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.counter("c"), 5.0);
+    EXPECT_DOUBLE_EQ(a.counter("only_b"), 1.0);
+    EXPECT_DOUBLE_EQ(a.gauge("g"), 9.0);
+
+    const auto h = a.histogram("h");
+    EXPECT_EQ(h.total, 3u);
+    EXPECT_EQ(h.counts[0], 1u);
+    EXPECT_EQ(h.counts[1], 1u);
+    EXPECT_EQ(h.counts[2], 1u);
+    EXPECT_DOUBLE_EQ(h.sum, 0.5 + 1.5 + 99.0);
+}
+
+TEST(Metrics, MergeOrderOfWorkersMatchesSerialTotals)
+{
+    // The property the exec layer relies on: counters and histogram
+    // buckets commute, so per-worker registries merged in any order
+    // equal one registry that saw every event.
+    MetricsRegistry serial;
+    MetricsRegistry w1;
+    MetricsRegistry w2;
+    for (int i = 0; i < 10; ++i) {
+        serial.add("n");
+        serial.observe("v", i, {3.0, 6.0});
+        (i % 2 == 0 ? w1 : w2).add("n");
+        (i % 2 == 0 ? w1 : w2).observe("v", i, {3.0, 6.0});
+    }
+    MetricsRegistry merged;
+    merged.merge(w2);
+    merged.merge(w1);
+    EXPECT_DOUBLE_EQ(merged.counter("n"), serial.counter("n"));
+    const auto hs = serial.histogram("v");
+    const auto hm = merged.histogram("v");
+    ASSERT_EQ(hm.counts.size(), hs.counts.size());
+    for (std::size_t i = 0; i < hs.counts.size(); ++i)
+        EXPECT_EQ(hm.counts[i], hs.counts[i]);
+    EXPECT_EQ(hm.total, hs.total);
+    EXPECT_DOUBLE_EQ(hm.sum, hs.sum);
+}
+
+TEST(Metrics, ConcurrentAddsIntoSharedRegistryAreExact)
+{
+    MetricsRegistry m;
+    constexpr int kThreads = 4;
+    constexpr int kPer = 2000;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&m] {
+            for (int i = 0; i < kPer; ++i) {
+                m.add("shared");
+                m.observe("obs", 1.0, {2.0});
+            }
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+    EXPECT_DOUBLE_EQ(m.counter("shared"),
+                     double(kThreads) * kPer);
+    EXPECT_EQ(m.histogram("obs").total,
+              std::uint64_t(kThreads) * kPer);
+}
+
+TEST(Metrics, ClearDropsEverything)
+{
+    MetricsRegistry m;
+    m.add("c");
+    m.set("g", 1.0);
+    m.observe("h", 1.0);
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_DOUBLE_EQ(m.counter("c"), 0.0);
+}
+
+TEST(Metrics, MergeWithMismatchedBoundsFoldsTotalsOnly)
+{
+    MetricsRegistry a;
+    MetricsRegistry b;
+    a.observe("h", 0.5, {1.0, 2.0});
+    b.observe("h", 0.5, {10.0});
+
+    a.merge(b);
+    const auto h = a.histogram("h");
+    ASSERT_EQ(h.bounds.size(), 2u); // our layout wins
+    EXPECT_EQ(h.total, 2u);
+    EXPECT_DOUBLE_EQ(h.sum, 1.0);
+    // Bucket counts cannot be reconciled, so only ours remain.
+    EXPECT_EQ(h.counts[0], 1u);
+}
+
+TEST(Metrics, PrintNamesEveryMetricWithKind)
+{
+    MetricsRegistry m;
+    m.add("zeta.count", 2.0);
+    m.set("alpha.gauge", 1.5);
+    m.observe("mid.hist", 0.5, {1.0});
+    std::ostringstream os;
+    m.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("counter zeta.count"), std::string::npos);
+    EXPECT_NE(out.find("gauge alpha.gauge"), std::string::npos);
+    EXPECT_NE(out.find("histogram mid.hist"), std::string::npos);
+}
+
+} // namespace

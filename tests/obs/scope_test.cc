@@ -1,0 +1,176 @@
+/**
+ * @file
+ * obs::Scope and sinks: disabled scopes are no-ops, event lines
+ * have a stable header + call-order payload, derived scopes copy
+ * context, and FileTraceSink handles paths the way outputDir()
+ * does — create parents, fail loudly on unwritable locations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "obs/scope.hh"
+#include "obs/trace_reader.hh"
+
+namespace
+{
+
+namespace fs = std::filesystem;
+using ahq::obs::BufferTraceSink;
+using ahq::obs::Event;
+using ahq::obs::FileTraceSink;
+using ahq::obs::kSchemaVersion;
+using ahq::obs::MetricsRegistry;
+using ahq::obs::readTraceFile;
+using ahq::obs::Scope;
+
+TEST(Scope, DisabledScopeIsANoOp)
+{
+    const Scope off; // both pointers null
+    EXPECT_FALSE(off.tracing());
+    // None of these may crash or record anything.
+    off.emit(Event("epoch").num("t", 1.0));
+    off.count("x");
+    off.gauge("g", 2.0);
+    off.observe("h", 3.0);
+}
+
+TEST(Scope, EventHeaderThenFieldsInCallOrder)
+{
+    const std::string line = Event("arq_decision")
+                                 .str("action", "move")
+                                 .num("e_s", 0.25)
+                                 .integer("victim", 2)
+                                 .nums("ret", {0.1, 0.2})
+                                 .ints("regions", {1, 3})
+                                 .strs("apps", {"a", "b"})
+                                 .render("s1", 7);
+    EXPECT_EQ(line,
+              "{\"v\":1,\"type\":\"arq_decision\","
+              "\"scenario\":\"s1\",\"epoch\":7,"
+              "\"action\":\"move\",\"e_s\":0.25,\"victim\":2,"
+              "\"ret\":[0.1,0.2],\"regions\":[1,3],"
+              "\"apps\":[\"a\",\"b\"]}");
+}
+
+TEST(Scope, HeaderOmitsEmptyScenarioAndNegativeEpoch)
+{
+    EXPECT_EQ(Event("run_start").render("", -1),
+              "{\"v\":1,\"type\":\"run_start\"}");
+}
+
+TEST(Scope, EmitStampsScenarioAndEpoch)
+{
+    BufferTraceSink sink;
+    MetricsRegistry metrics;
+    Scope scope;
+    scope.sink = &sink;
+    scope.metrics = &metrics;
+    scope.scenario = "ARQ@50";
+    scope.epoch = 3;
+    EXPECT_TRUE(scope.tracing());
+
+    scope.emit(Event("epoch").num("t", 1.5));
+    scope.count("sim.epochs");
+    scope.observe("lat", 2.0);
+
+    const auto lines = sink.lines();
+    ASSERT_EQ(lines.size(), 1u);
+    const auto ev = ahq::obs::parseTraceLine(lines[0]);
+    EXPECT_EQ(ev.num("v"), kSchemaVersion);
+    EXPECT_EQ(ev.type(), "epoch");
+    EXPECT_EQ(ev.str("scenario"), "ARQ@50");
+    EXPECT_EQ(ev.num("epoch"), 3.0);
+    EXPECT_EQ(ev.num("t"), 1.5);
+    EXPECT_DOUBLE_EQ(metrics.counter("sim.epochs"), 1.0);
+    EXPECT_EQ(metrics.histogram("lat").total, 1u);
+}
+
+TEST(Scope, DerivedScopesCopyContextAndShareSink)
+{
+    BufferTraceSink sink;
+    BufferTraceSink other;
+    Scope base;
+    base.sink = &sink;
+
+    const Scope tagged = base.tagged("node0");
+    const Scope at = tagged.atEpoch(5);
+    const Scope redirected = at.withSink(&other);
+
+    tagged.emit(Event("a"));
+    at.emit(Event("b"));
+    redirected.emit(Event("c"));
+
+    const auto lines = sink.lines();
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], "{\"v\":1,\"type\":\"a\","
+                        "\"scenario\":\"node0\"}");
+    EXPECT_EQ(lines[1], "{\"v\":1,\"type\":\"b\","
+                        "\"scenario\":\"node0\",\"epoch\":5}");
+    const auto redirected_lines = other.lines();
+    ASSERT_EQ(redirected_lines.size(), 1u);
+    EXPECT_EQ(redirected_lines[0],
+              "{\"v\":1,\"type\":\"c\","
+              "\"scenario\":\"node0\",\"epoch\":5}");
+    // base is untouched by the derived copies.
+    EXPECT_TRUE(base.scenario.empty());
+    EXPECT_EQ(base.epoch, -1);
+}
+
+TEST(Scope, FileTraceSinkCreatesParentDirectories)
+{
+    const fs::path dir = fs::path(testing::TempDir()) /
+                         "ahq_obs_test" / "nested" / "deeper";
+    const fs::path file = dir / "trace.jsonl";
+    fs::remove_all(fs::path(testing::TempDir()) / "ahq_obs_test");
+
+    {
+        FileTraceSink sink(file.string());
+        EXPECT_EQ(sink.path(), file.string());
+        Scope scope;
+        scope.sink = &sink;
+        scope.emit(Event("run_start").str("scheduler", "ARQ"));
+        sink.flush();
+    }
+
+    ASSERT_TRUE(fs::exists(file));
+    const auto events = readTraceFile(file.string());
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].type(), "run_start");
+    EXPECT_EQ(events[0].str("scheduler"), "ARQ");
+    fs::remove_all(fs::path(testing::TempDir()) / "ahq_obs_test");
+}
+
+TEST(Scope, FileTraceSinkRejectsParentThatIsAFile)
+{
+    const fs::path blocker =
+        fs::path(testing::TempDir()) / "ahq_obs_blocker";
+    { std::ofstream(blocker.string()) << "x"; }
+
+    const std::string target = (blocker / "trace.jsonl").string();
+    try {
+        FileTraceSink sink(target);
+        FAIL() << "expected constructor to throw";
+    } catch (const std::runtime_error &e) {
+        // The error names the offending path.
+        EXPECT_NE(std::string(e.what()).find(blocker.string()),
+                  std::string::npos);
+    }
+    fs::remove(blocker);
+}
+
+TEST(Scope, BufferTraceSinkAccumulatesAndClears)
+{
+    BufferTraceSink sink;
+    sink.write("{\"a\":1}");
+    sink.write("{\"a\":2}");
+    EXPECT_EQ(sink.str(), "{\"a\":1}\n{\"a\":2}\n");
+    ASSERT_EQ(sink.lines().size(), 2u);
+    sink.clear();
+    EXPECT_TRUE(sink.str().empty());
+    EXPECT_TRUE(sink.lines().empty());
+}
+
+} // namespace

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "cli.hh"
+#include "obs/trace_reader.hh"
 
 namespace
 {
@@ -180,6 +181,158 @@ TEST(CliSweep, NeedsLcApp)
 {
     std::ostringstream out, err;
     EXPECT_EQ(dispatch({"sweep", "stream"}, out, err), 2);
+}
+
+TEST(CliParse, TraceAndMetricsFlags)
+{
+    const auto opt = parseSimulateArgs(
+        {"--trace", "out.jsonl", "--metrics", "xapian=0.5"});
+    EXPECT_EQ(opt.tracePath, "out.jsonl");
+    EXPECT_TRUE(opt.dumpMetrics);
+    EXPECT_FALSE(
+        parseSimulateArgs({"xapian=0.5"}).dumpMetrics);
+}
+
+TEST(CliSimulate, TraceAndMetricsEndToEnd)
+{
+    const std::string trace = "/tmp/ahq_cli_trace.jsonl";
+    std::ostringstream out, err;
+    const int rc = dispatch(
+        {"simulate", "--duration", "15", "--warmup", "15",
+         "--trace", trace, "--metrics", "xapian=0.4",
+         "fluidanimate"},
+        out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find("trace written to " + trace),
+              std::string::npos);
+    EXPECT_NE(out.str().find("counter sim.epochs = 30"),
+              std::string::npos)
+        << out.str();
+
+    const auto events = ahq::obs::readTraceFile(trace);
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(events.front().type(), "run_start");
+    EXPECT_EQ(events.back().type(), "run_end");
+    EXPECT_EQ(events.front().str("scenario"), "ARQ");
+    std::remove(trace.c_str());
+}
+
+TEST(CliSimulate, UnwritableTracePathFails)
+{
+    std::ostringstream out, err;
+    const int rc = dispatch(
+        {"simulate", "--trace", "/dev/null/nope/trace.jsonl",
+         "xapian=0.4"},
+        out, err);
+    EXPECT_EQ(rc, 1);
+    EXPECT_NE(err.str().find("error:"), std::string::npos);
+    EXPECT_NE(err.str().find("/dev/null/nope"), std::string::npos)
+        << err.str();
+}
+
+TEST(CliTrace, SummarisesASimulateTrace)
+{
+    const std::string trace = "/tmp/ahq_cli_trace_sum.jsonl";
+    std::ostringstream sim_out, sim_err;
+    ASSERT_EQ(dispatch({"simulate", "--duration", "15", "--warmup",
+                        "15", "--trace", trace, "xapian=0.6",
+                        "stream"},
+                       sim_out, sim_err),
+              0)
+        << sim_err.str();
+
+    std::ostringstream out, err;
+    const int rc = dispatch({"trace", trace}, out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    // Header: 30 epochs of 0.5 s over 15 s, schema v1.
+    EXPECT_NE(out.str().find("1 scenario(s), 30 epochs (schema v1)"),
+              std::string::npos)
+        << out.str();
+    EXPECT_NE(out.str().find("ARQ"), std::string::npos);
+    EXPECT_NE(out.str().find("E_S per epoch"), std::string::npos);
+    EXPECT_NE(out.str().find("remaining tolerance"),
+              std::string::npos);
+
+    // The decision totals agree with the raw event stream.
+    int moves = 0, rollbacks = 0;
+    for (const auto &ev : ahq::obs::readTraceFile(trace)) {
+        if (ev.type() != "arq_decision")
+            continue;
+        moves += ev.str("action") == "move";
+        rollbacks += ev.str("action") == "rollback";
+    }
+    EXPECT_NE(out.str().find(std::to_string(moves)),
+              std::string::npos);
+    EXPECT_NE(out.str().find(std::to_string(rollbacks)),
+              std::string::npos);
+    std::remove(trace.c_str());
+}
+
+TEST(CliTrace, ErrorsAreLoudAndSpecific)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(dispatch({"trace"}, out, err), 2);
+
+    std::ostringstream err2;
+    EXPECT_EQ(dispatch({"trace", "/tmp/ahq_no_such_trace.jsonl"},
+                       out, err2),
+              1);
+    EXPECT_NE(err2.str().find("cannot open"), std::string::npos);
+
+    const std::string empty = "/tmp/ahq_cli_trace_empty.jsonl";
+    { std::ofstream f(empty); }
+    std::ostringstream err3;
+    EXPECT_EQ(dispatch({"trace", empty}, out, err3), 1);
+    EXPECT_NE(err3.str().find("empty trace"), std::string::npos);
+    std::remove(empty.c_str());
+
+    const std::string bad = "/tmp/ahq_cli_trace_badv.jsonl";
+    {
+        std::ofstream f(bad);
+        f << "{\"v\":99,\"type\":\"run_start\"}\n";
+    }
+    std::ostringstream err4;
+    EXPECT_EQ(dispatch({"trace", bad}, out, err4), 1);
+    EXPECT_NE(err4.str().find("unsupported schema version 99"),
+              std::string::npos);
+    std::remove(bad.c_str());
+}
+
+TEST(CliSweep, TraceBytesIdenticalAcrossJobs)
+{
+    const std::string t1 = "/tmp/ahq_sweep_trace_j1.jsonl";
+    const std::string t4 = "/tmp/ahq_sweep_trace_j4.jsonl";
+    auto slurp = [](const std::string &path) {
+        std::ifstream in(path);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        return ss.str();
+    };
+
+    std::ostringstream out1, err1, out4, err4;
+    ASSERT_EQ(dispatch({"sweep", "--duration", "10", "--warmup",
+                        "10", "--jobs", "1", "--trace", t1,
+                        "xapian=0", "fluidanimate"},
+                       out1, err1),
+              0)
+        << err1.str();
+    ASSERT_EQ(dispatch({"sweep", "--duration", "10", "--warmup",
+                        "10", "--jobs", "4", "--trace", t4,
+                        "xapian=0", "fluidanimate"},
+                       out4, err4),
+              0)
+        << err4.str();
+
+    const std::string a = slurp(t1);
+    const std::string b = slurp(t4);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b); // byte-for-byte across thread counts
+
+    // The sweep table itself is identical too.
+    EXPECT_EQ(out1.str().substr(0, out1.str().find("trace written")),
+              out4.str().substr(0, out4.str().find("trace written")));
+    std::remove(t1.c_str());
+    std::remove(t4.c_str());
 }
 
 TEST(CliDispatch, ListsAndUsage)

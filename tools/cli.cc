@@ -5,6 +5,7 @@
 
 #include "cli.hh"
 
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -13,6 +14,9 @@
 #include "apps/catalog.hh"
 #include "cluster/oracle.hh"
 #include "exec/jobs.hh"
+#include "exec/scenario_runner.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_sink.hh"
 #include "report/csv.hh"
 #include "report/table.hh"
 #include "sched/registry.hh"
@@ -103,6 +107,10 @@ parseSimulateArgs(const std::vector<std::string> &args)
             }
         } else if (a == "--csv") {
             opt.csvPath = next("--csv");
+        } else if (a == "--trace") {
+            opt.tracePath = next("--trace");
+        } else if (a == "--metrics") {
+            opt.dumpMetrics = true;
         } else if (a == "--jobs") {
             opt.jobs = static_cast<int>(
                 parseDouble(next("--jobs"), "jobs"));
@@ -126,6 +134,10 @@ parseSimulateArgs(const std::vector<std::string> &args)
     if (opt.lcApps.empty() && opt.beApps.empty()) {
         throw std::invalid_argument(
             "no applications given (expected app=load or be_app)");
+    }
+    if (opt.tracePath.empty()) {
+        if (const char *env = std::getenv("AHQ_TRACE"))
+            opt.tracePath = env;
     }
     return opt;
 }
@@ -240,6 +252,17 @@ runSimulate(const std::vector<std::string> &args, std::ostream &out,
         cfg.seed = opt.seed;
         cfg.tailPercentile = opt.percentile;
 
+        std::unique_ptr<obs::FileTraceSink> sink;
+        obs::MetricsRegistry metrics;
+        if (!opt.tracePath.empty()) {
+            sink = std::make_unique<obs::FileTraceSink>(
+                opt.tracePath);
+            cfg.obs.sink = sink.get();
+            cfg.obs.scenario = opt.strategy;
+        }
+        if (opt.dumpMetrics || sink)
+            cfg.obs.metrics = &metrics;
+
         const auto sched = makeScheduler(opt.strategy);
         cluster::EpochSimulator sim(node, cfg);
         const auto res = sim.run(*sched);
@@ -282,6 +305,12 @@ runSimulate(const std::vector<std::string> &args, std::ostream &out,
             }
             out << "timeline written to " << opt.csvPath << "\n";
         }
+        if (sink) {
+            sink->flush();
+            out << "trace written to " << sink->path() << "\n";
+        }
+        if (opt.dumpMetrics)
+            metrics.print(out);
         return 0;
     } catch (const std::exception &e) {
         err << "error: " << e.what() << "\n";
@@ -375,14 +404,24 @@ runSweep(const std::vector<std::string> &args, std::ostream &out,
                                            opt.bwUnits);
         const std::vector<std::string> strategies{
             "Unmanaged", "LC-first", "PARTIES", "CLITE", "ARQ"};
+        const std::vector<double> loads{0.1, 0.3, 0.5, 0.7, 0.9};
 
-        std::vector<std::string> header{opt.lcApps[0].first +
-                                        " load"};
-        header.insert(header.end(), strategies.begin(),
-                      strategies.end());
-        report::TextTable t(header);
+        std::unique_ptr<obs::FileTraceSink> sink;
+        obs::MetricsRegistry metrics;
+        obs::Scope scope;
+        if (!opt.tracePath.empty()) {
+            sink = std::make_unique<obs::FileTraceSink>(
+                opt.tracePath);
+            scope.sink = sink.get();
+        }
+        if (opt.dumpMetrics || sink)
+            scope.metrics = &metrics;
 
-        for (double load : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        // One tagged job per (load, strategy), fanned across the
+        // pool; results and (while tracing) trace buffers come back
+        // in job order, so the output is identical at any --jobs.
+        std::vector<exec::ScenarioJob> jobs;
+        for (double load : loads) {
             std::vector<cluster::ColocatedApp> colocated;
             colocated.push_back(
                 cluster::lcAt(apps::byName(opt.lcApps[0].first),
@@ -403,19 +442,42 @@ runSweep(const std::vector<std::string> &args, std::ostream &out,
             cfg.seed = opt.seed;
             cfg.tailPercentile = opt.percentile;
 
+            const std::string load_tag =
+                report::TextTable::num(load * 100, 0) + "%";
+            for (const auto &name : strategies) {
+                jobs.push_back({name, node, cfg,
+                                name + "@" + load_tag});
+            }
+        }
+
+        exec::ScenarioRunner runner;
+        runner.setObsScope(scope);
+        const auto results = runner.run(jobs);
+
+        std::vector<std::string> header{opt.lcApps[0].first +
+                                        " load"};
+        header.insert(header.end(), strategies.begin(),
+                      strategies.end());
+        report::TextTable t(header);
+        std::size_t job = 0;
+        for (double load : loads) {
             std::vector<std::string> row{
                 report::TextTable::num(load * 100, 0) + "%"};
-            for (const auto &name : strategies) {
-                const auto sched = makeScheduler(name);
-                cluster::EpochSimulator sim(node, cfg);
+            for (std::size_t s = 0; s < strategies.size(); ++s) {
                 row.push_back(report::TextTable::num(
-                    sim.run(*sched).meanES));
+                    results[job++].meanES));
             }
             t.addRow(row);
         }
         out << "E_S by strategy ("
             << opt.lcApps[0].first << " sweeping):\n";
         t.print(out);
+        if (sink) {
+            sink->flush();
+            out << "trace written to " << sink->path() << "\n";
+        }
+        if (opt.dumpMetrics)
+            metrics.print(out);
         return 0;
     } catch (const std::exception &e) {
         err << "error: " << e.what() << "\n";
@@ -460,6 +522,8 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
               "  simulate [opts] app=load.. one colocation run\n"
               "  sweep [opts] app=load..    Fig.8-style E_S table\n"
               "  oracle [opts] app=load..   best static partitions\n"
+              "  trace <file.jsonl>         summarise a --trace "
+              "run\n"
               "  apps                       workload catalogue\n"
               "  strategies                 scheduler registry\n"
               "options (simulate/sweep/oracle): --strategy S "
@@ -467,7 +531,13 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
               "  --cores N --ways N --bw N --seed N "
               "--percentile P --csv FILE --waystep N\n"
               "  --jobs N (worker threads; default AHQ_JOBS or "
-              "all cores)\n";
+              "all cores)\n"
+              "  --trace FILE (JSONL decision trace; env "
+              "AHQ_TRACE) --metrics (dump counters)\n"
+              "strategies (--strategy):";
+        for (const auto &s : sched::allStrategyNames())
+            os << " " << s;
+        os << "\n";
     };
     if (argv.empty()) {
         usage(err);
@@ -489,6 +559,8 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
         return runOracle(rest, out, err);
     if (cmd == "sweep")
         return runSweep(rest, out, err);
+    if (cmd == "trace")
+        return runTrace(rest, out, err);
     if (cmd == "apps")
         return runApps(out);
     if (cmd == "strategies")

@@ -43,6 +43,15 @@ struct SimulateOptions
     std::string csvPath; // empty = no CSV dump
 
     /**
+     * JSONL trace destination (--trace, or the AHQ_TRACE
+     * environment variable when the flag is absent); empty = off.
+     */
+    std::string tracePath;
+
+    /** Dump the metrics registry after the run (--metrics). */
+    bool dumpMetrics = false;
+
+    /**
      * Worker threads for parallel paths (the oracle search); 0 =
      * keep the AHQ_JOBS / hardware default. Results are identical
      * at any thread count.
@@ -95,6 +104,15 @@ int runOracle(const std::vector<std::string> &args,
  * E_S table — a command-line Fig. 8. Accepts simulate's grammar.
  */
 int runSweep(const std::vector<std::string> &args, std::ostream &out,
+             std::ostream &err);
+
+/**
+ * Run `ahq trace <file.jsonl>`: summarise a trace produced with
+ * --trace / AHQ_TRACE — epoch counts and E_S timeline per scenario,
+ * scheduler decision totals (moves, rollbacks, bans), per-app ReT
+ * summary (implemented in trace_cmd.cc).
+ */
+int runTrace(const std::vector<std::string> &args, std::ostream &out,
              std::ostream &err);
 
 /** Run `ahq apps`. */
