@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "apps/catalog.hh"
+#include "check/check.hh"
 #include "cluster/epoch_sim.hh"
 #include "cluster/oracle.hh"
 #include "core/entropy.hh"
@@ -167,6 +168,34 @@ BM_EpochSimTracing(benchmark::State &state)
     }
 }
 BENCHMARK(BM_EpochSimTracing)->Arg(0)->Arg(1);
+
+void
+BM_EpochSimChecking(benchmark::State &state)
+{
+    // The invariant-audit overhead contract: Arg(0) runs with
+    // auditing off (the default — one branch per hook, no layout
+    // copies), Arg(1) with the full AHQ_CHECK=log audit of every
+    // decision and epoch. Arg(0) must stay within 2% of
+    // BM_EpochSimulationSecond; the Arg(1) delta is the real cost
+    // of auditing.
+    cluster::Node node(machine::MachineConfig::xeonE52630v4(),
+                       {cluster::lcAt(apps::xapian(), 0.5),
+                        cluster::lcAt(apps::moses(), 0.2),
+                        cluster::lcAt(apps::imgDnn(), 0.2),
+                        cluster::be(apps::stream())});
+    cluster::SimulationConfig cfg;
+    cfg.durationSeconds = 1.0;
+    cfg.warmupEpochs = 0;
+    cfg.checkMode = state.range(0) == 1 ? check::Mode::Log
+                                        : check::Mode::Off;
+    for (auto _ : state) {
+        const auto sched = sched::makeScheduler("ARQ");
+        cluster::EpochSimulator sim(node, cfg);
+        auto res = sim.run(*sched);
+        benchmark::DoNotOptimize(res.meanES);
+    }
+}
+BENCHMARK(BM_EpochSimChecking)->Arg(0)->Arg(1);
 
 void
 JobsArgs(benchmark::internal::Benchmark *b)

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The invariant-audit vocabulary: audit modes, violations and the
+ * registry of named checks.
+ *
+ * The model the ARQ control loop steers is only trustworthy if it
+ * obeys the paper's invariants — E_S ∈ [0, 1] (Eqs. 5–7),
+ * allocations that never oversubscribe the machine, rollbacks that
+ * restore the exact prior allocation, penalty bans that last the
+ * full window. The library asserts some of these, but the tier-1
+ * build compiles with NDEBUG, so asserts vanish exactly where the
+ * paper-scale runs happen. src/check/ is the always-compiled,
+ * opt-in replacement: an InvariantAuditor (auditor.hh) hooked into
+ * the epoch loop, governed by the AHQ_CHECK environment variable.
+ *
+ *   AHQ_CHECK=off     (default) one branch per hook, nothing else
+ *   AHQ_CHECK=log     record violations, count check.violations,
+ *                     emit a JSONL `violation` event when tracing
+ *   AHQ_CHECK=strict  additionally throw InvariantViolation
+ *
+ * docs/INVARIANTS.md lists every registered check with its paper
+ * equation reference.
+ */
+
+#ifndef AHQ_CHECK_CHECK_HH
+#define AHQ_CHECK_CHECK_HH
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ahq::check
+{
+
+/** How hard the auditor reacts to a violated invariant. */
+enum class Mode
+{
+    /** Checks disabled; hooks cost one branch. */
+    Off,
+
+    /** Record + report violations, keep running. */
+    Log,
+
+    /** Record + report, then throw InvariantViolation. */
+    Strict,
+};
+
+/**
+ * Parse an audit mode name ("off", "log", "strict";
+ * case-insensitive, empty = Off).
+ *
+ * @throws std::invalid_argument for anything else.
+ */
+Mode modeFromString(const std::string &name);
+
+/** Render a mode name ("off" / "log" / "strict"). */
+const char *toString(Mode mode);
+
+/**
+ * The mode requested through the AHQ_CHECK environment variable
+ * (unset or empty = Off). Re-read on every call so tests can flip
+ * the variable within one process.
+ *
+ * @throws std::invalid_argument when the variable holds an unknown
+ *         mode name.
+ */
+Mode modeFromEnv();
+
+/** One violated invariant. */
+struct Violation
+{
+    /** Registered check name, e.g. "capacity.conserved". */
+    std::string check;
+
+    /** Human-readable description of what was observed. */
+    std::string detail;
+
+    /** Epoch index at the violation; -1 outside the epoch loop. */
+    int epoch = -1;
+
+    /** Simulated time at the violation, seconds. */
+    double time = 0.0;
+};
+
+/** Raised by strict-mode audits; carries the violation. */
+class InvariantViolation : public std::runtime_error
+{
+  public:
+    explicit InvariantViolation(Violation violation);
+
+    const Violation &violation() const { return violation_; }
+
+  private:
+    Violation violation_;
+};
+
+/** Registry metadata for one named check. */
+struct CheckInfo
+{
+    /** Stable name stamped into violation events. */
+    std::string name;
+
+    /** Paper anchor ("Eq. 5", "Alg. 1", …) or "—". */
+    std::string reference;
+
+    /** One-line description of the invariant. */
+    std::string summary;
+};
+
+/**
+ * Every check the auditor can raise, in documentation order. The
+ * list is the source for docs/INVARIANTS.md and `ahq checks`.
+ */
+const std::vector<CheckInfo> &registeredChecks();
+
+/** Whether the given name is a registered check. */
+bool isRegisteredCheck(const std::string &name);
+
+} // namespace ahq::check
+
+#endif // AHQ_CHECK_CHECK_HH

@@ -9,6 +9,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "check/auditor.hh"
 #include "perf/queueing.hh"
 #include "stats/rng.hh"
 
@@ -58,6 +59,15 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
         scheduler.initialLayout(node_.config(), static_obs);
     assert(layout.valid());
 
+    // Opt-in invariant auditing (AHQ_CHECK / cfg.checkMode). The
+    // auditor is per-run local state, so concurrent ScenarioRunner
+    // workers never share one. When off, the per-epoch cost is a
+    // single branch — no layout copies are taken.
+    check::InvariantAuditor auditor(cfg.checkMode, cfg.obs);
+    const bool auditing = auditor.enabled();
+    if (auditing)
+        auditor.beginRun(layout, 0.0);
+
     std::vector<double> backlog(static_cast<std::size_t>(n), 0.0);
     std::vector<int> prev_ways(static_cast<std::size_t>(n), -1);
     std::vector<int> prev_cores(static_cast<std::size_t>(n), -1);
@@ -74,7 +84,14 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
         if (tracing)
             scheduler.setObsScope(cfg.obs.atEpoch(e));
         if (e > 0) {
-            scheduler.adjust(layout, last_obs, t);
+            if (auditing) {
+                const machine::RegionLayout before = layout;
+                scheduler.adjust(layout, last_obs, t);
+                auditor.afterDecision(scheduler, before, layout,
+                                      e, t);
+            } else {
+                scheduler.adjust(layout, last_obs, t);
+            }
             assert(layout.valid());
         }
 
@@ -169,6 +186,10 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
         }
 
         rec.entropy = core::computeEntropy(lc_obs, be_obs, cfg.ri);
+        if (auditing) {
+            auditor.afterEpoch(rec.entropy, cfg.ri, !lc_obs.empty(),
+                               !be_obs.empty(), e, t);
+        }
         rec.regionRes.reserve(
             static_cast<std::size_t>(layout.numRegions()));
         for (int r = 0; r < layout.numRegions(); ++r)

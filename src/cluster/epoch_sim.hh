@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/check.hh"
 #include "cluster/node.hh"
 #include "core/entropy.hh"
 #include "machine/layout.hh"
@@ -83,6 +84,15 @@ struct SimulationConfig
      * reduces to one branch per epoch.
      */
     obs::Scope obs;
+
+    /**
+     * Invariant auditing for this run (see src/check/). Defaults
+     * to the AHQ_CHECK environment variable (unset = off, so an
+     * unaudited run pays one branch per hook); `log` records and
+     * traces violations, `strict` additionally throws
+     * check::InvariantViolation at the first one.
+     */
+    check::Mode checkMode = check::modeFromEnv();
 };
 
 /** Everything recorded about one epoch. */

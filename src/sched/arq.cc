@@ -30,6 +30,7 @@ Arq::reset()
     prevEs = 1.0;
     isAdjust = false;
     settleLeft = 0;
+    lastAction_ = nullptr;
     lastMove = {};
     banUntil.clear();
     fsmIndex.clear();
@@ -227,6 +228,7 @@ Arq::adjust(RegionLayout &layout,
         }
         prevEs = es;
     }
+    lastAction_ = action;
 
     const obs::Scope &scope = obsScope();
     scope.count(std::string("arq.") + action);

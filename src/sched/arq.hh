@@ -102,12 +102,23 @@ class Arq : public Scheduler
     /** Last computed entropy report (for introspection/tests). */
     const core::EntropyReport &lastReport() const { return report; }
 
+    /** The controller tunables in force. */
+    const ArqConfig &config() const { return cfg; }
+
+    /**
+     * What the last adjust() decided: "hold", "move", "rollback" or
+     * "settle"; null before the first interval. The invariant
+     * auditor (src/check/) keys its FSM-legality checks off this.
+     */
+    const char *lastAction() const { return lastAction_; }
+
   private:
     ArqConfig cfg;
 
     double prevEs = 1.0;
     bool isAdjust = false;
     int settleLeft = 0;
+    const char *lastAction_ = nullptr;
 
     struct Move
     {

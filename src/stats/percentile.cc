@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace ahq::stats
 {
@@ -15,15 +17,32 @@ namespace ahq::stats
 double
 exactPercentile(std::vector<double> samples, double p)
 {
-    assert(p >= 0.0 && p <= 100.0);
+    if (std::isnan(p) || p < 0.0 || p > 100.0) {
+        throw std::invalid_argument(
+            "exactPercentile: p = " + std::to_string(p) +
+            " outside [0, 100]");
+    }
     if (samples.empty())
-        return 0.0;
+        return 0.0; // by definition: no samples, zero latency
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        if (std::isnan(samples[i])) {
+            throw std::invalid_argument(
+                "exactPercentile: sample " + std::to_string(i) +
+                " is NaN");
+        }
+    }
     std::sort(samples.begin(), samples.end());
     if (samples.size() == 1)
         return samples.front();
-    const double rank = (p / 100.0) * (samples.size() - 1);
-    const auto lo = static_cast<std::size_t>(std::floor(rank));
-    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const std::size_t last = samples.size() - 1;
+    const double rank = (p / 100.0) * static_cast<double>(last);
+    // Clamp both ranks into the array: p == 100 must return the
+    // maximum without indexing past the final bucket, whatever
+    // floating-point rounding did to rank.
+    const auto lo = std::min(
+        static_cast<std::size_t>(std::floor(rank)), last);
+    const auto hi = std::min(
+        static_cast<std::size_t>(std::ceil(rank)), last);
     const double frac = rank - static_cast<double>(lo);
     return samples[lo] + frac * (samples[hi] - samples[lo]);
 }
@@ -64,6 +83,14 @@ P2Quantile::initialise()
 double
 P2Quantile::parabolic(const double *hts, const double *pos, int i, double d)
 {
+    // Degenerate streams (long constant runs) can collapse adjacent
+    // marker positions; every position difference below is then a
+    // zero denominator. Returning the current height makes the
+    // caller fall through to its in-range test and keep the marker
+    // where it is instead of propagating an inf/NaN.
+    if (pos[i + 1] - pos[i - 1] == 0.0 ||
+        pos[i + 1] - pos[i] == 0.0 || pos[i] - pos[i - 1] == 0.0)
+        return hts[i];
     return hts[i] + d / (pos[i + 1] - pos[i - 1]) *
         ((pos[i] - pos[i - 1] + d) * (hts[i + 1] - hts[i]) /
              (pos[i + 1] - pos[i]) +
@@ -111,15 +138,38 @@ P2Quantile::add(double x)
             if (heights[i - 1] < candidate && candidate < heights[i + 1]) {
                 heights[i] = candidate;
             } else {
-                // Linear fallback when the parabolic step overshoots.
+                // Linear fallback when the parabolic step overshoots
+                // (or when duplicate heights made the candidate sit
+                // on a neighbour). Guarded against collapsed marker
+                // positions: a zero gap would divide by zero.
                 const int j = static_cast<int>(dir);
-                heights[i] += dir * (heights[i + j] - heights[i]) /
-                    (positions[i + j] - positions[i]);
+                const double gap =
+                    positions[i + j] - positions[i];
+                if (gap != 0.0) {
+                    heights[i] += dir *
+                        (heights[i + j] - heights[i]) / gap;
+                }
             }
             positions[i] += dir;
         }
     }
     ++n;
+}
+
+std::vector<double>
+P2Quantile::markerHeights() const
+{
+    if (n < 5)
+        return {};
+    return {heights, heights + 5};
+}
+
+std::vector<double>
+P2Quantile::markerPositions() const
+{
+    if (n < 5)
+        return {};
+    return {positions, positions + 5};
 }
 
 double

@@ -22,9 +22,18 @@ namespace ahq::stats
  * Exact percentile of a sample set by linear interpolation between
  * closest ranks (the "linear" / type-7 rule used by numpy).
  *
+ * Edge cases are pinned down by the test suite: an empty sample set
+ * returns 0.0 by definition (the monitors treat "no completed
+ * requests this window" as zero latency rather than an error);
+ * `p == 100` returns the maximum without reading past the last
+ * rank; single-element inputs return that element for every p.
+ *
  * @param samples The sample values; the vector is copied and sorted.
  * @param p Percentile in [0, 100].
  * @return The interpolated percentile, or 0 when samples is empty.
+ * @throws std::invalid_argument when p is NaN or outside [0, 100],
+ *         or when any sample is NaN (NaN would poison the sort's
+ *         strict weak ordering and silently corrupt the result).
  */
 double exactPercentile(std::vector<double> samples, double p);
 
@@ -56,6 +65,19 @@ class P2Quantile
 
     /** Reset to the empty state, keeping the target quantile. */
     void reset();
+
+    /**
+     * The five marker heights, non-decreasing by construction.
+     * Empty before five samples have been observed (markers are
+     * only meaningful once initialised).
+     */
+    std::vector<double> markerHeights() const;
+
+    /**
+     * The five marker positions, strictly increasing by
+     * construction. Empty before five samples have been observed.
+     */
+    std::vector<double> markerPositions() const;
 
   private:
     double q;

@@ -99,17 +99,22 @@ class BurstTrace : public LoadTrace
 };
 
 /**
- * A trace loaded from a CSV of "time_s,load" rows (header optional),
- * interpreted as a step function like StepTrace. Lines that do not
- * parse are skipped.
+ * A trace loaded from a CSV of "time_s,load" rows, interpreted as a
+ * step function like StepTrace. Parsing is strict: a non-numeric
+ * header is tolerated on the first line only, blank lines are
+ * skipped, and any other malformed row (missing comma, trailing
+ * garbage, negative / NaN / infinite values) raises with the file
+ * path and 1-based line number. Silently dropping rows would shift
+ * every later load step in time and corrupt the experiment.
  */
 class FileTrace : public LoadTrace
 {
   public:
     /**
      * @param path CSV file path.
-     * @throws std::runtime_error when the file cannot be opened or
-     *         contains no usable rows.
+     * @throws std::runtime_error when the file cannot be opened,
+     *         contains a malformed row (message carries
+     *         "path:line"), or contains no usable rows.
      */
     explicit FileTrace(const std::string &path);
 

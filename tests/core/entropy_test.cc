@@ -234,6 +234,50 @@ TEST(ComputeEntropy, FullReportFields)
     EXPECT_EQ(rep.meanRemainingTolerance, 0.0);
 }
 
+TEST(ComputeEntropy, ZeroBeAppsDegeneratesToLc)
+{
+    // A node running only LC apps: E_S must equal E_LC exactly,
+    // not the RI-weighted value (which would shrink it by 20%).
+    const std::vector<LcObservation> lc{{2.77, 23.99, 4.22},
+                                        {2.80, 3.0, 10.53}};
+    const auto rep = computeEntropy(lc, {}, 0.8);
+    EXPECT_EQ(rep.eBe, 0.0);
+    EXPECT_EQ(rep.eS, rep.eLc);
+    EXPECT_GT(rep.eS, 0.0);
+    // And the fully empty interval is all zeros with perfect yield.
+    const auto empty = computeEntropy({}, {}, 0.8);
+    EXPECT_EQ(empty.eLc, 0.0);
+    EXPECT_EQ(empty.eBe, 0.0);
+    EXPECT_EQ(empty.eS, 0.0);
+    EXPECT_EQ(empty.yieldValue, 1.0);
+}
+
+TEST(ComputeEntropy, ZeroToleranceLcAppIsWellDefined)
+{
+    // A_i = 0: the ideal latency already sits at the threshold
+    // (Eq. 1 numerator vanishes). Every derived term must stay
+    // finite and in range, at ideal latency and under violation.
+    const auto at_ideal = lcBreakdown({4.0, 4.0, 4.0});
+    EXPECT_EQ(at_ideal.tolerance, 0.0);
+    EXPECT_EQ(at_ideal.interference, 0.0);
+    EXPECT_EQ(at_ideal.remainingTolerance, 0.0);
+    EXPECT_EQ(at_ideal.intolerable, 0.0);
+
+    const auto violated = lcBreakdown({4.0, 8.0, 4.0});
+    EXPECT_EQ(violated.tolerance, 0.0);
+    EXPECT_GT(violated.interference, 0.0);
+    EXPECT_EQ(violated.remainingTolerance, 0.0);
+    EXPECT_GT(violated.intolerable, 0.0);
+    EXPECT_LE(violated.intolerable, 1.0);
+
+    // A whole report over zero-tolerance apps stays in range.
+    const auto rep = computeEntropy(
+        {{4.0, 4.0, 4.0}, {4.0, 8.0, 4.0}}, {}, 0.8);
+    EXPECT_GE(rep.eLc, 0.0);
+    EXPECT_LE(rep.eLc, 1.0);
+    EXPECT_EQ(rep.eS, rep.eLc);
+}
+
 // ----- required property 1: dimensionless, in [0, 1] ---------------
 
 TEST(Properties, EntropyAlwaysInUnitInterval)

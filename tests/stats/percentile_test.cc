@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include "stats/percentile.hh"
@@ -52,6 +53,34 @@ TEST(ExactPercentile, UnsortedInputHandled)
 {
     const std::vector<double> v{9, 1, 8, 2, 7, 3, 6, 4, 5};
     EXPECT_EQ(exactPercentile(v, 50.0), 5.0);
+}
+
+TEST(ExactPercentile, RejectsOutOfRangeP)
+{
+    EXPECT_THROW(exactPercentile({1.0, 2.0}, -0.001),
+                 std::invalid_argument);
+    EXPECT_THROW(exactPercentile({1.0, 2.0}, 100.001),
+                 std::invalid_argument);
+    EXPECT_THROW(exactPercentile({1.0, 2.0},
+                                 std::nan("")),
+                 std::invalid_argument);
+}
+
+TEST(ExactPercentile, RejectsNanSamples)
+{
+    EXPECT_THROW(exactPercentile({1.0, std::nan(""), 3.0}, 50.0),
+                 std::invalid_argument);
+}
+
+TEST(ExactPercentile, P100NeverIndexesPastEnd)
+{
+    // p == 100 lands exactly on the last rank; any FP rounding up
+    // must still clamp into the array.
+    std::vector<double> v;
+    for (int i = 0; i < 1000; ++i)
+        v.push_back(static_cast<double>(i));
+    EXPECT_EQ(exactPercentile(v, 100.0), 999.0);
+    EXPECT_NEAR(exactPercentile(v, 99.999999999999), 999.0, 1e-6);
 }
 
 class P2QuantileParam : public ::testing::TestWithParam<double>
@@ -115,6 +144,47 @@ TEST(P2Quantile, ResetClears)
     p2.reset();
     EXPECT_EQ(p2.count(), 0u);
     EXPECT_EQ(p2.value(), 0.0);
+}
+
+TEST(P2Quantile, ConstantStreamStaysFinite)
+{
+    // Regression: a constant stream collapses adjacent marker
+    // positions, which used to divide by zero inside the parabolic
+    // and linear adjustment steps and poison the estimate with NaN.
+    P2Quantile p2(0.95);
+    for (int i = 0; i < 10000; ++i)
+        p2.add(7.5);
+    EXPECT_TRUE(std::isfinite(p2.value()));
+    EXPECT_NEAR(p2.value(), 7.5, 1e-12);
+    for (const double h : p2.markerHeights())
+        EXPECT_EQ(h, 7.5);
+}
+
+TEST(P2Quantile, NearConstantStreamStaysFinite)
+{
+    // Long constant runs broken by rare outliers exercise the
+    // duplicate-height paths without fully degenerate positions.
+    P2Quantile p2(0.9);
+    for (int i = 0; i < 5000; ++i)
+        p2.add(i % 500 == 0 ? 100.0 : 1.0);
+    EXPECT_TRUE(std::isfinite(p2.value()));
+    EXPECT_GE(p2.value(), 1.0);
+    EXPECT_LE(p2.value(), 100.0);
+    const auto heights = p2.markerHeights();
+    ASSERT_EQ(heights.size(), 5u);
+    for (std::size_t i = 1; i < heights.size(); ++i)
+        EXPECT_GE(heights[i], heights[i - 1]);
+}
+
+TEST(P2Quantile, MarkersHiddenBeforeInitialisation)
+{
+    // The first five samples sit unsorted in the height array, so
+    // exposing them would fake monotonicity violations.
+    P2Quantile p2(0.5);
+    p2.add(3.0);
+    p2.add(1.0);
+    EXPECT_TRUE(p2.markerHeights().empty());
+    EXPECT_TRUE(p2.markerPositions().empty());
 }
 
 TEST(P2Quantile, MonotoneUnderShiftedData)

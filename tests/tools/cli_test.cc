@@ -76,6 +76,134 @@ TEST(CliParse, Rejections)
                  std::invalid_argument);
 }
 
+TEST(CliParse, EqualsSpellingAccepted)
+{
+    const auto opt = parseSimulateArgs(
+        {"--strategy=PARTIES", "--duration=30", "--jobs=4",
+         "--ri=0.6", "--check=log", "xapian=0.5"});
+    EXPECT_EQ(opt.strategy, "PARTIES");
+    EXPECT_EQ(opt.durationSeconds, 30.0);
+    EXPECT_EQ(opt.jobs, 4);
+    EXPECT_NEAR(opt.ri, 0.6, 1e-12);
+    EXPECT_EQ(opt.checkMode, ahq::check::Mode::Log);
+}
+
+/** Expects parseSimulateArgs(args) to throw mentioning `needle`. */
+void
+expectParseError(const std::vector<std::string> &args,
+                 const std::string &needle)
+{
+    try {
+        (void)parseSimulateArgs(args);
+        FAIL() << "expected invalid_argument for " << needle;
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find(needle),
+                  std::string::npos)
+            << "error '" << e.what() << "' does not mention "
+            << needle;
+    }
+}
+
+TEST(CliParse, NumericValidationIsActionable)
+{
+    // Each rejection names the flag and the accepted range.
+    expectParseError({"--jobs=0", "xapian=0.5"}, "--jobs must be");
+    expectParseError({"--jobs", "-3", "xapian=0.5"},
+                     "--jobs must be");
+    expectParseError({"--duration", "-5", "xapian=0.5"},
+                     "--duration must be a positive");
+    expectParseError({"--duration", "0", "xapian=0.5"},
+                     "--duration must be a positive");
+    expectParseError({"--duration", "inf", "xapian=0.5"},
+                     "--duration");
+    expectParseError({"--warmup", "-1", "xapian=0.5"},
+                     "--warmup must be");
+    expectParseError({"--warmup", "2.5", "xapian=0.5"},
+                     "expected an integer");
+    expectParseError({"--cores", "0", "xapian=0.5"},
+                     "--cores must be");
+    expectParseError({"--ways=-2", "xapian=0.5"},
+                     "--ways must be");
+    expectParseError({"--seed", "-1", "xapian=0.5"},
+                     "--seed must be");
+    expectParseError({"--ri", "1.5", "xapian=0.5"},
+                     "--ri must be within [0, 1]");
+    expectParseError({"--ri", "-0.1", "xapian=0.5"},
+                     "--ri must be within [0, 1]");
+    expectParseError({"--ri", "nan", "xapian=0.5"}, "--ri");
+    expectParseError({"--check", "yes", "xapian=0.5"}, "check");
+    expectParseError({"--metrics=1", "xapian=0.5"},
+                     "--metrics does not take a value");
+}
+
+TEST(CliSimulate, BadFlagsFailBeforeRunning)
+{
+    // End-to-end: exit code 2 (usage error) and a flag-naming
+    // message on stderr, with no simulation output on stdout.
+    for (const auto &args : std::vector<std::vector<std::string>>{
+             {"simulate", "--jobs=0", "xapian=0.5"},
+             {"simulate", "--duration", "-5", "xapian=0.5"},
+             {"simulate", "--warmup", "-1", "xapian=0.5"},
+             {"simulate", "--ri", "2", "xapian=0.5"},
+             {"sweep", "--jobs", "0", "xapian=0.5"},
+             {"oracle", "--waystep", "0", "xapian=0.5"}}) {
+        std::ostringstream out, err;
+        EXPECT_EQ(dispatch(args, out, err), 2) << args[1];
+        EXPECT_NE(err.str().find("error:"), std::string::npos);
+        EXPECT_NE(err.str().find("--"), std::string::npos)
+            << "error does not name a flag: " << err.str();
+        EXPECT_EQ(out.str().find("E_S"), std::string::npos);
+    }
+}
+
+TEST(CliSimulate, RiFlagChangesWeighting)
+{
+    // Same colocation, RI 1.0 vs 0.0: E_S equals E_LC / E_BE
+    // respectively, so the printed values must differ.
+    std::ostringstream out_lc, out_be, err;
+    ASSERT_EQ(dispatch({"simulate", "--duration", "15", "--warmup",
+                        "15", "--ri=1", "xapian=0.8", "stream"},
+                       out_lc, err),
+              0)
+        << err.str();
+    ASSERT_EQ(dispatch({"simulate", "--duration", "15", "--warmup",
+                        "15", "--ri=0", "xapian=0.8", "stream"},
+                       out_be, err),
+              0)
+        << err.str();
+    auto es = [](const std::string &s) {
+        const auto at = s.find("E_S = ");
+        return s.substr(at, s.find(',', at) - at);
+    };
+    EXPECT_NE(es(out_lc.str()), es(out_be.str()));
+}
+
+TEST(CliSimulate, StrictCheckCleanRun)
+{
+    std::ostringstream out, err;
+    const int rc = dispatch(
+        {"simulate", "--duration", "15", "--warmup", "15",
+         "--check=strict", "--metrics", "xapian=0.4",
+         "fluidanimate"},
+        out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    // The auditor ran and found nothing.
+    EXPECT_EQ(out.str().find("check.violations"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("E_S"), std::string::npos);
+}
+
+TEST(CliChecks, ListsRegistry)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(dispatch({"checks"}, out, err), 0);
+    EXPECT_NE(out.str().find("capacity.conserved"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("arq.rollback_exact"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("AHQ_CHECK"), std::string::npos);
+}
+
 TEST(CliObservations, ParsesMixedCsv)
 {
     const std::string path = "/tmp/ahq_cli_obs.csv";

@@ -5,6 +5,7 @@
 
 #include "cli.hh"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
@@ -56,11 +57,44 @@ parseDouble(const std::string &s, const std::string &what)
         const double v = std::stod(s, &used);
         if (used != s.size())
             throw std::invalid_argument("trailing characters");
+        if (!std::isfinite(v))
+            throw std::invalid_argument("not finite");
         return v;
     } catch (const std::exception &) {
-        throw std::invalid_argument("bad " + what + ": '" + s +
-                                    "'");
+        throw std::invalid_argument(
+            "bad " + what + ": '" + s +
+            "' (expected a finite number)");
     }
+}
+
+/** Parses an integer flag value; fractional input is an error. */
+long long
+parseInt(const std::string &s, const std::string &what)
+{
+    try {
+        std::size_t used = 0;
+        const long long v = std::stoll(s, &used);
+        if (used != s.size())
+            throw std::invalid_argument("trailing characters");
+        return v;
+    } catch (const std::exception &) {
+        throw std::invalid_argument(
+            "bad " + what + ": '" + s + "' (expected an integer)");
+    }
+}
+
+/** parseInt plus a minimum, with the range in the error message. */
+long long
+parseIntAtLeast(const std::string &s, const std::string &flag,
+                long long min_v)
+{
+    const long long v = parseInt(s, flag);
+    if (v < min_v) {
+        throw std::invalid_argument(
+            flag + " must be >= " + std::to_string(min_v) +
+            " (got " + s + ")");
+    }
+    return v;
 }
 
 } // namespace
@@ -70,8 +104,23 @@ parseSimulateArgs(const std::vector<std::string> &args)
 {
     SimulateOptions opt;
     for (std::size_t i = 0; i < args.size(); ++i) {
-        const std::string &a = args[i];
-        auto next = [&](const char *flag) -> const std::string & {
+        std::string a = args[i];
+        // "--flag=value" is split here so every flag accepts both
+        // spellings; positional "app=load" specs never start with
+        // '-' and are untouched.
+        std::string inline_value;
+        bool has_inline = false;
+        if (a.rfind("--", 0) == 0) {
+            const auto eq = a.find('=');
+            if (eq != std::string::npos) {
+                inline_value = a.substr(eq + 1);
+                a = a.substr(0, eq);
+                has_inline = true;
+            }
+        }
+        auto next = [&](const char *flag) -> std::string {
+            if (has_inline)
+                return inline_value;
             if (i + 1 >= args.size()) {
                 throw std::invalid_argument(
                     std::string(flag) + " needs a value");
@@ -82,42 +131,59 @@ parseSimulateArgs(const std::vector<std::string> &args)
             opt.strategy = next("--strategy");
         } else if (a == "--duration") {
             opt.durationSeconds =
-                parseDouble(next("--duration"), "duration");
+                parseDouble(next("--duration"), "--duration");
+            if (opt.durationSeconds <= 0.0) {
+                throw std::invalid_argument(
+                    "--duration must be a positive number of "
+                    "seconds (got " +
+                    std::to_string(opt.durationSeconds) + ")");
+            }
         } else if (a == "--warmup") {
             opt.warmupEpochs = static_cast<int>(
-                parseDouble(next("--warmup"), "warmup"));
+                parseIntAtLeast(next("--warmup"), "--warmup", 0));
         } else if (a == "--cores") {
             opt.cores = static_cast<int>(
-                parseDouble(next("--cores"), "cores"));
+                parseIntAtLeast(next("--cores"), "--cores", 1));
         } else if (a == "--ways") {
             opt.ways = static_cast<int>(
-                parseDouble(next("--ways"), "ways"));
+                parseIntAtLeast(next("--ways"), "--ways", 1));
         } else if (a == "--bw") {
             opt.bwUnits = static_cast<int>(
-                parseDouble(next("--bw"), "bw"));
+                parseIntAtLeast(next("--bw"), "--bw", 1));
         } else if (a == "--seed") {
             opt.seed = static_cast<std::uint64_t>(
-                parseDouble(next("--seed"), "seed"));
+                parseIntAtLeast(next("--seed"), "--seed", 0));
         } else if (a == "--percentile") {
             opt.percentile =
-                parseDouble(next("--percentile"), "percentile");
+                parseDouble(next("--percentile"), "--percentile");
             if (opt.percentile <= 0.0 || opt.percentile >= 1.0) {
                 throw std::invalid_argument(
-                    "--percentile must be in (0, 1)");
+                    "--percentile must be in (0, 1), got " +
+                    std::to_string(opt.percentile));
             }
+        } else if (a == "--ri") {
+            opt.ri = parseDouble(next("--ri"), "--ri");
+            if (opt.ri < 0.0 || opt.ri > 1.0) {
+                throw std::invalid_argument(
+                    "--ri must be within [0, 1] (Eq. 7 weights "
+                    "E_LC by RI), got " +
+                    std::to_string(opt.ri));
+            }
+        } else if (a == "--check") {
+            opt.checkMode = check::modeFromString(next("--check"));
         } else if (a == "--csv") {
             opt.csvPath = next("--csv");
         } else if (a == "--trace") {
             opt.tracePath = next("--trace");
         } else if (a == "--metrics") {
+            if (has_inline) {
+                throw std::invalid_argument(
+                    "--metrics does not take a value");
+            }
             opt.dumpMetrics = true;
         } else if (a == "--jobs") {
             opt.jobs = static_cast<int>(
-                parseDouble(next("--jobs"), "jobs"));
-            if (opt.jobs < 1) {
-                throw std::invalid_argument(
-                    "--jobs must be >= 1");
-            }
+                parseIntAtLeast(next("--jobs"), "--jobs", 1));
         } else if (!a.empty() && a[0] == '-') {
             throw std::invalid_argument("unknown option: " + a);
         } else {
@@ -251,6 +317,8 @@ runSimulate(const std::vector<std::string> &args, std::ostream &out,
         cfg.warmupEpochs = opt.warmupEpochs;
         cfg.seed = opt.seed;
         cfg.tailPercentile = opt.percentile;
+        cfg.ri = opt.ri;
+        cfg.checkMode = opt.checkMode;
 
         std::unique_ptr<obs::FileTraceSink> sink;
         obs::MetricsRegistry metrics;
@@ -326,14 +394,25 @@ runOracle(const std::vector<std::string> &args, std::ostream &out,
     std::vector<std::string> passthrough;
     int way_step = 2;
     for (std::size_t i = 0; i < args.size(); ++i) {
+        std::string value;
         if (args[i] == "--waystep") {
             if (i + 1 >= args.size()) {
                 err << "error: --waystep needs a value\n";
                 return 2;
             }
-            way_step = std::stoi(args[++i]);
+            value = args[++i];
+        } else if (args[i].rfind("--waystep=", 0) == 0) {
+            value = args[i].substr(std::string("--waystep=").size());
         } else {
             passthrough.push_back(args[i]);
+            continue;
+        }
+        try {
+            way_step = static_cast<int>(
+                parseIntAtLeast(value, "--waystep", 1));
+        } catch (const std::exception &e) {
+            err << "error: " << e.what() << "\n";
+            return 2;
         }
     }
 
@@ -441,6 +520,8 @@ runSweep(const std::vector<std::string> &args, std::ostream &out,
             cfg.warmupEpochs = opt.warmupEpochs;
             cfg.seed = opt.seed;
             cfg.tailPercentile = opt.percentile;
+            cfg.ri = opt.ri;
+            cfg.checkMode = opt.checkMode;
 
             const std::string load_tag =
                 report::TextTable::num(load * 100, 0) + "%";
@@ -513,6 +594,18 @@ runStrategies(std::ostream &out)
 }
 
 int
+runChecks(std::ostream &out)
+{
+    report::TextTable t({"check", "reference", "summary"});
+    for (const auto &c : check::registeredChecks())
+        t.addRow({c.name, c.reference, c.summary});
+    t.print(out);
+    out << "enable with AHQ_CHECK=log|strict or --check "
+           "(simulate/sweep)\n";
+    return 0;
+}
+
+int
 dispatch(const std::vector<std::string> &argv, std::ostream &out,
          std::ostream &err)
 {
@@ -526,14 +619,19 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
               "run\n"
               "  apps                       workload catalogue\n"
               "  strategies                 scheduler registry\n"
+              "  checks                     invariant-audit "
+              "registry\n"
               "options (simulate/sweep/oracle): --strategy S "
               "--duration S --warmup N\n"
               "  --cores N --ways N --bw N --seed N "
-              "--percentile P --csv FILE --waystep N\n"
+              "--percentile P --ri R --csv FILE --waystep N\n"
               "  --jobs N (worker threads; default AHQ_JOBS or "
               "all cores)\n"
               "  --trace FILE (JSONL decision trace; env "
               "AHQ_TRACE) --metrics (dump counters)\n"
+              "  --check off|log|strict (invariant audit; env "
+              "AHQ_CHECK)\n"
+              "  (flags also accept --flag=value)\n"
               "strategies (--strategy):";
         for (const auto &s : sched::allStrategyNames())
             os << " " << s;
@@ -565,6 +663,8 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
         return runApps(out);
     if (cmd == "strategies")
         return runStrategies(out);
+    if (cmd == "checks")
+        return runChecks(out);
     err << "unknown subcommand: " << cmd << "\n";
     return 2;
 }

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hh"
 #include "cluster/epoch_sim.hh"
 #include "core/entropy.hh"
 
@@ -40,6 +41,16 @@ struct SimulateOptions
     int bwUnits = 10;
     std::uint64_t seed = 42;
     double percentile = 0.95;
+
+    /** Relative importance of LC in E_S (--ri, Eq. 7's RI). */
+    double ri = core::kDefaultRelativeImportance;
+
+    /**
+     * Invariant-audit mode (--check off|log|strict); defaults to
+     * the AHQ_CHECK environment variable.
+     */
+    check::Mode checkMode = check::modeFromEnv();
+
     std::string csvPath; // empty = no CSV dump
 
     /**
@@ -65,7 +76,11 @@ struct SimulateOptions
 
 /**
  * Parse simulate-subcommand arguments (everything after the
- * subcommand word).
+ * subcommand word). Flags accept both "--flag value" and
+ * "--flag=value". Numeric flags are validated eagerly — a
+ * fractional --cores, a zero --jobs or an out-of-range --ri fails
+ * here with a message naming the flag and the accepted range,
+ * instead of surfacing later as a confusing simulation result.
  *
  * @throws std::invalid_argument on malformed input.
  */
@@ -117,6 +132,12 @@ int runTrace(const std::vector<std::string> &args, std::ostream &out,
 
 /** Run `ahq apps`. */
 int runApps(std::ostream &out);
+
+/**
+ * Run `ahq checks`: list the registered invariant checks (name,
+ * paper reference, summary) that AHQ_CHECK / --check enables.
+ */
+int runChecks(std::ostream &out);
 
 /** Run `ahq strategies`. */
 int runStrategies(std::ostream &out);
