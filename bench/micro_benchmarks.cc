@@ -17,6 +17,7 @@
 #include "core/entropy.hh"
 #include "exec/scenario_runner.hh"
 #include "exec/thread_pool.hh"
+#include "fault/plan.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_sink.hh"
 #include "perf/queueing.hh"
@@ -196,6 +197,34 @@ BM_EpochSimChecking(benchmark::State &state)
     }
 }
 BENCHMARK(BM_EpochSimChecking)->Arg(0)->Arg(1);
+
+void
+BM_EpochSimFaults(benchmark::State &state)
+{
+    // The fault-injection overhead contract: Arg(0) runs with no
+    // fault plan attached (the default for every production run),
+    // Arg(1) under the builtin chaos plan. Arg(0) must stay within
+    // 2% of BM_EpochSimulationSecond; the Arg(1) delta is the real
+    // cost of drawing and applying faults every epoch.
+    cluster::Node node(machine::MachineConfig::xeonE52630v4(),
+                       {cluster::lcAt(apps::xapian(), 0.5),
+                        cluster::lcAt(apps::moses(), 0.2),
+                        cluster::lcAt(apps::imgDnn(), 0.2),
+                        cluster::be(apps::stream())});
+    cluster::SimulationConfig cfg;
+    cfg.durationSeconds = 1.0;
+    cfg.warmupEpochs = 0;
+    const auto plan = fault::FaultPlan::builtinChaos();
+    if (state.range(0) == 1)
+        cfg.faults = &plan;
+    for (auto _ : state) {
+        const auto sched = sched::makeScheduler("ARQ");
+        cluster::EpochSimulator sim(node, cfg);
+        auto res = sim.run(*sched);
+        benchmark::DoNotOptimize(res.meanES);
+    }
+}
+BENCHMARK(BM_EpochSimFaults)->Arg(0)->Arg(1);
 
 void
 JobsArgs(benchmark::internal::Benchmark *b)

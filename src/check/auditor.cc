@@ -44,6 +44,19 @@ describeRegion(const RegionLayout &layout, RegionId id)
     return os.str();
 }
 
+/** Whether two layouts hold identical per-region resources. */
+bool
+sameRes(const RegionLayout &a, const RegionLayout &b)
+{
+    if (a.numRegions() != b.numRegions())
+        return false;
+    for (int r = 0; r < a.numRegions(); ++r) {
+        if (!(a.region(r).res == b.region(r).res))
+            return false;
+    }
+    return true;
+}
+
 } // namespace
 
 InvariantAuditor::InvariantAuditor(Mode mode, obs::Scope scope)
@@ -130,7 +143,7 @@ void
 InvariantAuditor::afterDecision(const sched::Scheduler &scheduler,
                                 const RegionLayout &before,
                                 const RegionLayout &after, int epoch,
-                                double now_s)
+                                double now_s, bool degraded_inputs)
 {
     if (mode_ == Mode::Off)
         return;
@@ -172,6 +185,17 @@ InvariantAuditor::afterDecision(const sched::Scheduler &scheduler,
 
     const std::string action =
         arq->lastAction() != nullptr ? arq->lastAction() : "";
+
+    // A decision consuming a dropped (stale-repeat) sample must not
+    // steer: ARQ's contract under degraded inputs is to skip, never
+    // to move a unit or judge/cancel the previous move.
+    if (degraded_inputs &&
+        (action == "move" || action == "rollback")) {
+        report("fault.no_stale_decision",
+               "ARQ chose '" + action +
+                   "' on an interval with dropped samples",
+               epoch, now_s);
+    }
 
     // Bans derived from rollbacks observed in *earlier* intervals:
     // while a ban is active the banned region must not be selected
@@ -221,6 +245,38 @@ InvariantAuditor::afterDecision(const sched::Scheduler &scheduler,
             banUntil_[gainer] =
                 now_s + arq->config().banSeconds;
         }
+    }
+}
+
+void
+InvariantAuditor::afterActuation(const RegionLayout &intended,
+                                 const RegionLayout &applied,
+                                 bool ok, int epoch, double now_s)
+{
+    if (mode_ == Mode::Off)
+        return;
+
+    if (ok) {
+        if (!sameRes(applied, intended)) {
+            report("fault.reconciled",
+                   "actuation reported ok but the applied layout "
+                   "differs from the intended one",
+                   epoch, now_s);
+        }
+        return;
+    }
+
+    // A failed actuation must still leave the knobs in a valid
+    // state: capacity invariants hold and the allocated totals are
+    // conserved (partial applies flip whole resource kinds, so the
+    // per-kind sums cannot change).
+    checkLayout(applied, epoch, now_s);
+    if (applied.allocated() != intended.allocated()) {
+        report("fault.reconciled",
+               "failed actuation changed the allocated total from " +
+                   intended.allocated().toString() + " to " +
+                   applied.allocated().toString(),
+               epoch, now_s);
     }
 }
 

@@ -70,11 +70,27 @@ class InvariantAuditor
      * Scheduler::adjust). Runs the capacity checks on the new
      * layout plus the ARQ FSM-legality checks when the scheduler
      * is an ARQ instance.
+     *
+     * @param degraded_inputs Whether any observation fed into this
+     *        decision was a stale repeat (fault injection); an ARQ
+     *        move/rollback on such inputs violates
+     *        fault.no_stale_decision.
      */
     void afterDecision(const sched::Scheduler &scheduler,
                        const machine::RegionLayout &before,
                        const machine::RegionLayout &after, int epoch,
-                       double now_s);
+                       double now_s, bool degraded_inputs = false);
+
+    /**
+     * Audit one actuation outcome (fault injection): an `ok`
+     * actuation must have applied exactly the intended layout, and
+     * a failed one must still leave a capacity-valid layout whose
+     * allocated totals match the intent (per-kind conservation of
+     * partial applies) — the reconciliation invariant.
+     */
+    void afterActuation(const machine::RegionLayout &intended,
+                        const machine::RegionLayout &applied,
+                        bool ok, int epoch, double now_s);
 
     /**
      * Audit one simulator epoch's entropy accounting.

@@ -100,6 +100,13 @@ registeredChecks()
          "the five P2 marker heights are non-decreasing"},
         {"p2.positions_ordered", "§V (P-square)",
          "the five P2 marker positions are strictly increasing"},
+        {"fault.no_stale_decision", "fault injection",
+         "no ARQ move/rollback consumes a dropped (stale-repeat) "
+         "sample; degraded intervals must skip"},
+        {"fault.reconciled", "fault injection",
+         "after any actuation outcome the live layout is valid, "
+         "conserves allocated totals, and matches the intent "
+         "whenever the actuation reported success"},
     };
     return checks;
 }

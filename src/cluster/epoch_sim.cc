@@ -8,8 +8,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <optional>
 
 #include "check/auditor.hh"
+#include "fault/injector.hh"
 #include "perf/queueing.hh"
 #include "stats/rng.hh"
 
@@ -18,6 +20,18 @@ namespace ahq::cluster
 
 using machine::AppId;
 using machine::ResourceKind;
+
+namespace
+{
+
+/**
+ * Load cap for fault-injected spikes: a spike may push an LC app to
+ * the brink of saturation but not beyond it (load generators are
+ * closed-loop), and never below its unspiked load when increasing.
+ */
+constexpr double kSpikeLoadCap = 0.95;
+
+} // namespace
 
 EpochSimulator::EpochSimulator(Node node, SimulationConfig config)
     : node_(std::move(node)), cfg(config)
@@ -68,6 +82,20 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
     if (auditing)
         auditor.beginRun(layout, 0.0);
 
+    // Opt-in fault injection (cfg.faults). Like the auditor, the
+    // injector is per-run local state; its RNG stream is split off
+    // the run seed so fault draws never perturb the measurement
+    // noise stream above. Faults off ⇒ the exact unfaulted path.
+    std::optional<fault::FaultInjector> injector;
+    if (cfg.faults != nullptr && cfg.faults->active())
+        injector.emplace(*cfg.faults, cfg.seed, cfg.obs);
+    const bool faulting = injector.has_value();
+
+    // Degradation carried into the next epoch's decision: whether
+    // any (resp. every) app's sample was dropped last epoch.
+    bool last_degraded = false;
+    bool last_all_dropped = false;
+
     std::vector<double> backlog(static_cast<std::size_t>(n), 0.0);
     std::vector<int> prev_ways(static_cast<std::size_t>(n), -1);
     std::vector<int> prev_cores(static_cast<std::size_t>(n), -1);
@@ -83,8 +111,31 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
         // 1) Scheduler reacts to last epoch's measurements.
         if (tracing)
             scheduler.setObsScope(cfg.obs.atEpoch(e));
+        if (faulting)
+            injector->beginEpoch(e, t);
         if (e > 0) {
-            if (auditing) {
+            if (faulting && last_all_dropped) {
+                // Every input sample was dropped: no scheduler can
+                // act on pure staleness, so the interval is skipped
+                // uniformly (graceful degradation for strategies
+                // with no fault handling of their own).
+                cfg.obs.count("fault.decision_skipped");
+            } else if (faulting) {
+                machine::RegionLayout intent = layout;
+                scheduler.adjust(intent, last_obs, t);
+                if (auditing) {
+                    auditor.afterDecision(scheduler, layout, intent,
+                                          e, t, last_degraded);
+                }
+                auto act =
+                    injector->actuate(layout, intent, e, t);
+                scheduler.onActuation(act.ok);
+                if (auditing) {
+                    auditor.afterActuation(intent, act.applied,
+                                           act.ok, e, t);
+                }
+                layout = std::move(act.applied);
+            } else if (auditing) {
                 const machine::RegionLayout before = layout;
                 scheduler.adjust(layout, last_obs, t);
                 auditor.afterDecision(scheduler, before, layout,
@@ -108,6 +159,7 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
 
         std::vector<core::LcObservation> lc_obs;
         std::vector<core::BeObservation> be_obs;
+        int dropped = 0;
 
         for (AppId i = 0; i < n; ++i) {
             const auto ui = static_cast<std::size_t>(i);
@@ -133,7 +185,20 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
             prev_cores[ui] = cores_now;
 
             if (prof.latencyCritical) {
-                const double load = node_.loadAt(i, t);
+                double load = node_.loadAt(i, t);
+                if (faulting) {
+                    // Injected load spikes scale the offered load,
+                    // saturating at the brink rather than diverging
+                    // (closed-loop generators bound concurrency).
+                    const double f = injector->loadFactor(i, t);
+                    if (f != 1.0) {
+                        const double spiked = load * f;
+                        load = spiked > load
+                            ? std::min(spiked, std::max(
+                                  load, kSpikeLoadCap))
+                            : std::max(spiked, 0.0);
+                    }
+                }
                 const double lambda = prof.arrivalRate(load);
                 const double cap = out.serviceRate;
 
@@ -167,11 +232,34 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
                 p95 *= overhead;
                 p95 *= rng.lognormalNoise(cfg.noiseSigma);
 
-                o.loadFraction = load;
-                o.arrivalRate = lambda;
-                o.p95Ms = p95;
-                o.idealP95Ms = prof.soloTailPercentileMs(
-                    load, cfg.tailPercentile);
+                double extra = 1.0;
+                const bool valid = !faulting ||
+                    injector->sampleMeasurement(i, e, t, &extra);
+                if (valid) {
+                    o.loadFraction = load;
+                    o.arrivalRate = lambda;
+                    o.p95Ms = p95 * extra;
+                    o.idealP95Ms = prof.soloTailPercentileMs(
+                        load, cfg.tailPercentile);
+                } else if (e > 0) {
+                    // Dropped sample: deliver the previous epoch's
+                    // delivered observation, flagged stale. Never
+                    // NaN — schedulers sort on these fields.
+                    o = last_obs[ui];
+                    o.sampleValid = false;
+                    ++dropped;
+                } else {
+                    // Dropped on the very first interval: no prior
+                    // delivery exists, so hand out the monitoring
+                    // agent's cold default (solo expectations).
+                    o.loadFraction = load;
+                    o.arrivalRate = lambda;
+                    o.idealP95Ms = prof.soloTailPercentileMs(
+                        load, cfg.tailPercentile);
+                    o.p95Ms = o.idealP95Ms;
+                    o.sampleValid = false;
+                    ++dropped;
+                }
                 lc_obs.push_back(
                     {o.idealP95Ms, o.p95Ms, o.thresholdMs});
             } else {
@@ -180,9 +268,26 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
                 // and thread migrations), at half the latency rate.
                 ipc /= 1.0 + 0.5 * (overhead - 1.0);
                 ipc *= rng.lognormalNoise(cfg.noiseSigma);
-                o.ipc = ipc;
+
+                double extra = 1.0;
+                const bool valid = !faulting ||
+                    injector->sampleMeasurement(i, e, t, &extra);
+                if (valid) {
+                    o.ipc = ipc * extra;
+                } else {
+                    if (e > 0)
+                        o = last_obs[ui];
+                    else
+                        o.ipc = o.ipcSolo;
+                    o.sampleValid = false;
+                    ++dropped;
+                }
                 be_obs.push_back({o.ipcSolo, o.ipc});
             }
+        }
+        if (faulting) {
+            last_degraded = dropped > 0;
+            last_all_dropped = n > 0 && dropped == n;
         }
 
         rec.entropy = core::computeEntropy(lc_obs, be_obs, cfg.ri);

@@ -21,6 +21,7 @@
 #include "check/check.hh"
 #include "cluster/node.hh"
 #include "core/entropy.hh"
+#include "fault/plan.hh"
 #include "machine/layout.hh"
 #include "obs/scope.hh"
 #include "perf/contention.hh"
@@ -93,6 +94,15 @@ struct SimulationConfig
      * check::InvariantViolation at the first one.
      */
     check::Mode checkMode = check::modeFromEnv();
+
+    /**
+     * Optional fault plan (see src/fault/). Null or inactive keeps
+     * the run on the exact unfaulted code path (and byte-identical
+     * traces); an active plan drives a per-run FaultInjector whose
+     * RNG stream is split off the run seed, so faulted runs stay
+     * deterministic per (seed, plan). The plan must outlive the run.
+     */
+    const fault::FaultPlan *faults = nullptr;
 };
 
 /** Everything recorded about one epoch. */

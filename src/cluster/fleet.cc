@@ -7,13 +7,23 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 
 #include "exec/jobs.hh"
 #include "exec/parallel.hh"
+#include "sched/registry.hh"
 
 namespace ahq::cluster
 {
+
+namespace
+{
+
+/** Seed salt decorrelating post-failover (phase B) RNG streams. */
+constexpr std::uint64_t kRecoverySeedSalt = 0xb10c5;
+
+} // namespace
 
 void
 Fleet::addNode(Node node, std::unique_ptr<sched::Scheduler> scheduler)
@@ -55,12 +65,43 @@ fleetEntropy(const std::vector<const Node *> &nodes,
     return core::computeEntropy(lc, be, ri);
 }
 
+void
+Fleet::runEntries(std::vector<Entry> &entries,
+                  const SimulationConfig &config,
+                  const obs::Scope &scope, bool tracing,
+                  std::uint64_t seed_salt, const char *tag_suffix,
+                  const std::vector<int> *ids,
+                  std::vector<obs::BufferTraceSink> &buffers,
+                  std::vector<SimulationResult> &out,
+                  exec::ThreadPool &p)
+{
+    out.resize(entries.size());
+    // Each task touches only its own node entry (its scheduler
+    // instance included), buffer and result slot.
+    exec::parallelFor(p, entries.size(), [&](std::size_t n) {
+        const std::size_t id = ids != nullptr
+            ? static_cast<std::size_t>((*ids)[n])
+            : n;
+        SimulationConfig per_node = config;
+        per_node.seed = config.seed + 0x9e37 * (id + 1) + seed_salt;
+        if (tracing) {
+            per_node.obs = scope
+                .tagged((scope.scenario.empty()
+                             ? "node" + std::to_string(id)
+                             : scope.scenario + "/node" +
+                                   std::to_string(id)) +
+                        tag_suffix)
+                .withSink(&buffers[n]);
+        }
+        EpochSimulator sim(entries[n].node, per_node);
+        out[n] = sim.run(*entries[n].scheduler);
+    });
+}
+
 Fleet::FleetResult
 Fleet::run(const SimulationConfig &config, exec::ThreadPool *pool)
 {
     FleetResult out;
-    std::vector<const Node *> node_ptrs;
-    std::vector<const SimulationResult *> result_ptrs;
 
     const obs::Scope &scope = config.obs;
     const bool tracing = scope.tracing();
@@ -70,37 +111,200 @@ Fleet::run(const SimulationConfig &config, exec::ThreadPool *pool)
             .integer("seed", static_cast<long long>(config.seed));
         scope.emit(ev);
     }
-    // While tracing, each node's run writes into a private buffer;
-    // the buffers flush in node order below, keeping fleet traces
-    // byte-identical at any thread count.
-    std::vector<obs::BufferTraceSink> buffers(
-        tracing ? nodes_.size() : 0);
-
-    out.nodes.resize(nodes_.size());
     exec::ThreadPool &p = pool ? *pool : exec::globalPool();
-    // Each task touches only its own node entry (its scheduler
-    // instance included) and result slot.
-    exec::parallelFor(p, nodes_.size(), [&](std::size_t n) {
-        SimulationConfig per_node = config;
-        per_node.seed = config.seed + 0x9e37 * (n + 1);
-        if (tracing) {
-            per_node.obs = scope
-                .tagged(scope.scenario.empty()
-                            ? "node" + std::to_string(n)
-                            : scope.scenario + "/node" +
-                                  std::to_string(n))
-                .withSink(&buffers[n]);
+
+    // Fleet-level fault handling: node_crash directives coalesce to
+    // the earliest crash epoch; every crashed node stops there and
+    // its apps fail over to the survivors. Without valid crashes
+    // (or without survivors to fail over to) the run takes the
+    // exact single-phase path below, byte-identical to pre-fault
+    // builds.
+    const int total_epochs = static_cast<int>(
+        std::round(config.durationSeconds / config.epochSeconds));
+    std::vector<int> crashed;
+    int crash_epoch = 0;
+    if (config.faults != nullptr && total_epochs >= 2) {
+        double crash_at = config.durationSeconds;
+        for (const auto &c : config.faults->crashes()) {
+            if (c.node < 0 || c.node >= numNodes() ||
+                c.atS >= config.durationSeconds)
+                continue;
+            crash_at = std::min(crash_at, c.atS);
+            if (std::find(crashed.begin(), crashed.end(),
+                          c.node) == crashed.end())
+                crashed.push_back(c.node);
         }
-        EpochSimulator sim(nodes_[n].node, per_node);
-        out.nodes[n] = sim.run(*nodes_[n].scheduler);
-    });
-    for (const auto &res : out.nodes)
-        out.violations += res.violations;
-    for (std::size_t n = 0; n < nodes_.size(); ++n) {
-        node_ptrs.push_back(&nodes_[n].node);
-        result_ptrs.push_back(&out.nodes[n]);
+        std::sort(crashed.begin(), crashed.end());
+        crash_epoch = std::clamp(
+            static_cast<int>(crash_at / config.epochSeconds), 1,
+            total_epochs - 1);
+    }
+    const bool crashing = !crashed.empty() &&
+        static_cast<int>(crashed.size()) < numNodes();
+
+    if (!crashing) {
+        // While tracing, each node's run writes into a private
+        // buffer; the buffers flush in node order below, keeping
+        // fleet traces byte-identical at any thread count.
+        std::vector<obs::BufferTraceSink> buffers(
+            tracing ? nodes_.size() : 0);
+        runEntries(nodes_, config, scope, tracing, 0, "", nullptr,
+                   buffers, out.nodes, p);
+        for (const auto &res : out.nodes)
+            out.violations += res.violations;
+
+        std::vector<const Node *> node_ptrs;
+        std::vector<const SimulationResult *> result_ptrs;
+        for (std::size_t n = 0; n < nodes_.size(); ++n) {
+            node_ptrs.push_back(&nodes_[n].node);
+            result_ptrs.push_back(&out.nodes[n]);
+        }
+        const auto rep =
+            fleetEntropy(node_ptrs, result_ptrs, config.ri);
+        out.eLc = rep.eLc;
+        out.eBe = rep.eBe;
+        out.eS = rep.eS;
+        out.yieldValue = rep.yieldValue;
+
+        if (tracing) {
+            for (std::size_t n = 0; n < nodes_.size(); ++n) {
+                for (const auto &line : buffers[n].lines())
+                    scope.sink->write(line);
+                obs::Event ev("fleet_node");
+                ev.integer("node", static_cast<long long>(n))
+                    .str("colocation", nodes_[n].node.describe())
+                    .str("scheduler", nodes_[n].scheduler->name())
+                    .num("mean_e_s", out.nodes[n].meanES)
+                    .integer("violations",
+                             out.nodes[n].violations);
+                scope.emit(ev);
+            }
+            obs::Event ev("fleet_end");
+            ev.num("e_lc", out.eLc)
+                .num("e_be", out.eBe)
+                .num("e_s", out.eS)
+                .num("yield", out.yieldValue)
+                .integer("violations", out.violations);
+            scope.emit(ev);
+        }
+        scope.count("fleet.runs");
+        return out;
     }
 
+    // ---- phase A: every node runs up to the crash instant --------
+    const double ta = crash_epoch * config.epochSeconds;
+    out.crashedNodes = crashed;
+    for (int n : crashed) {
+        scope.count("fault.node_crash");
+        if (tracing) {
+            obs::Event ev("fault");
+            ev.str("fault", "node_crash")
+                .integer("node", n)
+                .num("t", ta);
+            scope.emit(ev);
+        }
+    }
+
+    SimulationConfig cfg_a = config;
+    cfg_a.durationSeconds = ta;
+    std::vector<obs::BufferTraceSink> buf_a(
+        tracing ? nodes_.size() : 0);
+    std::vector<SimulationResult> res_a;
+    runEntries(nodes_, cfg_a, scope, tracing, 0, "", nullptr, buf_a,
+               res_a, p);
+
+    // ---- failover: re-place crashed apps onto the survivors ------
+    std::vector<int> survivors;
+    for (int n = 0; n < numNodes(); ++n) {
+        if (!std::binary_search(crashed.begin(), crashed.end(), n))
+            survivors.push_back(n);
+    }
+    std::vector<ColocatedApp> refugees;
+    for (int n : crashed) {
+        for (const auto &a :
+             nodes_[static_cast<std::size_t>(n)].node.apps())
+            refugees.push_back(a);
+    }
+    std::vector<std::vector<ColocatedApp>> initial;
+    for (int n : survivors) {
+        initial.push_back(
+            nodes_[static_cast<std::size_t>(n)].node.apps());
+    }
+
+    // Short, unfaulted, unaudited trial runs drive the placement;
+    // the advisor itself is deterministic per (apps, config).
+    SimulationConfig trial = config;
+    trial.obs = {};
+    trial.checkMode = check::Mode::Off;
+    trial.faults = nullptr;
+    trial.durationSeconds = 8.0 * config.epochSeconds;
+    trial.warmupEpochs = 2;
+
+    const auto &first =
+        nodes_[static_cast<std::size_t>(survivors.front())];
+    const std::string strategy = first.scheduler->name();
+    PlacementAdvisor advisor(
+        first.node.config(), static_cast<int>(survivors.size()),
+        [strategy] { return sched::makeScheduler(strategy); });
+    const auto placement =
+        advisor.place(refugees, trial, &p, &initial);
+
+    for (std::size_t r = 0; r < refugees.size(); ++r)
+        scope.count("recovery.failover");
+    out.failovers = static_cast<int>(refugees.size());
+    if (tracing) {
+        obs::Event ev("recovery");
+        ev.str("what", "failover")
+            .integer("apps", out.failovers)
+            .num("t", ta);
+        scope.emit(ev);
+    }
+
+    // ---- phase B: survivors finish the run with the refugees -----
+    std::vector<Entry> phase_b;
+    for (std::size_t s = 0; s < survivors.size(); ++s) {
+        auto apps = initial[s];
+        for (std::size_t r = 0; r < refugees.size(); ++r) {
+            if (placement.assignment[r] == static_cast<int>(s))
+                apps.push_back(refugees[r]);
+        }
+        auto &entry =
+            nodes_[static_cast<std::size_t>(survivors[s])];
+        phase_b.push_back({Node(entry.node.config(),
+                                std::move(apps)),
+                           std::move(entry.scheduler)});
+    }
+
+    SimulationConfig cfg_b = config;
+    cfg_b.durationSeconds = config.durationSeconds - ta;
+    cfg_b.warmupEpochs =
+        std::max(0, config.warmupEpochs - crash_epoch);
+    std::vector<obs::BufferTraceSink> buf_b(
+        tracing ? phase_b.size() : 0);
+    std::vector<SimulationResult> res_b;
+    runEntries(phase_b, cfg_b, scope, tracing, kRecoverySeedSalt,
+               "/recovered", &survivors, buf_b, res_b, p);
+
+    // Crashed slots report their phase A segment; survivors report
+    // the recovered segment they actually finished with.
+    out.nodes.resize(nodes_.size());
+    for (int n : crashed)
+        out.nodes[static_cast<std::size_t>(n)] = std::move(
+            res_a[static_cast<std::size_t>(n)]);
+    for (std::size_t s = 0; s < survivors.size(); ++s) {
+        out.nodes[static_cast<std::size_t>(survivors[s])] =
+            res_b[s];
+    }
+    for (const auto &res : out.nodes)
+        out.violations += res.violations;
+
+    // The datacenter entropy describes the post-recovery fleet.
+    std::vector<const Node *> node_ptrs;
+    std::vector<const SimulationResult *> result_ptrs;
+    for (std::size_t s = 0; s < phase_b.size(); ++s) {
+        node_ptrs.push_back(&phase_b[s].node);
+        result_ptrs.push_back(&res_b[s]);
+    }
     const auto rep = fleetEntropy(node_ptrs, result_ptrs, config.ri);
     out.eLc = rep.eLc;
     out.eBe = rep.eBe;
@@ -108,24 +312,47 @@ Fleet::run(const SimulationConfig &config, exec::ThreadPool *pool)
     out.yieldValue = rep.yieldValue;
 
     if (tracing) {
+        std::size_t s = 0;
         for (std::size_t n = 0; n < nodes_.size(); ++n) {
-            for (const auto &line : buffers[n].lines())
+            for (const auto &line : buf_a[n].lines())
                 scope.sink->write(line);
+            const bool survived = !std::binary_search(
+                crashed.begin(), crashed.end(),
+                static_cast<int>(n));
+            if (survived) {
+                for (const auto &line : buf_b[s].lines())
+                    scope.sink->write(line);
+            }
             obs::Event ev("fleet_node");
             ev.integer("node", static_cast<long long>(n))
-                .str("colocation", nodes_[n].node.describe())
-                .str("scheduler", nodes_[n].scheduler->name())
+                .str("colocation",
+                     survived ? phase_b[s].node.describe()
+                              : nodes_[n].node.describe())
+                .str("scheduler",
+                     survived ? phase_b[s].scheduler->name()
+                              : nodes_[n].scheduler->name())
                 .num("mean_e_s", out.nodes[n].meanES)
-                .integer("violations", out.nodes[n].violations);
+                .integer("violations", out.nodes[n].violations)
+                .str("status", survived ? "recovered" : "crashed");
             scope.emit(ev);
+            if (survived)
+                ++s;
         }
         obs::Event ev("fleet_end");
         ev.num("e_lc", out.eLc)
             .num("e_be", out.eBe)
             .num("e_s", out.eS)
             .num("yield", out.yieldValue)
-            .integer("violations", out.violations);
+            .integer("violations", out.violations)
+            .integer("failovers", out.failovers);
         scope.emit(ev);
+    }
+
+    // Hand the survivors' schedulers back so the Fleet stays
+    // reusable for another run.
+    for (std::size_t s = 0; s < survivors.size(); ++s) {
+        nodes_[static_cast<std::size_t>(survivors[s])].scheduler =
+            std::move(phase_b[s].scheduler);
     }
     scope.count("fleet.runs");
     return out;
@@ -142,9 +369,10 @@ PlacementAdvisor::PlacementAdvisor(
 }
 
 PlacementAdvisor::Placement
-PlacementAdvisor::place(const std::vector<ColocatedApp> &apps,
-                        const SimulationConfig &trial_config,
-                        exec::ThreadPool *pool) const
+PlacementAdvisor::place(
+    const std::vector<ColocatedApp> &apps,
+    const SimulationConfig &trial_config, exec::ThreadPool *pool,
+    const std::vector<std::vector<ColocatedApp>> *initial) const
 {
     // Hungriest first: LC apps by mean core demand at their initial
     // load, then BE apps by thread count.
@@ -167,6 +395,10 @@ PlacementAdvisor::place(const std::vector<ColocatedApp> &apps,
 
     std::vector<std::vector<ColocatedApp>> per_node(
         static_cast<std::size_t>(numNodes_));
+    if (initial != nullptr) {
+        assert(static_cast<int>(initial->size()) == numNodes_);
+        per_node = *initial;
+    }
     Placement placement;
     placement.assignment.assign(apps.size(), -1);
     placement.nodeEntropy.assign(

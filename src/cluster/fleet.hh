@@ -58,6 +58,15 @@ class Fleet
 
         /** Total QoS violations across nodes. */
         int violations = 0;
+
+        /**
+         * Applications re-placed onto surviving nodes after an
+         * injected node crash (0 when the fault plan has no crash).
+         */
+        int failovers = 0;
+
+        /** Nodes that crashed mid-run, in node order. */
+        std::vector<int> crashedNodes;
     };
 
     /**
@@ -67,6 +76,15 @@ class Fleet
      * deterministic yet nodes see independent noise. Nodes run in
      * parallel across the pool; results are bitwise identical at
      * any thread count.
+     *
+     * When config.faults carries node_crash directives the run
+     * splits in two phases at the (earliest) crash epoch: phase A
+     * runs every node to the crash instant, then the crashed nodes'
+     * applications fail over to the survivors via the
+     * entropy-driven PlacementAdvisor and the survivors finish the
+     * run with the refugees colocated ("nodeN/recovered" trace
+     * tags). Crashed slots report their phase A result; failovers
+     * and crashedNodes record the recovery.
      *
      * @param pool Pool to fan out on; nullptr = globalPool().
      */
@@ -80,6 +98,22 @@ class Fleet
         std::unique_ptr<sched::Scheduler> scheduler;
     };
     std::vector<Entry> nodes_;
+
+    /**
+     * Run one phase over a set of entries in parallel. `ids` maps
+     * entry index to the original node id for tags and seeds
+     * (nullptr = identity); `tag_suffix` distinguishes recovered
+     * segments; `seed_salt` decorrelates phase RNG streams.
+     */
+    static void runEntries(std::vector<Entry> &entries,
+                           const SimulationConfig &config,
+                           const obs::Scope &scope, bool tracing,
+                           std::uint64_t seed_salt,
+                           const char *tag_suffix,
+                           const std::vector<int> *ids,
+                           std::vector<obs::BufferTraceSink> &buffers,
+                           std::vector<SimulationResult> &out,
+                           exec::ThreadPool &p);
 };
 
 /**
@@ -140,10 +174,16 @@ class PlacementAdvisor
      * @param trial_config Simulation settings for trial runs; keep
      *        short — the advisor runs O(apps x nodes) trials.
      * @param pool Pool to fan out on; nullptr = globalPool().
+     * @param initial Optional pre-existing colocation per node
+     *        (size num_nodes); trials then colocate each candidate
+     *        with the apps already there. Used by Fleet failover,
+     *        where survivors are not empty.
      */
     Placement place(const std::vector<ColocatedApp> &apps,
                     const SimulationConfig &trial_config,
-                    exec::ThreadPool *pool = nullptr) const;
+                    exec::ThreadPool *pool = nullptr,
+                    const std::vector<std::vector<ColocatedApp>>
+                        *initial = nullptr) const;
 
   private:
     machine::MachineConfig nodeConfig;

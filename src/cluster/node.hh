@@ -58,6 +58,9 @@ class Node
     /** Load fraction of one app at the given time (0 for BE). */
     double loadAt(machine::AppId id, double time_s) const;
 
+    /** The colocated applications, in AppId order. */
+    const std::vector<ColocatedApp> &apps() const { return apps_; }
+
     /** Ids of the LC applications. */
     const std::vector<machine::AppId> &lcApps() const { return lc; }
 

@@ -14,11 +14,13 @@ namespace ahq::core
 EntropyCurve
 monotoneEnvelope(EntropyCurve curve)
 {
-    // Running minimum from the right: with more resources the
-    // achievable entropy can only stay equal or drop.
-    for (std::size_t i = curve.size(); i-- > 1;) {
-        curve[i - 1].second =
-            std::max(curve[i - 1].second, curve[i].second);
+    // Running minimum left-to-right: with more resources the
+    // achievable entropy can only stay equal or drop, so any noisy
+    // bump above an earlier (cheaper) point is clamped down to it —
+    // the lower envelope of the sampled curve.
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        curve[i].second =
+            std::min(curve[i].second, curve[i - 1].second);
     }
     return curve;
 }

@@ -5,6 +5,8 @@
 
 #include "exec/thread_pool.hh"
 
+#include <stdexcept>
+
 namespace ahq::exec
 {
 
@@ -25,13 +27,23 @@ ThreadPool::ThreadPool(int threads)
 
 ThreadPool::~ThreadPool()
 {
+    shutdown();
+}
+
+void
+ThreadPool::shutdown()
+{
     {
         std::lock_guard<std::mutex> lk(m_);
+        if (stopping_) // idempotent: workers already joined below
+            return;
         stopping_ = true;
     }
     cv_.notify_all();
-    for (auto &w : workers_)
-        w.join();
+    for (auto &w : workers_) {
+        if (w.joinable())
+            w.join();
+    }
 }
 
 void
@@ -39,6 +51,13 @@ ThreadPool::post(std::function<void()> task)
 {
     {
         std::lock_guard<std::mutex> lk(m_);
+        // Same lock as the stopping_ flip in shutdown(): a racing
+        // post() either enqueues before the drain (and runs) or
+        // lands here — never in a queue no worker will ever read.
+        if (stopping_) {
+            throw std::runtime_error(
+                "ThreadPool::post: pool is shut down");
+        }
         queue_.push_back(std::move(task));
     }
     cv_.notify_one();

@@ -31,9 +31,11 @@ namespace ahq::exec
 /**
  * Fixed set of worker threads draining one FIFO task queue.
  *
- * Lifetime: the destructor drains every task already queued, then
- * joins the workers, so fire-and-forget work posted before
- * destruction always completes.
+ * Lifetime: shutdown() (called by the destructor) drains every task
+ * already queued, then joins the workers, so fire-and-forget work
+ * posted before shutdown always completes. Posting after shutdown
+ * has begun is a defined error: post() throws instead of silently
+ * enqueueing work that would never run.
  */
 class ThreadPool
 {
@@ -57,8 +59,21 @@ class ThreadPool
      * caller must not block waiting on the nested task from a pool
      * thread). The task must not throw — use submit() for work
      * whose exceptions matter.
+     *
+     * @throws std::runtime_error once shutdown() has begun — the
+     *         task would otherwise be dropped on the floor. The
+     *         check and the enqueue happen under one lock, so a
+     *         racing post() either lands before the drain or
+     *         throws; it can never be lost silently.
      */
     void post(std::function<void()> task);
+
+    /**
+     * Stop accepting work, drain the queue and join the workers.
+     * Idempotent; called by the destructor. Must not be called from
+     * a pool thread (a worker cannot join itself).
+     */
+    void shutdown();
 
     /**
      * Enqueue work and observe its result — or its exception — via

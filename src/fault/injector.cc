@@ -1,0 +1,202 @@
+/**
+ * @file
+ * FaultInjector implementation.
+ */
+
+#include "fault/injector.hh"
+
+namespace ahq::fault
+{
+
+using machine::kAllResourceKinds;
+using machine::RegionLayout;
+using machine::ResourceKind;
+
+namespace
+{
+
+/** Stream id separating fault draws from the simulator's RNG. */
+constexpr std::uint64_t kFaultStream = 0xfa017;
+
+bool
+sameRes(const RegionLayout &a, const RegionLayout &b)
+{
+    if (a.numRegions() != b.numRegions())
+        return false;
+    for (int r = 0; r < a.numRegions(); ++r) {
+        if (!(a.region(r).res == b.region(r).res))
+            return false;
+    }
+    return true;
+}
+
+/** Whether two layouts share region structure (shape + members). */
+bool
+sameStructure(const RegionLayout &a, const RegionLayout &b)
+{
+    if (a.numRegions() != b.numRegions())
+        return false;
+    for (int r = 0; r < a.numRegions(); ++r) {
+        if (a.region(r).shared != b.region(r).shared ||
+            a.region(r).members != b.region(r).members)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultPlan &plan,
+                             std::uint64_t seed, obs::Scope scope)
+    : plan_(plan), rng_(stats::Rng(seed).split(kFaultStream)),
+      obs_(std::move(scope)), spikeOn_(plan.spikes().size(), false)
+{
+}
+
+void
+FaultInjector::beginEpoch(int epoch, double now_s)
+{
+    const auto &spikes = plan_.spikes();
+    for (std::size_t s = 0; s < spikes.size(); ++s) {
+        const bool on = spikes[s].activeAt(now_s);
+        if (on == spikeOn_[s])
+            continue;
+        spikeOn_[s] = on;
+        obs_.count(on ? "fault.load_spike" : "recovery.load_spike");
+        if (obs_.tracing()) {
+            obs::Event ev(on ? "fault" : "recovery");
+            if (on)
+                ev.str("fault", "load_spike");
+            else
+                ev.str("what", "load_spike");
+            ev.integer("app", spikes[s].app)
+                .num("t", now_s)
+                .num("factor", spikes[s].factor);
+            obs_.atEpoch(epoch).emit(ev);
+        }
+    }
+}
+
+bool
+FaultInjector::sampleMeasurement(int app, int epoch, double now_s,
+                                 double *noise_mult)
+{
+    *noise_mult = 1.0;
+    const auto &m = plan_.measurement();
+    if (!m.has_value() || !m->appliesTo(app))
+        return true;
+
+    if (m->pDrop > 0.0 && rng_.bernoulli(m->pDrop)) {
+        ++dropStreak_[app];
+        obs_.count("fault.measurement_drop");
+        if (obs_.tracing()) {
+            obs::Event ev("fault");
+            ev.str("fault", "measurement")
+                .integer("app", app)
+                .num("t", now_s);
+            obs_.atEpoch(epoch).emit(ev);
+        }
+        return false;
+    }
+
+    if (m->extraSigma > 0.0)
+        *noise_mult = rng_.lognormalNoise(m->extraSigma);
+
+    const auto it = dropStreak_.find(app);
+    if (it != dropStreak_.end() && it->second > 0) {
+        obs_.count("recovery.measurement");
+        if (obs_.tracing()) {
+            obs::Event ev("recovery");
+            ev.str("what", "measurement")
+                .integer("app", app)
+                .integer("dropped_epochs", it->second)
+                .num("t", now_s);
+            obs_.atEpoch(epoch).emit(ev);
+        }
+        it->second = 0;
+    }
+    return true;
+}
+
+double
+FaultInjector::loadFactor(int app, double now_s) const
+{
+    double factor = 1.0;
+    for (const auto &s : plan_.spikes()) {
+        if (s.app == app && s.activeAt(now_s))
+            factor *= s.factor;
+    }
+    return factor;
+}
+
+FaultInjector::Actuation
+FaultInjector::actuate(const RegionLayout &before,
+                       const RegionLayout &intended, int epoch,
+                       double now_s)
+{
+    Actuation out;
+    out.applied = intended;
+    const auto &a = plan_.actuation();
+    if (!a.has_value() || a->pFail <= 0.0)
+        return out;
+    if (!rng_.bernoulli(a->pFail))
+        return out;
+
+    // The first knob write failed; retry with (simulated) backoff
+    // within the interval.
+    bool succeeded = false;
+    for (int r = 0; r < a->retries && !succeeded; ++r) {
+        ++out.attempts;
+        succeeded = !rng_.bernoulli(a->pRetryFail);
+    }
+    if (succeeded) {
+        obs_.count("recovery.actuation_retry");
+        if (obs_.tracing()) {
+            obs::Event ev("recovery");
+            ev.str("what", "actuation_retry")
+                .integer("attempts", out.attempts)
+                .num("t", now_s);
+            obs_.atEpoch(epoch).emit(ev);
+        }
+        return out;
+    }
+
+    // Terminal failure: reconcile to what the knobs really hold.
+    // Partial mode flips each resource kind independently between
+    // the old and the intended setting, which conserves per-kind
+    // totals and keeps the mix a reachable, valid layout; it
+    // degenerates to noop when the decision restructured regions.
+    if (a->mode == ActuationFault::Mode::Partial &&
+        sameStructure(before, intended)) {
+        for (ResourceKind kind : kAllResourceKinds) {
+            if (rng_.bernoulli(0.5))
+                continue; // this kind's write went through
+            for (int r = 0; r < out.applied.numRegions(); ++r) {
+                out.applied.region(r).res.set(
+                    kind, before.region(r).res.get(kind));
+            }
+        }
+    } else {
+        out.applied = before;
+    }
+
+    // A decision that changed nothing cannot fail to take effect.
+    out.ok = sameRes(out.applied, intended);
+    if (!out.ok) {
+        obs_.count("fault.actuation_fail");
+        if (obs_.tracing()) {
+            obs::Event ev("fault");
+            ev.str("fault", "actuation")
+                .str("mode",
+                     a->mode == ActuationFault::Mode::Partial
+                         ? "partial"
+                         : "noop")
+                .integer("attempts", out.attempts)
+                .num("t", now_s);
+            obs_.atEpoch(epoch).emit(ev);
+        }
+    }
+    return out;
+}
+
+} // namespace ahq::fault

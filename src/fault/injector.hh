@@ -1,0 +1,105 @@
+/**
+ * @file
+ * FaultInjector: the per-run engine executing a FaultPlan.
+ *
+ * One injector per simulation run (exactly like the run's RNG and
+ * auditor — never shared across threads). It draws every fault from
+ * its own RNG stream, split off the run seed, so fault outcomes are
+ * a pure function of (seed, plan) and never disturb the simulator's
+ * measurement-noise stream: the faults-off path of a faulted seed
+ * stays bit-identical to an unfaulted run.
+ *
+ * Fault and recovery occurrences are counted
+ * (`fault.*` / `recovery.*`) and, while tracing, emitted as
+ * schema-v1 `fault` / `recovery` events (docs/TRACE_SCHEMA.md).
+ */
+
+#ifndef AHQ_FAULT_INJECTOR_HH
+#define AHQ_FAULT_INJECTOR_HH
+
+#include <map>
+#include <vector>
+
+#include "fault/plan.hh"
+#include "machine/layout.hh"
+#include "obs/scope.hh"
+#include "stats/rng.hh"
+
+namespace ahq::fault
+{
+
+/** Executes one FaultPlan over one simulation run. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param plan The plan; must outlive the injector.
+     * @param seed The run seed (the injector splits its own stream).
+     * @param scope Telemetry destination for fault/recovery events.
+     */
+    FaultInjector(const FaultPlan &plan, std::uint64_t seed,
+                  obs::Scope scope);
+
+    /**
+     * Per-epoch bookkeeping: announce load-spike activation edges.
+     * Call once at the top of every epoch, before the decision.
+     */
+    void beginEpoch(int epoch, double now_s);
+
+    /**
+     * Measurement seam. Returns true when app's sample for this
+     * interval survives; *noise_mult then holds the extra noise
+     * factor to fold into the measurement (1.0 when none). Returns
+     * false when the sample is dropped — the caller must deliver
+     * the last delivered observation flagged `sampleValid = false`
+     * instead of fresh values.
+     */
+    bool sampleMeasurement(int app, int epoch, double now_s,
+                           double *noise_mult);
+
+    /**
+     * Load seam: multiplicative spike factor on app's load at
+     * now_s (1.0 when no spike is active for the app).
+     */
+    double loadFactor(int app, double now_s) const;
+
+    /** Outcome of pushing one decision to the (faulty) knobs. */
+    struct Actuation
+    {
+        /** Whether the applied layout equals the intended one. */
+        bool ok = true;
+
+        /** Knob writes attempted (1 = first write succeeded). */
+        int attempts = 1;
+
+        /** The layout actually in force after the writes. */
+        machine::RegionLayout applied{machine::ResourceVector{}};
+    };
+
+    /**
+     * Actuation seam: attempt to apply the scheduler's intended
+     * layout, retrying per the plan on failure. On terminal failure
+     * the applied layout is the pre-decision layout (noop mode) or
+     * a per-kind mix of before/intended (partial mode) that
+     * conserves per-kind totals. `ok` reports applied == intended,
+     * so a decision that changed nothing can never fail.
+     */
+    Actuation actuate(const machine::RegionLayout &before,
+                      const machine::RegionLayout &intended,
+                      int epoch, double now_s);
+
+  private:
+    const FaultPlan &plan_;
+    stats::Rng rng_;
+    obs::Scope obs_;
+
+    /** Consecutive dropped epochs per app, for recovery events. */
+    std::map<int, int> dropStreak_;
+
+    /** Per-spike activation state, for edge events. */
+    std::vector<bool> spikeOn_;
+};
+
+} // namespace ahq::fault
+
+#endif // AHQ_FAULT_INJECTOR_HH

@@ -18,13 +18,30 @@ namespace
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/**
+ * Relative stability margin. The exact formulas divide by the
+ * wait-tail rate eta = c*mu - lambda; as lambda creeps within a few
+ * ULPs of c*mu, eta underflows towards 0 and percentiles blow up to
+ * huge-but-finite values (~1e15) that poison every consumer that
+ * checks only for infinity. Anything closer to saturation than this
+ * relative margin is treated as saturated outright.
+ */
+constexpr double kSaturationEps = 1e-9;
+
+/** Whether the queue is at (or indistinguishably near) saturation. */
+bool
+saturated(double c, double lambda, double mu)
+{
+    return lambda >= c * mu * (1.0 - kSaturationEps);
+}
+
 /** Erlang-C with integer servers; 1 when at/beyond saturation. */
 double
 erlangCInt(int c, double lambda, double mu)
 {
     assert(c >= 1);
     const double a = lambda / mu;
-    if (lambda >= c * mu)
+    if (saturated(c, lambda, mu))
         return 1.0;
     const double b = erlangB(c, a);
     return c * b / (c - a * (1.0 - b));
@@ -50,9 +67,13 @@ double
 sojournTail(double t, double c, double lambda, double mu, double pc_wait)
 {
     const double eta = c * mu - lambda; // wait-tail rate
+    if (eta <= 0.0)
+        return 1.0; // saturated: the sojourn time diverges
     const double no_wait = (1.0 - pc_wait) * std::exp(-mu * t);
     const double with_wait = pc_wait * waitPlusServiceTail(t, eta, mu);
-    return no_wait + with_wait;
+    // The closed forms subtract nearly equal exponentials; clamp the
+    // rounding residue so callers always see a valid probability.
+    return std::clamp(no_wait + with_wait, 0.0, 1.0);
 }
 
 } // namespace
@@ -72,7 +93,7 @@ double
 erlangC(double c, double lambda, double mu)
 {
     assert(c > 0.0 && mu > 0.0 && lambda >= 0.0);
-    if (lambda >= c * mu)
+    if (saturated(c, lambda, mu))
         return 1.0;
     const int lo = std::max(1, static_cast<int>(std::floor(c)));
     const int hi = static_cast<int>(std::ceil(c));
@@ -94,7 +115,7 @@ utilization(double c, double lambda, double mu)
 double
 mmcMeanWait(double c, double lambda, double mu)
 {
-    if (lambda >= c * mu)
+    if (saturated(c, lambda, mu))
         return kInf;
     const double pc_wait = erlangC(c, lambda, mu);
     return pc_wait / (c * mu - lambda);
@@ -112,7 +133,7 @@ mmcSojournPercentile(double c, double lambda, double mu, double p)
 {
     assert(p > 0.0 && p < 1.0);
     assert(c > 0.0 && mu > 0.0 && lambda >= 0.0);
-    if (lambda >= c * mu)
+    if (saturated(c, lambda, mu))
         return kInf;
 
     const double target = 1.0 - p; // tail mass
@@ -143,7 +164,7 @@ sojournPercentileApprox(double c, double lambda, double mu,
     assert(p > 0.0 && p < 1.0);
     assert(c > 0.0 && mu > 0.0 && lambda >= 0.0);
     assert(svc_pmult > 0.0);
-    if (lambda >= c * mu)
+    if (saturated(c, lambda, mu))
         return kInf;
     const double pc_wait = erlangC(c, lambda, mu);
     const double tail = 1.0 - p;
@@ -152,6 +173,17 @@ sojournPercentileApprox(double c, double lambda, double mu,
         wait_p = std::log(pc_wait / tail) / (c * mu - lambda);
     }
     return svc_pmult / mu + wait_p;
+}
+
+double
+mmcSojournTail(double t, double c, double lambda, double mu)
+{
+    assert(c > 0.0 && mu > 0.0 && lambda >= 0.0);
+    if (t <= 0.0)
+        return 1.0;
+    if (saturated(c, lambda, mu))
+        return 1.0;
+    return sojournTail(t, c, lambda, mu, erlangC(c, lambda, mu));
 }
 
 double

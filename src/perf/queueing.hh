@@ -56,6 +56,19 @@ double mmcMeanSojourn(double c, double lambda, double mu);
 double mmcSojournPercentile(double c, double lambda, double mu, double p);
 
 /**
+ * Survival function P(T > t) of the M/M/c sojourn time. Always a
+ * valid probability: clamped to [0, 1], 1 for t <= 0, and 1 when
+ * the queue is at (or within the numerical stability margin of)
+ * saturation, where the sojourn time diverges.
+ *
+ * @param t Time (same unit as 1/mu).
+ * @param c Servers (fractional allowed, > 0).
+ * @param lambda Arrival rate (>= 0).
+ * @param mu Per-server service rate (> 0).
+ */
+double mmcSojournTail(double t, double c, double lambda, double mu);
+
+/**
  * Percentile of the sojourn time with an additional queue backlog of
  * b requests already waiting at epoch start. The backlog adds a
  * deterministic drain delay of b / (c*mu) experienced by every request

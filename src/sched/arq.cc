@@ -34,7 +34,31 @@ Arq::reset()
     lastMove = {};
     banUntil.clear();
     fsmIndex.clear();
+    lastGoodRet.clear();
     report = {};
+}
+
+void
+Arq::onActuation(bool applied)
+{
+    if (applied || lastAction_ == nullptr)
+        return;
+    obsScope().count("arq.actuation_failed");
+    if (lastAction_ == std::string("move")) {
+        // The move never reached the knobs: forget it, or the next
+        // interval would judge (and possibly roll back) a phantom
+        // adjustment and mis-move a unit.
+        isAdjust = false;
+        settleLeft = 0;
+        lastMove = {};
+    } else if (lastAction_ == std::string("rollback")) {
+        // The cancellation failed, so the bad move is still live on
+        // the knobs; re-arm so the rollback is retried while E_S
+        // stays elevated.
+        isAdjust = true;
+    }
+    // hold/settle/skip mutate nothing, so they can never fail to
+    // take effect (the injector reports ok for no-op decisions).
 }
 
 machine::RegionLayout
@@ -200,7 +224,25 @@ Arq::adjust(RegionLayout &layout,
     }
     report = core::computeEntropy(lc, be, cfg.relativeImportance);
     const double es = report.eS;
-    const auto ret = remainingTolerance(obs);
+    auto ret = remainingTolerance(obs);
+
+    // Hold the last good ReT per app: a dropped sample repeats the
+    // previous delivery, and the controller must not mistake that
+    // staleness for a fresh reading.
+    bool degraded = false;
+    for (const auto &o : obs) {
+        if (!o.sampleValid)
+            degraded = true;
+        if (!o.latencyCritical)
+            continue;
+        if (o.sampleValid) {
+            lastGoodRet[o.id] = ret[o.id];
+        } else {
+            const auto it = lastGoodRet.find(o.id);
+            if (it != lastGoodRet.end())
+                ret[o.id] = it->second;
+        }
+    }
 
     const char *action = "hold";
     double ban_until = -1.0;
@@ -210,6 +252,11 @@ Arq::adjust(RegionLayout &layout,
     if (settleLeft > 0) {
         --settleLeft;
         action = "settle";
+    } else if (degraded) {
+        // Degraded inputs: freeze. Steering on a stale repeat could
+        // both mis-move a unit and mis-judge the previous move, so
+        // neither prevEs nor isAdjust advances this interval.
+        action = "skip";
     } else if (cfg.rollbackEnabled && isAdjust && es > prevEs) {
         // Cancel the last adjustment and ban the victim region from
         // being penalised again for banSeconds.

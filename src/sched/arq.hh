@@ -99,6 +99,15 @@ class Arq : public Scheduler
 
     void reset() override;
 
+    /**
+     * Actuation feedback (fault injection). A failed `move` is
+     * forgotten — it never reached the knobs, so judging it by the
+     * next E_S would roll back a phantom adjustment and mis-move a
+     * unit. A failed `rollback` re-arms the controller so the still
+     * live cancelled move is retried next interval.
+     */
+    void onActuation(bool applied) override;
+
     /** Last computed entropy report (for introspection/tests). */
     const core::EntropyReport &lastReport() const { return report; }
 
@@ -106,9 +115,10 @@ class Arq : public Scheduler
     const ArqConfig &config() const { return cfg; }
 
     /**
-     * What the last adjust() decided: "hold", "move", "rollback" or
-     * "settle"; null before the first interval. The invariant
-     * auditor (src/check/) keys its FSM-legality checks off this.
+     * What the last adjust() decided: "hold", "move", "rollback",
+     * "settle" or "skip" (degraded inputs — see sampleValid); null
+     * before the first interval. The invariant auditor (src/check/)
+     * keys its FSM-legality checks off this.
      */
     const char *lastAction() const { return lastAction_; }
 
@@ -142,6 +152,13 @@ class Arq : public Scheduler
         double ret = 0.0; // remaining tolerance
         double q = 0.0;   // intolerable interference
     };
+
+    /**
+     * Last ReT computed from a *delivered* measurement per app.
+     * When an app's sample is dropped the controller steers (well,
+     * holds) on this instead of the stale repeat.
+     */
+    std::map<machine::AppId, Tolerance> lastGoodRet;
 
     std::map<machine::AppId, Tolerance>
     remainingTolerance(const std::vector<AppObservation> &obs) const;

@@ -39,6 +39,18 @@ Clite::reset()
     numGroups = 0;
 }
 
+void
+Clite::onActuation(bool applied)
+{
+    if (applied)
+        return;
+    obsScope().count("clite.actuation_failed");
+    // Reconcile: forget the intended deployment so the next
+    // interval re-reads the layout actually in force and scores
+    // that, not the configuration that never made it to the knobs.
+    currentAlloc.clear();
+}
+
 machine::RegionLayout
 Clite::initialLayout(const machine::MachineConfig &config,
                      const std::vector<AppObservation> &apps)
@@ -304,6 +316,16 @@ Clite::adjust(machine::RegionLayout &layout,
 {
     if (currentAlloc.empty())
         currentAlloc = readAlloc(layout);
+
+    // Degraded inputs: scoring a stale measurement repeat would
+    // poison the surrogate with a wrong (x, y) pair (and stale
+    // loads would confuse shift detection), so skip the interval.
+    for (const auto &o : obs) {
+        if (!o.sampleValid) {
+            obsScope().count("clite.skip_degraded");
+            return;
+        }
+    }
 
     // Detect load shifts: the pinned optimum is stale, re-explore.
     std::vector<double> loads;

@@ -100,6 +100,16 @@ class Clite : public Scheduler
 
     void reset() override;
 
+    /**
+     * Actuation feedback (fault injection). CLITE's whole model is
+     * "the allocation I deployed": when a deployment fails, the
+     * next score must attach to whatever is really on the knobs,
+     * so the cached deployment is dropped and re-read from the live
+     * layout at the next interval (observed-vs-intended
+     * reconciliation).
+     */
+    void onActuation(bool applied) override;
+
     /** Number of objective samples collected so far (for tests). */
     int samplesCollected() const
     {

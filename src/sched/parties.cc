@@ -30,6 +30,24 @@ Parties::reset()
     cooldown.clear();
     comfort.clear();
     trial = {};
+    trialJustStarted = false;
+}
+
+void
+Parties::onActuation(bool applied)
+{
+    const bool started = trialJustStarted;
+    trialJustStarted = false;
+    if (applied)
+        return;
+    obsScope().count("parties.actuation_failed");
+    if (started && trial.active) {
+        // The trial downsize never made it onto the knobs; cancel
+        // the watch instead of later "reverting" a move that never
+        // happened (which would strand a pool unit).
+        trial.active = false;
+        obsScope().count("parties.trial_aborted");
+    }
 }
 
 RegionId
@@ -138,7 +156,7 @@ Parties::upsizeApp(RegionLayout &layout,
         AppId donor = machine::kNoApp;
         double best_slack = std::max(0.10, victim_slack + 0.15);
         for (const auto &o : obs) {
-            if (!o.latencyCritical || o.id == app)
+            if (!o.latencyCritical || o.id == app || !o.sampleValid)
                 continue;
             const RegionId r = layout.isolatedRegionOf(o.id);
             if (r == machine::kNoRegion ||
@@ -188,13 +206,17 @@ void
 Parties::adjust(RegionLayout &layout,
                 const std::vector<AppObservation> &obs, double)
 {
-    // Age the downsize cooldowns and track comfort streaks.
+    trialJustStarted = false;
+
+    // Age the downsize cooldowns and track comfort streaks. A stale
+    // sample (dropped measurement repeat) neither extends nor
+    // resets a streak — it says nothing new about the app.
     for (auto &[app, c] : cooldown) {
         if (c > 0)
             --c;
     }
     for (const auto &o : obs) {
-        if (!o.latencyCritical)
+        if (!o.latencyCritical || !o.sampleValid)
             continue;
         if (o.slack() >= cfg.upsizeSlack)
             ++comfort[o.id];
@@ -203,8 +225,18 @@ Parties::adjust(RegionLayout &layout,
     }
 
     // 1) Watch the in-flight downsize trial: revert on violation,
-    //    commit once the watch window passes cleanly.
+    //    commit once the watch window passes cleanly. While the
+    //    trial app's sample is stale the verdict is deferred — the
+    //    watch window is held open rather than judged on a repeat.
+    bool trial_stale = false;
     if (trial.active) {
+        for (const auto &o : obs) {
+            if (o.id == trial.app && o.latencyCritical &&
+                !o.sampleValid)
+                trial_stale = true;
+        }
+    }
+    if (trial.active && !trial_stale) {
         bool reverted = false;
         for (const auto &o : obs) {
             if (o.id == trial.app && o.latencyCritical &&
@@ -243,7 +275,8 @@ Parties::adjust(RegionLayout &layout,
     bool any_violation = false;
     std::vector<const AppObservation *> violated;
     for (const auto &o : obs) {
-        if (o.latencyCritical && o.slack() < cfg.upsizeSlack) {
+        if (o.latencyCritical && o.sampleValid &&
+            o.slack() < cfg.upsizeSlack) {
             violated.push_back(&o);
             any_violation = true;
         }
@@ -261,7 +294,8 @@ Parties::adjust(RegionLayout &layout,
     if (!any_violation && !trial.active) {
         const AppObservation *richest = nullptr;
         for (const auto &o : obs) {
-            if (!o.latencyCritical || o.slack() < cfg.downsizeSlack)
+            if (!o.latencyCritical || !o.sampleValid ||
+                o.slack() < cfg.downsizeSlack)
                 continue;
             if (cooldown[o.id] > 0 ||
                 comfort[o.id] < cfg.comfortStreak)
@@ -284,6 +318,7 @@ Parties::adjust(RegionLayout &layout,
                     if (layout.moveResource(kind, region, pool)) {
                         trial = {true, richest->id, kind,
                                  cfg.trialWatch};
+                        trialJustStarted = true;
                         recordMove("downsize_trial", richest->id,
                                    kind, region, pool);
                         break;

@@ -82,6 +82,16 @@ class Parties : public Scheduler
 
     void reset() override;
 
+    /**
+     * Actuation feedback (fault injection). A downsize trial whose
+     * move never reached the knobs is cancelled — there is nothing
+     * on the machine to revert or commit, so watching it would end
+     * in a phantom pool-to-partition move. Failed upsizes need no
+     * bookkeeping: the violation persists and is retried next
+     * interval from the live layout.
+     */
+    void onActuation(bool applied) override;
+
   private:
     PartiesConfig cfg;
 
@@ -103,6 +113,12 @@ class Parties : public Scheduler
         int watchLeft = 0;
     };
     Trial trial;
+
+    /**
+     * Whether `trial` was started by the most recent adjust() (the
+     * only trial an actuation failure can have cancelled on-knob).
+     */
+    bool trialJustStarted = false;
 
     /** Upsize one violated app by one unit; true on success. */
     bool upsizeApp(machine::RegionLayout &layout,

@@ -52,6 +52,14 @@ struct AppObservation
     /** Solo IPC (BE). */
     double ipcSolo = 1.0;
 
+    /**
+     * Whether this interval's measurement was actually delivered.
+     * Under fault injection a dropped sample repeats the previous
+     * delivery with this flag cleared; schedulers should treat such
+     * observations as stale (hold, don't steer) rather than fresh.
+     */
+    bool sampleValid = true;
+
     /** QoS slack (M_i - p95) / M_i; negative means violation. */
     double slack() const
     {
@@ -96,6 +104,15 @@ class Scheduler
 
     /** Reset any internal controller state (new run). */
     virtual void reset() {}
+
+    /**
+     * Actuation feedback: whether the layout produced by the last
+     * adjust() actually took effect on the knobs (`false` under an
+     * injected actuation fault — the live layout then differs from
+     * the intent). Strategies keeping a model of "the allocation I
+     * set" must reconcile here; the default ignores the signal.
+     */
+    virtual void onActuation(bool applied) { (void)applied; }
 
     /**
      * Attach the telemetry scope decisions are reported through.

@@ -31,8 +31,17 @@ ZipfDistribution::ZipfDistribution(std::uint64_t n, double s)
 std::uint64_t
 ZipfDistribution::sample(Rng &rng) const
 {
-    const double u = rng.uniform();
+    return sampleAt(rng.uniform());
+}
+
+std::uint64_t
+ZipfDistribution::sampleAt(double u) const
+{
     const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    // cdf.back() is pinned to 1.0, so only u > 1.0 can fall past
+    // the table; clamp it to the last rank rather than return n+1.
+    if (it == cdf.end())
+        return n_;
     return static_cast<std::uint64_t>(it - cdf.begin()) + 1;
 }
 

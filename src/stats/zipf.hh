@@ -35,6 +35,14 @@ class ZipfDistribution
     /** Sample a rank in [1, n]. */
     std::uint64_t sample(Rng &rng) const;
 
+    /**
+     * Rank for a given uniform draw u in [0, 1] (the inverse-CDF
+     * step sample() performs). Exposed so tests can pin the
+     * boundary draws: u == 0.0 maps to rank 1 and u == 1.0 maps to
+     * rank n, never past the table.
+     */
+    std::uint64_t sampleAt(double u) const;
+
     /** Probability mass of the given rank. */
     double pmf(std::uint64_t rank) const;
 

@@ -29,6 +29,39 @@ TEST(MonotoneEnvelope, WigglesFlattened)
     EXPECT_EQ(env.back().second, 0.1);
 }
 
+TEST(MonotoneEnvelope, LowerEnvelopeClampsNoisyBumps)
+{
+    // A noisy bump above an earlier, cheaper point must be clamped
+    // DOWN to the earlier value (lower envelope): a point already
+    // achievable with 2 units cannot get worse at 3. The old code
+    // ran a suffix max right-to-left, inflating the 2-unit point to
+    // 0.7 (upper envelope) and shifting resourceForEntropy answers.
+    const EntropyCurve c{{1, 0.9}, {2, 0.5}, {3, 0.7}, {4, 0.3}};
+    const auto env = monotoneEnvelope(c);
+    const EntropyCurve expected{{1, 0.9}, {2, 0.5}, {3, 0.5}, {4, 0.3}};
+    EXPECT_EQ(env, expected);
+
+    // Entropy 0.6 sits on the 1->2 segment: 1 + (0.9-0.6)/(0.9-0.5)
+    // = 1.75 units. The buggy upper envelope put it on the 2->3
+    // segment at 3.25 units — nearly double the resources.
+    const auto r = resourceForEntropy(env, 0.6);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_NEAR(*r, 1.75, 1e-12);
+}
+
+TEST(MonotoneEnvelope, FirstPointNeverInflated)
+{
+    // The cheapest sample is authoritative even when later points
+    // are worse (the old suffix-max rewrote it upward).
+    const EntropyCurve c{{2, 0.4}, {4, 0.8}, {6, 0.6}};
+    const auto env = monotoneEnvelope(c);
+    EXPECT_EQ(env.front().second, 0.4);
+    for (std::size_t i = 1; i < env.size(); ++i)
+        EXPECT_LE(env[i].second, env[i - 1].second);
+    EXPECT_EQ(env[1].second, 0.4);
+    EXPECT_EQ(env[2].second, 0.4);
+}
+
 TEST(ResourceForEntropy, ExactHitOnSample)
 {
     const EntropyCurve c{{4, 0.8}, {6, 0.5}, {8, 0.2}};

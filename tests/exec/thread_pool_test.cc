@@ -10,6 +10,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "exec/jobs.hh"
@@ -41,6 +42,60 @@ TEST(ThreadPool, DestructorDrainsPostedWork)
             pool.post([&ran] { ++ran; });
     }
     EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, PostAfterShutdownThrows)
+{
+    exec::ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.post([&ran] { ++ran; });
+    pool.shutdown();
+    EXPECT_EQ(ran.load(), 1); // shutdown drained the queue
+    // The old behavior silently enqueued onto a dead queue; now the
+    // caller hears about it.
+    EXPECT_THROW(pool.post([&ran] { ++ran; }), std::runtime_error);
+    EXPECT_EQ(ran.load(), 1);
+    pool.shutdown(); // idempotent
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedWork)
+{
+    exec::ThreadPool pool(1);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 128; ++i)
+        pool.post([&ran] { ++ran; });
+    pool.shutdown();
+    EXPECT_EQ(ran.load(), 128);
+}
+
+TEST(ThreadPool, ConcurrentPostersVsShutdownLoseNoWork)
+{
+    // Posters race shutdown(): every post must either run (it won
+    // the race) or throw (it lost) — never vanish into a queue no
+    // worker reads. executed + rejected therefore accounts for
+    // every attempt exactly once.
+    for (int round = 0; round < 8; ++round) {
+        exec::ThreadPool pool(2);
+        std::atomic<int> executed{0};
+        std::atomic<int> rejected{0};
+        std::vector<std::thread> posters;
+        for (int p = 0; p < 4; ++p) {
+            posters.emplace_back([&] {
+                for (int i = 0; i < 64; ++i) {
+                    try {
+                        pool.post([&executed] { ++executed; });
+                    } catch (const std::runtime_error &) {
+                        ++rejected;
+                    }
+                }
+            });
+        }
+        pool.shutdown();
+        for (auto &t : posters)
+            t.join();
+        EXPECT_EQ(executed.load() + rejected.load(), 4 * 64)
+            << "round " << round;
+    }
 }
 
 TEST(ThreadPool, SubmitReturnsValue)

@@ -1,0 +1,545 @@
+/**
+ * @file
+ * Fault-injection tests: plan parsing, injector determinism, the
+ * simulator's degradation seams (stale samples, frozen knobs, load
+ * spikes), the chaos fuzz sweep running every scheduler under the
+ * strict invariant auditor with faults active, byte-identical
+ * faulted traces at any thread count, and Fleet crash failover.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/catalog.hh"
+#include "check/check.hh"
+#include "cluster/epoch_sim.hh"
+#include "cluster/fleet.hh"
+#include "exec/scenario_runner.hh"
+#include "exec/thread_pool.hh"
+#include "fault/injector.hh"
+#include "fault/plan.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_sink.hh"
+#include "sched/arq.hh"
+#include "sched/registry.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using namespace ahq;
+
+cluster::Node
+canonicalNode()
+{
+    return cluster::Node(
+        machine::MachineConfig::xeonE52630v4().withAvailable(6, 12,
+                                                             6),
+        {cluster::lcAt(apps::xapian(), 0.5),
+         cluster::lcAt(apps::moses(), 0.2),
+         cluster::be(apps::stream())});
+}
+
+TEST(FaultPlan, ParsesEveryDirectiveKind)
+{
+    std::istringstream in(
+        "# chaos plan\n"
+        "\n"
+        "{\"fault\":\"measurement\",\"p_drop\":0.1,"
+        "\"extra_sigma\":0.05,\"apps\":[0,2]}\n"
+        "{\"fault\":\"actuation\",\"p_fail\":0.2,"
+        "\"mode\":\"partial\",\"retries\":3,"
+        "\"p_retry_fail\":0.4}\n"
+        "{\"fault\":\"load_spike\",\"app\":1,\"from_s\":2,"
+        "\"until_s\":5,\"factor\":1.8}\n"
+        "{\"fault\":\"node_crash\",\"node\":1,\"at_s\":4}\n");
+    const auto plan = fault::FaultPlan::fromStream(in, "inline");
+
+    EXPECT_TRUE(plan.active());
+    ASSERT_TRUE(plan.measurement().has_value());
+    EXPECT_NEAR(plan.measurement()->pDrop, 0.1, 1e-12);
+    EXPECT_NEAR(plan.measurement()->extraSigma, 0.05, 1e-12);
+    EXPECT_TRUE(plan.measurement()->appliesTo(0));
+    EXPECT_FALSE(plan.measurement()->appliesTo(1));
+    EXPECT_TRUE(plan.measurement()->appliesTo(2));
+
+    ASSERT_TRUE(plan.actuation().has_value());
+    EXPECT_NEAR(plan.actuation()->pFail, 0.2, 1e-12);
+    EXPECT_EQ(plan.actuation()->mode,
+              fault::ActuationFault::Mode::Partial);
+    EXPECT_EQ(plan.actuation()->retries, 3);
+    EXPECT_NEAR(plan.actuation()->pRetryFail, 0.4, 1e-12);
+
+    ASSERT_EQ(plan.spikes().size(), 1u);
+    EXPECT_EQ(plan.spikes()[0].app, 1);
+    EXPECT_TRUE(plan.spikes()[0].activeAt(2.0));
+    EXPECT_TRUE(plan.spikes()[0].activeAt(4.99));
+    EXPECT_FALSE(plan.spikes()[0].activeAt(5.0));
+
+    ASSERT_EQ(plan.crashes().size(), 1u);
+    EXPECT_EQ(plan.crashes()[0].node, 1);
+    EXPECT_NEAR(plan.crashes()[0].atS, 4.0, 1e-12);
+}
+
+TEST(FaultPlan, RejectsMalformedDirectives)
+{
+    auto reject = [](const std::string &text) {
+        std::istringstream in(text);
+        EXPECT_THROW(
+            (void)fault::FaultPlan::fromStream(in, "bad"),
+            std::runtime_error)
+            << text;
+    };
+    reject("not json\n");
+    reject("{\"type\":\"measurement\"}\n"); // missing 'fault' key
+    reject("{\"fault\":\"quantum\"}\n");    // unknown kind
+    reject("{\"fault\":\"measurement\",\"p_drop\":1.5}\n");
+    reject("{\"fault\":\"measurement\",\"extra_sigma\":-1}\n");
+    reject("{\"fault\":\"measurement\"}\n"
+           "{\"fault\":\"measurement\"}\n"); // duplicate
+    reject("{\"fault\":\"actuation\",\"mode\":\"maybe\"}\n");
+    reject("{\"fault\":\"actuation\",\"retries\":-1}\n");
+    reject("{\"fault\":\"load_spike\",\"app\":0,\"from_s\":5,"
+           "\"until_s\":2,\"factor\":2}\n");
+    reject("{\"fault\":\"load_spike\",\"app\":0,\"from_s\":0,"
+           "\"until_s\":2,\"factor\":0}\n");
+    reject("{\"fault\":\"node_crash\",\"node\":0,\"at_s\":-1}\n");
+    EXPECT_THROW((void)fault::FaultPlan::fromFile(
+                     "/tmp/ahq_no_such_plan.jsonl"),
+                 std::runtime_error);
+}
+
+TEST(FaultPlan, EmptyPlanIsInactive)
+{
+    EXPECT_FALSE(fault::FaultPlan{}.active());
+    std::istringstream in("# only comments\n\n");
+    EXPECT_FALSE(
+        fault::FaultPlan::fromStream(in, "empty").active());
+    const auto chaos = fault::FaultPlan::builtinChaos();
+    EXPECT_TRUE(chaos.active());
+    EXPECT_TRUE(chaos.crashes().empty());
+}
+
+TEST(FaultInjector, DeterministicPerSeedAndPlan)
+{
+    const auto plan = fault::FaultPlan::builtinChaos();
+    auto draw = [&](std::uint64_t seed) {
+        fault::FaultInjector inj(plan, seed, {});
+        std::vector<int> drops;
+        std::vector<double> noise;
+        for (int e = 0; e < 200; ++e) {
+            inj.beginEpoch(e, e * 0.5);
+            for (int app = 0; app < 3; ++app) {
+                double mult = 1.0;
+                drops.push_back(
+                    inj.sampleMeasurement(app, e, e * 0.5, &mult)
+                        ? 0
+                        : 1);
+                noise.push_back(mult);
+            }
+        }
+        return std::make_pair(drops, noise);
+    };
+
+    const auto a = draw(42);
+    const auto b = draw(42);
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+
+    // A different seed draws a different fault pattern.
+    const auto c = draw(43);
+    EXPECT_NE(a.first, c.first);
+
+    // The plan is sampled at all: drops happened and survivors got
+    // perturbed.
+    int dropped = 0;
+    for (int d : a.first)
+        dropped += d;
+    EXPECT_GT(dropped, 0);
+    EXPECT_LT(dropped, static_cast<int>(a.first.size()));
+}
+
+TEST(FaultInjector, LoadFactorFollowsSpikes)
+{
+    fault::FaultPlan plan;
+    plan.addSpike({0, 3.0, 6.0, 1.5});
+    fault::FaultInjector inj(plan, 1, {});
+    EXPECT_NEAR(inj.loadFactor(0, 2.9), 1.0, 1e-12);
+    EXPECT_NEAR(inj.loadFactor(0, 3.0), 1.5, 1e-12);
+    EXPECT_NEAR(inj.loadFactor(0, 5.9), 1.5, 1e-12);
+    EXPECT_NEAR(inj.loadFactor(0, 6.0), 1.0, 1e-12);
+    EXPECT_NEAR(inj.loadFactor(1, 4.0), 1.0, 1e-12); // other app
+}
+
+TEST(EpochSimFaults, DroppedSamplesDeliverStaleObservations)
+{
+    fault::FaultPlan plan;
+    fault::MeasurementFault m;
+    m.pDrop = 0.35;
+    plan.setMeasurement(m);
+
+    obs::MetricsRegistry metrics;
+    cluster::SimulationConfig cfg;
+    cfg.durationSeconds = 30.0;
+    cfg.warmupEpochs = 4;
+    cfg.seed = 7;
+    cfg.checkMode = check::Mode::Strict;
+    cfg.faults = &plan;
+    cfg.obs.metrics = &metrics;
+
+    sched::Arq arq;
+    const auto res =
+        cluster::EpochSimulator(canonicalNode(), cfg).run(arq);
+
+    int stale = 0;
+    for (std::size_t e = 0; e < res.epochs.size(); ++e) {
+        for (std::size_t a = 0; a < res.epochs[e].obs.size();
+             ++a) {
+            const auto &o = res.epochs[e].obs[a];
+            if (o.sampleValid)
+                continue;
+            ++stale;
+            if (e == 0)
+                continue; // epoch-0 drops deliver solo defaults
+            // A dropped sample repeats the previous delivery.
+            const auto &prev = res.epochs[e - 1].obs[a];
+            EXPECT_EQ(o.p95Ms, prev.p95Ms);
+            EXPECT_EQ(o.ipc, prev.ipc);
+        }
+    }
+    EXPECT_GT(stale, 0);
+    EXPECT_EQ(metrics.counter("fault.measurement_drop"),
+              static_cast<double>(stale));
+}
+
+TEST(EpochSimFaults, AllSamplesDroppedSkipsEveryDecision)
+{
+    fault::FaultPlan plan;
+    fault::MeasurementFault m;
+    m.pDrop = 1.0;
+    plan.setMeasurement(m);
+
+    obs::MetricsRegistry metrics;
+    cluster::SimulationConfig cfg;
+    cfg.durationSeconds = 20.0;
+    cfg.warmupEpochs = 4;
+    cfg.checkMode = check::Mode::Strict;
+    cfg.faults = &plan;
+    cfg.obs.metrics = &metrics;
+
+    sched::Arq arq;
+    const auto res =
+        cluster::EpochSimulator(canonicalNode(), cfg).run(arq);
+
+    // With every sample dropped the control loop must hold: no
+    // decision ever fires, so the layout never moves.
+    EXPECT_GT(metrics.counter("fault.decision_skipped"), 0.0);
+    for (const auto &rec : res.epochs)
+        EXPECT_EQ(rec.regionRes, res.epochs.front().regionRes);
+}
+
+TEST(EpochSimFaults, NoopActuationFreezesLayoutUnderArq)
+{
+    fault::FaultPlan plan;
+    fault::ActuationFault a;
+    a.pFail = 1.0;
+    a.mode = fault::ActuationFault::Mode::Noop;
+    a.retries = 0;
+    plan.setActuation(a);
+
+    obs::MetricsRegistry metrics;
+    cluster::SimulationConfig cfg;
+    cfg.durationSeconds = 30.0;
+    cfg.warmupEpochs = 4;
+    cfg.checkMode = check::Mode::Strict;
+    cfg.faults = &plan;
+    cfg.obs.metrics = &metrics;
+
+    sched::Arq arq;
+    const auto res =
+        cluster::EpochSimulator(canonicalNode(), cfg).run(arq);
+
+    // Every attempted change was silently ignored, and the ARQ FSM
+    // reconciled (no phantom rollbacks of never-applied moves — the
+    // strict auditor would throw on arq.rollback_exact otherwise).
+    EXPECT_GT(metrics.counter("fault.actuation_fail"), 0.0);
+    EXPECT_GT(metrics.counter("arq.actuation_failed"), 0.0);
+    for (const auto &rec : res.epochs)
+        EXPECT_EQ(rec.regionRes, res.epochs.front().regionRes);
+}
+
+TEST(EpochSimFaults, PartialActuationRetriesAndReconciles)
+{
+    fault::FaultPlan plan;
+    fault::ActuationFault a;
+    a.pFail = 0.5;
+    a.mode = fault::ActuationFault::Mode::Partial;
+    a.retries = 2;
+    a.pRetryFail = 0.5;
+    plan.setActuation(a);
+
+    obs::MetricsRegistry metrics;
+    cluster::SimulationConfig cfg;
+    cfg.durationSeconds = 60.0;
+    cfg.warmupEpochs = 4;
+    cfg.seed = 11;
+    cfg.checkMode = check::Mode::Strict; // fault.reconciled armed
+    cfg.faults = &plan;
+    cfg.obs.metrics = &metrics;
+
+    sched::Arq arq;
+    EXPECT_NO_THROW(
+        cluster::EpochSimulator(canonicalNode(), cfg).run(arq));
+    // Some first writes failed and at least one retry won.
+    EXPECT_GT(metrics.counter("fault.actuation_fail") +
+                  metrics.counter("recovery.actuation_retry"),
+              0.0);
+}
+
+TEST(EpochSimFaults, LoadSpikeRaisesTailLatency)
+{
+    fault::FaultPlan plan;
+    plan.addSpike({0, 15.0, 45.0, 2.0});
+
+    cluster::SimulationConfig cfg;
+    cfg.durationSeconds = 60.0;
+    cfg.warmupEpochs = 0;
+    cfg.faults = &plan;
+
+    // Unmanaged so nothing adapts the allocation away.
+    auto sched = sched::makeScheduler("Unmanaged");
+    cluster::Node node(
+        machine::MachineConfig::xeonE52630v4().withAvailable(6, 12,
+                                                             6),
+        {cluster::lcAt(apps::xapian(), 0.45),
+         cluster::be(apps::stream())});
+    const auto res = cluster::EpochSimulator(node, cfg).run(*sched);
+
+    double in_spike = 0.0, outside = 0.0;
+    int n_in = 0, n_out = 0;
+    for (const auto &rec : res.epochs) {
+        if (rec.time >= 15.0 && rec.time < 45.0) {
+            in_spike += rec.obs[0].p95Ms;
+            ++n_in;
+        } else if (rec.time >= 2.0) { // skip cold start
+            outside += rec.obs[0].p95Ms;
+            ++n_out;
+        }
+    }
+    ASSERT_GT(n_in, 0);
+    ASSERT_GT(n_out, 0);
+    EXPECT_GT(in_spike / n_in, 1.2 * (outside / n_out));
+}
+
+TEST(EpochSimFaults, InactivePlanMatchesFaultsOffBitForBit)
+{
+    cluster::SimulationConfig base;
+    base.durationSeconds = 20.0;
+    base.warmupEpochs = 4;
+    base.seed = 99;
+
+    sched::Arq a1, a2;
+    const auto plain =
+        cluster::EpochSimulator(canonicalNode(), base).run(a1);
+
+    const fault::FaultPlan inactive; // no directives
+    cluster::SimulationConfig faulted = base;
+    faulted.faults = &inactive;
+    const auto gated =
+        cluster::EpochSimulator(canonicalNode(), faulted).run(a2);
+
+    ASSERT_EQ(plain.epochs.size(), gated.epochs.size());
+    EXPECT_EQ(plain.meanES, gated.meanES);
+    for (std::size_t e = 0; e < plain.epochs.size(); ++e) {
+        for (std::size_t i = 0; i < plain.epochs[e].obs.size();
+             ++i) {
+            EXPECT_EQ(plain.epochs[e].obs[i].p95Ms,
+                      gated.epochs[e].obs[i].p95Ms);
+        }
+    }
+}
+
+TEST(ChaosFuzz, AllSchedulersSurviveStrictUnderFaults)
+{
+    const std::vector<std::string> lc_names{
+        "xapian", "moses", "img-dnn", "masstree", "sphinx", "silo"};
+    const std::vector<std::string> be_names{
+        "fluidanimate", "streamcluster", "stream"};
+
+    stats::Rng rng(24681357); // fixed seed: replayable sweep
+    obs::MetricsRegistry metrics;
+    const auto plan = fault::FaultPlan::builtinChaos();
+    const auto &strategies = sched::allStrategyNames();
+    ASSERT_GE(strategies.size(), 7u);
+
+    int scenarios = 0;
+    for (int trial = 0; trial < 16; ++trial) {
+        const int n_lc = 1 + static_cast<int>(rng.uniformInt(3));
+        const int n_be = static_cast<int>(rng.uniformInt(3));
+
+        std::vector<cluster::ColocatedApp> colocated;
+        for (int i = 0; i < n_lc; ++i) {
+            colocated.push_back(cluster::lcAt(
+                apps::byName(lc_names[rng.uniformInt(
+                    lc_names.size())]),
+                rng.uniform(0.05, 0.95)));
+        }
+        for (int i = 0; i < n_be; ++i) {
+            colocated.push_back(cluster::be(apps::byName(
+                be_names[rng.uniformInt(be_names.size())])));
+        }
+
+        const int apps_total = n_lc + n_be;
+        const int cores = std::max(
+            apps_total + 1,
+            4 + static_cast<int>(rng.uniformInt(7)));
+        const int ways = std::max(
+            apps_total + 1,
+            8 + static_cast<int>(rng.uniformInt(13)));
+        const int bw = 4 + static_cast<int>(rng.uniformInt(7));
+        cluster::Node node(
+            machine::MachineConfig::xeonE52630v4().withAvailable(
+                cores, ways, bw),
+            colocated);
+
+        cluster::SimulationConfig cfg;
+        cfg.durationSeconds = 10.0;
+        cfg.warmupEpochs = 4;
+        cfg.seed = rng.uniformInt(1u << 30);
+        cfg.checkMode = check::Mode::Strict;
+        cfg.faults = &plan;
+        cfg.obs.metrics = &metrics;
+
+        for (const auto &name : strategies) {
+            auto sched = sched::makeScheduler(name);
+            cluster::EpochSimulator sim(node, cfg);
+            try {
+                sim.run(*sched);
+            } catch (const check::InvariantViolation &e) {
+                FAIL() << name << " violated "
+                       << e.violation().check << " in trial "
+                       << trial << " (epoch "
+                       << e.violation().epoch << "): " << e.what();
+            }
+            ++scenarios;
+        }
+    }
+
+    EXPECT_GE(scenarios, 112);
+    EXPECT_EQ(metrics.counter("check.violations"), 0.0);
+    // The plan actually bit: faults fired across the sweep.
+    EXPECT_GT(metrics.counter("fault.measurement_drop"), 0.0);
+    EXPECT_GT(metrics.counter("fault.actuation_fail"), 0.0);
+}
+
+TEST(ChaosFuzz, FaultedTracesByteIdenticalAtAnyThreadCount)
+{
+    const auto plan = fault::FaultPlan::builtinChaos();
+    cluster::SimulationConfig cfg;
+    cfg.durationSeconds = 10.0;
+    cfg.warmupEpochs = 4;
+    cfg.seed = 5;
+    cfg.checkMode = check::Mode::Strict;
+    cfg.faults = &plan;
+
+    std::vector<exec::ScenarioJob> jobs;
+    for (const auto &name : sched::allStrategyNames())
+        jobs.push_back({name, canonicalNode(), cfg, name});
+
+    auto run_with = [&](int threads) {
+        exec::ThreadPool pool(threads);
+        exec::ScenarioRunner runner(&pool);
+        obs::BufferTraceSink sink;
+        obs::Scope scope;
+        scope.sink = &sink;
+        runner.setObsScope(scope);
+        const auto results = runner.run(jobs);
+        return std::make_pair(sink.str(), results);
+    };
+
+    const auto serial = run_with(1);
+    const auto wide = run_with(4);
+    ASSERT_FALSE(serial.first.empty());
+    EXPECT_EQ(serial.first, wide.first);
+    ASSERT_EQ(serial.second.size(), wide.second.size());
+    for (std::size_t i = 0; i < serial.second.size(); ++i)
+        EXPECT_EQ(serial.second[i].meanES, wide.second[i].meanES);
+    // The faulted trace carries schema-v1 fault events.
+    EXPECT_NE(serial.first.find("\"type\":\"fault\""),
+              std::string::npos);
+}
+
+TEST(FleetFaults, NodeCrashFailsOverToSurvivors)
+{
+    fault::FaultPlan plan;
+    plan.addCrash({1, 10.0});
+
+    auto build = [] {
+        cluster::Fleet fleet;
+        fleet.addNode(
+            cluster::Node(machine::MachineConfig::xeonE52630v4(),
+                          {cluster::lcAt(apps::xapian(), 0.3),
+                           cluster::be(apps::fluidanimate())}),
+            std::make_unique<sched::Arq>());
+        fleet.addNode(
+            cluster::Node(machine::MachineConfig::xeonE52630v4(),
+                          {cluster::lcAt(apps::moses(), 0.3),
+                           cluster::be(apps::stream())}),
+            std::make_unique<sched::Arq>());
+        return fleet;
+    };
+
+    cluster::SimulationConfig cfg;
+    cfg.durationSeconds = 30.0;
+    cfg.warmupEpochs = 5;
+    cfg.faults = &plan;
+
+    auto f1 = build();
+    const auto res = f1.run(cfg);
+    ASSERT_EQ(res.nodes.size(), 2u);
+    EXPECT_EQ(res.crashedNodes, std::vector<int>{1});
+    EXPECT_EQ(res.failovers, 2); // both of node 1's apps re-placed
+    // The crashed node only has its pre-crash epochs.
+    EXPECT_EQ(res.nodes[1].epochs.size(), 20u);
+    EXPECT_GT(res.nodes[0].epochs.size(),
+              res.nodes[1].epochs.size());
+    EXPECT_GE(res.eS, 0.0);
+    EXPECT_LE(res.eS, 1.0);
+
+    // Crash handling is deterministic.
+    auto f2 = build();
+    const auto res2 = f2.run(cfg);
+    EXPECT_EQ(res.eS, res2.eS);
+    EXPECT_EQ(res.failovers, res2.failovers);
+}
+
+TEST(FleetFaults, NoCrashPlanLeavesFleetPathUntouched)
+{
+    fault::FaultPlan plan;
+    fault::MeasurementFault m;
+    m.pDrop = 0.1;
+    plan.setMeasurement(m);
+
+    cluster::Fleet fleet;
+    fleet.addNode(
+        cluster::Node(machine::MachineConfig::xeonE52630v4(),
+                      {cluster::lcAt(apps::xapian(), 0.3),
+                       cluster::be(apps::stream())}),
+        std::make_unique<sched::Arq>());
+
+    cluster::SimulationConfig cfg;
+    cfg.durationSeconds = 20.0;
+    cfg.warmupEpochs = 5;
+    cfg.faults = &plan;
+
+    const auto res = fleet.run(cfg);
+    ASSERT_EQ(res.nodes.size(), 1u);
+    EXPECT_EQ(res.failovers, 0);
+    EXPECT_TRUE(res.crashedNodes.empty());
+}
+
+} // namespace

@@ -111,6 +111,62 @@ TEST(SojournPercentile, UnstableIsInfinite)
     EXPECT_EQ(mmcSojournPercentile(2.0, 3.0, 1.0, 0.95), kInf);
 }
 
+TEST(SojournPercentile, NearSaturationIsInfiniteNotHuge)
+{
+    // lambda one ulp below c*mu used to slip past the `lambda >=
+    // c*mu` guard: eta underflowed and the percentile came back as
+    // a huge-but-finite number (~1e15) that poisoned downstream
+    // averages instead of reading as "saturated".
+    const double mu = 1.0;
+    for (double c : {1.0, 2.0, 4.0}) {
+        const double lambda = std::nextafter(c * mu, 0.0);
+        EXPECT_EQ(mmcSojournPercentile(c, lambda, mu, 0.95), kInf)
+            << "c=" << c;
+        EXPECT_EQ(mmcMeanWait(c, lambda, mu), kInf) << "c=" << c;
+        EXPECT_EQ(sojournPercentileApprox(c, lambda, mu, 3.0), kInf)
+            << "c=" << c;
+        EXPECT_EQ(erlangC(c, lambda, mu), 1.0) << "c=" << c;
+    }
+}
+
+TEST(SojournTail, IsAlwaysAValidProbability)
+{
+    const double mu = 1.0;
+    for (double c : {1.0, 2.0, 4.0}) {
+        for (double rho : {0.0, 0.3, 0.9, 0.999999}) {
+            const double lambda = rho * c * mu;
+            for (double t = 0.0; t <= 50.0; t += 2.5) {
+                const double p = mmcSojournTail(t, c, lambda, mu);
+                EXPECT_GE(p, 0.0)
+                    << "c=" << c << " rho=" << rho << " t=" << t;
+                EXPECT_LE(p, 1.0)
+                    << "c=" << c << " rho=" << rho << " t=" << t;
+            }
+        }
+    }
+}
+
+TEST(SojournTail, BoundaryCases)
+{
+    // Non-positive horizon: P(T > t) = 1.
+    EXPECT_EQ(mmcSojournTail(0.0, 2.0, 1.0, 1.0), 1.0);
+    EXPECT_EQ(mmcSojournTail(-1.0, 2.0, 1.0, 1.0), 1.0);
+    // At or past saturation the sojourn diverges.
+    EXPECT_EQ(mmcSojournTail(10.0, 2.0, 2.0, 1.0), 1.0);
+    EXPECT_EQ(mmcSojournTail(10.0, 2.0, 3.0, 1.0), 1.0);
+    // M/M/1 sojourn is Exp(mu - lambda).
+    const double lambda = 0.4, mu = 1.0, t = 2.0;
+    EXPECT_NEAR(mmcSojournTail(t, 1.0, lambda, mu),
+                std::exp(-(mu - lambda) * t), 1e-9);
+    // The tail decreases in t.
+    double prev = 1.0;
+    for (double h = 0.5; h <= 20.0; h += 0.5) {
+        const double p = mmcSojournTail(h, 2.0, 1.5, 1.0);
+        EXPECT_LE(p, prev);
+        prev = p;
+    }
+}
+
 class SojournLoadSweep : public ::testing::TestWithParam<double>
 {
 };

@@ -73,6 +73,50 @@ TEST(Zipf, SingleItemAlwaysRankOne)
     EXPECT_NEAR(z.pmf(1), 1.0, 1e-12);
 }
 
+TEST(Zipf, SampleAtBoundaryDraws)
+{
+    ZipfDistribution z(10, 1.0);
+    // u == 0.0 is the first rank; u == 1.0 must land on the last
+    // rank, not one past the table (the cdf's final entry is pinned
+    // to exactly 1.0 so lower_bound finds it).
+    EXPECT_EQ(z.sampleAt(0.0), 1u);
+    EXPECT_EQ(z.sampleAt(1.0), 10u);
+    // Even an out-of-contract draw past 1.0 clamps to rank n
+    // instead of indexing off the end.
+    EXPECT_EQ(z.sampleAt(1.5), 10u);
+}
+
+TEST(Zipf, SampleAtPmfBoundaries)
+{
+    ZipfDistribution z(100, 0.8);
+    const double p1 = z.pmf(1);
+    // Just inside rank 1's mass vs just past it.
+    EXPECT_EQ(z.sampleAt(p1 - 1e-12), 1u);
+    EXPECT_EQ(z.sampleAt(p1 + 1e-12), 2u);
+}
+
+TEST(Zipf, SampleAtSingleItem)
+{
+    ZipfDistribution z(1, 0.0);
+    EXPECT_EQ(z.sampleAt(0.0), 1u);
+    EXPECT_EQ(z.sampleAt(0.5), 1u);
+    EXPECT_EQ(z.sampleAt(1.0), 1u);
+}
+
+TEST(Zipf, PmfSumsToOneAcrossSizesAndSkews)
+{
+    for (std::uint64_t n : {std::uint64_t{2}, std::uint64_t{7},
+                            std::uint64_t{1000}}) {
+        for (double s : {0.0, 0.8, 1.0}) {
+            ZipfDistribution z(n, s);
+            double sum = 0.0;
+            for (std::uint64_t r = 1; r <= n; ++r)
+                sum += z.pmf(r);
+            EXPECT_NEAR(sum, 1.0, 1e-9) << "n=" << n << " s=" << s;
+        }
+    }
+}
+
 TEST(Zipf, HigherSkewConcentratesHead)
 {
     ZipfDistribution mild(100, 0.5);

@@ -463,6 +463,103 @@ TEST(CliSweep, TraceBytesIdenticalAcrossJobs)
     std::remove(t4.c_str());
 }
 
+TEST(CliParse, FaultsFlag)
+{
+    const auto opt = parseSimulateArgs(
+        {"--faults", "plan.jsonl", "xapian=0.5"});
+    EXPECT_EQ(opt.faultsPath, "plan.jsonl");
+    EXPECT_EQ(parseSimulateArgs({"--faults=p2.jsonl", "xapian=0.5"})
+                  .faultsPath,
+              "p2.jsonl");
+    EXPECT_TRUE(parseSimulateArgs({"xapian=0.5"}).faultsPath.empty());
+    // --check presence is recorded so chaos can default to strict
+    // without clobbering an explicit mode.
+    EXPECT_TRUE(parseSimulateArgs({"--check=log", "xapian=0.5"})
+                    .checkModeExplicit);
+    EXPECT_FALSE(parseSimulateArgs({"xapian=0.5"}).checkModeExplicit);
+}
+
+TEST(CliSimulate, FaultsEndToEnd)
+{
+    const std::string plan = "/tmp/ahq_cli_plan.jsonl";
+    {
+        std::ofstream f(plan);
+        f << "{\"fault\":\"measurement\",\"p_drop\":0.2}\n";
+    }
+    std::ostringstream out, err;
+    const int rc = dispatch(
+        {"simulate", "--duration", "15", "--warmup", "15",
+         "--faults", plan, "--metrics", "xapian=0.4",
+         "fluidanimate"},
+        out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find("fault.measurement_drop"),
+              std::string::npos)
+        << out.str();
+    std::remove(plan.c_str());
+}
+
+TEST(CliSimulate, BadFaultPlanFails)
+{
+    const std::string plan = "/tmp/ahq_cli_badplan.jsonl";
+    {
+        std::ofstream f(plan);
+        f << "{\"fault\":\"quantum\"}\n";
+    }
+    std::ostringstream out, err;
+    EXPECT_EQ(dispatch({"simulate", "--faults", plan, "xapian=0.4"},
+                       out, err),
+              1);
+    EXPECT_NE(err.str().find("error:"), std::string::npos);
+    std::remove(plan.c_str());
+
+    std::ostringstream err2;
+    EXPECT_EQ(dispatch({"chaos", "--faults",
+                        "/tmp/ahq_no_such_plan.jsonl"},
+                       out, err2),
+              1);
+    EXPECT_NE(err2.str().find("error:"), std::string::npos);
+}
+
+TEST(CliChaos, EndToEndWithBuiltinPlan)
+{
+    std::ostringstream out, err;
+    const int rc = dispatch(
+        {"chaos", "--duration", "10", "--warmup", "4"}, out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    // Every strategy ran under the builtin plan with strict checks.
+    EXPECT_NE(out.str().find("chaos over"), std::string::npos);
+    EXPECT_NE(out.str().find("check=strict"), std::string::npos);
+    EXPECT_NE(out.str().find("ARQ"), std::string::npos);
+    EXPECT_NE(out.str().find("Heracles"), std::string::npos);
+    EXPECT_NE(out.str().find("fault injection"), std::string::npos)
+        << out.str();
+    EXPECT_NE(out.str().find("measurement drops"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("actuation failures"),
+              std::string::npos);
+}
+
+TEST(CliChaos, AcceptsExplicitAppsAndPlan)
+{
+    const std::string plan = "/tmp/ahq_cli_chaos_plan.jsonl";
+    {
+        std::ofstream f(plan);
+        f << "{\"fault\":\"measurement\",\"p_drop\":0.1}\n";
+        f << "{\"fault\":\"load_spike\",\"app\":0,\"from_s\":2,"
+             "\"until_s\":6,\"factor\":1.5}\n";
+    }
+    std::ostringstream out, err;
+    const int rc = dispatch(
+        {"chaos", "--duration", "10", "--warmup", "4", "--faults",
+         plan, "xapian=0.5", "stream"},
+        out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find(plan), std::string::npos)
+        << out.str();
+    std::remove(plan.c_str());
+}
+
 TEST(CliDispatch, ListsAndUsage)
 {
     std::ostringstream out, err;

@@ -15,6 +15,7 @@
 #include "apps/catalog.hh"
 #include "cluster/oracle.hh"
 #include "exec/jobs.hh"
+#include "fault/plan.hh"
 #include "exec/scenario_runner.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_sink.hh"
@@ -100,7 +101,8 @@ parseIntAtLeast(const std::string &s, const std::string &flag,
 } // namespace
 
 SimulateOptions
-parseSimulateArgs(const std::vector<std::string> &args)
+parseSimulateArgs(const std::vector<std::string> &args,
+                  bool require_apps)
 {
     SimulateOptions opt;
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -171,6 +173,9 @@ parseSimulateArgs(const std::vector<std::string> &args)
             }
         } else if (a == "--check") {
             opt.checkMode = check::modeFromString(next("--check"));
+            opt.checkModeExplicit = true;
+        } else if (a == "--faults") {
+            opt.faultsPath = next("--faults");
         } else if (a == "--csv") {
             opt.csvPath = next("--csv");
         } else if (a == "--trace") {
@@ -197,13 +202,17 @@ parseSimulateArgs(const std::vector<std::string> &args)
             }
         }
     }
-    if (opt.lcApps.empty() && opt.beApps.empty()) {
+    if (require_apps && opt.lcApps.empty() && opt.beApps.empty()) {
         throw std::invalid_argument(
             "no applications given (expected app=load or be_app)");
     }
     if (opt.tracePath.empty()) {
         if (const char *env = std::getenv("AHQ_TRACE"))
             opt.tracePath = env;
+    }
+    if (opt.faultsPath.empty()) {
+        if (const char *env = std::getenv("AHQ_FAULTS"))
+            opt.faultsPath = env;
     }
     return opt;
 }
@@ -319,6 +328,13 @@ runSimulate(const std::vector<std::string> &args, std::ostream &out,
         cfg.tailPercentile = opt.percentile;
         cfg.ri = opt.ri;
         cfg.checkMode = opt.checkMode;
+
+        // The plan must outlive the run: cfg holds a pointer.
+        fault::FaultPlan plan;
+        if (!opt.faultsPath.empty()) {
+            plan = fault::FaultPlan::fromFile(opt.faultsPath);
+            cfg.faults = &plan;
+        }
 
         std::unique_ptr<obs::FileTraceSink> sink;
         obs::MetricsRegistry metrics;
@@ -485,6 +501,12 @@ runSweep(const std::vector<std::string> &args, std::ostream &out,
             "Unmanaged", "LC-first", "PARTIES", "CLITE", "ARQ"};
         const std::vector<double> loads{0.1, 0.3, 0.5, 0.7, 0.9};
 
+        // Shared by every job below; must outlive runner.run().
+        fault::FaultPlan plan;
+        const bool faulting = !opt.faultsPath.empty();
+        if (faulting)
+            plan = fault::FaultPlan::fromFile(opt.faultsPath);
+
         std::unique_ptr<obs::FileTraceSink> sink;
         obs::MetricsRegistry metrics;
         obs::Scope scope;
@@ -522,6 +544,8 @@ runSweep(const std::vector<std::string> &args, std::ostream &out,
             cfg.tailPercentile = opt.percentile;
             cfg.ri = opt.ri;
             cfg.checkMode = opt.checkMode;
+            if (faulting)
+                cfg.faults = &plan;
 
             const std::string load_tag =
                 report::TextTable::num(load * 100, 0) + "%";
@@ -560,6 +584,120 @@ runSweep(const std::vector<std::string> &args, std::ostream &out,
         if (opt.dumpMetrics)
             metrics.print(out);
         return 0;
+    } catch (const std::exception &e) {
+        err << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+int
+runChaos(const std::vector<std::string> &args, std::ostream &out,
+         std::ostream &err)
+{
+    SimulateOptions opt;
+    try {
+        opt = parseSimulateArgs(args, /*require_apps=*/false);
+    } catch (const std::exception &e) {
+        err << "error: " << e.what() << "\n";
+        return 2;
+    }
+
+    try {
+        applyJobs(opt);
+        // Canonical chaos colocation when no apps were given.
+        if (opt.lcApps.empty() && opt.beApps.empty()) {
+            opt.lcApps = {{"xapian", 0.5},
+                          {"moses", 0.2},
+                          {"img-dnn", 0.2}};
+            opt.beApps = {"stream"};
+        }
+        std::vector<cluster::ColocatedApp> colocated;
+        for (const auto &[name, load] : opt.lcApps)
+            colocated.push_back(
+                cluster::lcAt(apps::byName(name), load));
+        for (const auto &name : opt.beApps)
+            colocated.push_back(cluster::be(apps::byName(name)));
+        const auto mc = machine::MachineConfig::xeonE52630v4()
+                            .withAvailable(opt.cores, opt.ways,
+                                           opt.bwUnits);
+        cluster::Node node(mc, std::move(colocated));
+
+        const fault::FaultPlan plan =
+            opt.faultsPath.empty()
+                ? fault::FaultPlan::builtinChaos()
+                : fault::FaultPlan::fromFile(opt.faultsPath);
+
+        cluster::SimulationConfig cfg;
+        cfg.durationSeconds = opt.durationSeconds;
+        cfg.warmupEpochs = opt.warmupEpochs;
+        cfg.seed = opt.seed;
+        cfg.tailPercentile = opt.percentile;
+        cfg.ri = opt.ri;
+        // Chaos exists to prove the invariants hold under faults,
+        // so the auditor is strict unless --check says otherwise.
+        cfg.checkMode = opt.checkModeExplicit ? opt.checkMode
+                                              : check::Mode::Strict;
+        cfg.faults = &plan;
+
+        std::unique_ptr<obs::FileTraceSink> sink;
+        obs::MetricsRegistry metrics;
+        obs::Scope scope;
+        if (!opt.tracePath.empty()) {
+            sink = std::make_unique<obs::FileTraceSink>(
+                opt.tracePath);
+            scope.sink = sink.get();
+        }
+        // Metrics are always on: the summary below reads them.
+        scope.metrics = &metrics;
+
+        std::vector<exec::ScenarioJob> jobs;
+        for (const auto &name : sched::allStrategyNames())
+            jobs.push_back({name, node, cfg, name});
+
+        exec::ScenarioRunner runner;
+        runner.setObsScope(scope);
+        const auto results = runner.run(jobs);
+
+        out << "chaos over " << node.describe() << " ("
+            << (opt.faultsPath.empty() ? "built-in plan"
+                                       : opt.faultsPath)
+            << ", check=" << check::toString(cfg.checkMode)
+            << "):\n";
+        report::TextTable t(
+            {"strategy", "E_S", "yield", "violations"});
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            t.addRow({jobs[i].strategy,
+                      report::TextTable::num(results[i].meanES),
+                      report::TextTable::num(
+                          results[i].yieldValue),
+                      std::to_string(results[i].violations)});
+        }
+        t.print(out);
+
+        auto line = [&](const char *label, const char *name) {
+            out << "  " << label << " = "
+                << static_cast<long long>(metrics.counter(name))
+                << "\n";
+        };
+        out << "fault injection:\n";
+        line("measurement drops", "fault.measurement_drop");
+        line("actuation failures", "fault.actuation_fail");
+        line("decisions skipped", "fault.decision_skipped");
+        out << "recovery:\n";
+        line("measurement recoveries", "recovery.measurement");
+        line("actuation retries won", "recovery.actuation_retry");
+
+        if (sink) {
+            sink->flush();
+            out << "trace written to " << sink->path() << "\n";
+        }
+        if (opt.dumpMetrics)
+            metrics.print(out);
+        return 0;
+    } catch (const check::InvariantViolation &e) {
+        err << "invariant violation under faults: " << e.what()
+            << "\n";
+        return 1;
     } catch (const std::exception &e) {
         err << "error: " << e.what() << "\n";
         return 1;
@@ -614,6 +752,8 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
               "  entropy <obs.csv>          E_S from measurements\n"
               "  simulate [opts] app=load.. one colocation run\n"
               "  sweep [opts] app=load..    Fig.8-style E_S table\n"
+              "  chaos [opts] [app=load..]  all strategies under "
+              "an injected fault plan\n"
               "  oracle [opts] app=load..   best static partitions\n"
               "  trace <file.jsonl>         summarise a --trace "
               "run\n"
@@ -631,6 +771,8 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
               "AHQ_TRACE) --metrics (dump counters)\n"
               "  --check off|log|strict (invariant audit; env "
               "AHQ_CHECK)\n"
+              "  --faults FILE (JSONL fault plan; env AHQ_FAULTS; "
+              "chaos defaults to a built-in plan)\n"
               "  (flags also accept --flag=value)\n"
               "strategies (--strategy):";
         for (const auto &s : sched::allStrategyNames())
@@ -657,6 +799,8 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
         return runOracle(rest, out, err);
     if (cmd == "sweep")
         return runSweep(rest, out, err);
+    if (cmd == "chaos")
+        return runChaos(rest, out, err);
     if (cmd == "trace")
         return runTrace(rest, out, err);
     if (cmd == "apps")

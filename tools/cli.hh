@@ -10,6 +10,9 @@
  *               | "be,<name>,<ipc_solo>,<ipc_real>"
  *   ahq simulate [options] <app>=<load>... <be_app>...
  *       Simulate a colocation under a strategy.
+ *   ahq chaos [options] [<app>=<load>... <be_app>...]
+ *       Run every strategy under an injected fault plan with the
+ *       strict invariant auditor watching (see docs/FAULTS.md).
  *   ahq apps | ahq strategies
  *       List the catalogue / the strategy registry.
  */
@@ -51,6 +54,15 @@ struct SimulateOptions
      */
     check::Mode checkMode = check::modeFromEnv();
 
+    /** True when --check appeared (chaos defaults to strict). */
+    bool checkModeExplicit = false;
+
+    /**
+     * JSONL fault plan (--faults, or the AHQ_FAULTS environment
+     * variable when the flag is absent); empty = no injection.
+     */
+    std::string faultsPath;
+
     std::string csvPath; // empty = no CSV dump
 
     /**
@@ -82,10 +94,15 @@ struct SimulateOptions
  * here with a message naming the flag and the accepted range,
  * instead of surfacing later as a confusing simulation result.
  *
+ * @param require_apps When true (the default) at least one app spec
+ *        must be present; chaos passes false and falls back to a
+ *        canonical colocation.
+ *
  * @throws std::invalid_argument on malformed input.
  */
 SimulateOptions
-parseSimulateArgs(const std::vector<std::string> &args);
+parseSimulateArgs(const std::vector<std::string> &args,
+                  bool require_apps = true);
 
 /**
  * Parse an observations CSV into entropy inputs.
@@ -112,6 +129,18 @@ int runSimulate(const std::vector<std::string> &args,
  */
 int runOracle(const std::vector<std::string> &args,
               std::ostream &out, std::ostream &err);
+
+/**
+ * Run `ahq chaos`: run every registered strategy over one
+ * colocation with a fault plan injected (--faults / AHQ_FAULTS, or
+ * a built-in plan when neither is given) and the invariant auditor
+ * in strict mode unless --check overrides it. Prints the
+ * per-strategy entropy table plus the fault / recovery counters.
+ * Accepts simulate's grammar; app specs are optional (a canonical
+ * chaos colocation is used when none are given).
+ */
+int runChaos(const std::vector<std::string> &args, std::ostream &out,
+             std::ostream &err);
 
 /**
  * Run `ahq sweep`: sweep the FIRST LC app's load from 10% to 90%
