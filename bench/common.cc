@@ -6,11 +6,14 @@
 #include "common.hh"
 
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <stdexcept>
 #include <sys/stat.h>
 
 #include "exec/jobs.hh"
+#include "obs/json.hh"
 #include "sched/registry.hh"
 
 namespace ahq::bench
@@ -159,6 +162,84 @@ std::string
 num(double v, int precision)
 {
     return report::TextTable::num(v, precision);
+}
+
+std::string
+gitRev()
+{
+#ifdef AHQ_GIT_REV
+    return AHQ_GIT_REV;
+#else
+    return "unknown";
+#endif
+}
+
+BenchArgs
+parseBenchArgs(int argc, char **argv, const std::string &name)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--json") {
+            args.json = true;
+        } else if (a.rfind("--json=", 0) == 0) {
+            args.json = true;
+            args.jsonPath = a.substr(std::strlen("--json="));
+        } else {
+            std::cerr << "usage: " << name
+                      << " [--json[=FILE]]   (default FILE: "
+                      << outputDir() << "/BENCH_" << name
+                      << ".json)\n";
+            std::exit(2);
+        }
+    }
+    if (args.json && args.jsonPath.empty())
+        args.jsonPath = outputDir() + "/BENCH_" + name + ".json";
+    return args;
+}
+
+BenchJsonWriter::BenchJsonWriter(const std::string &name,
+                                 const BenchArgs &args)
+    : enabled_(args.json), path_(args.jsonPath)
+{
+    (void)name;
+}
+
+void
+BenchJsonWriter::add(const std::string &benchmark, double wall_ms,
+                     double throughput, const std::string &unit,
+                     const std::string &config)
+{
+    if (!enabled_)
+        return;
+    std::string b = "{\"type\":\"bench\",\"benchmark\":";
+    obs::json::appendString(b, benchmark);
+    b += ",\"wall_ms\":";
+    obs::json::appendNumber(b, wall_ms);
+    b += ",\"throughput\":";
+    obs::json::appendNumber(b, throughput);
+    b += ",\"unit\":";
+    obs::json::appendString(b, unit);
+    b += ",\"config\":";
+    obs::json::appendString(b, config);
+    b += ",\"git_rev\":";
+    obs::json::appendString(b, gitRev());
+    b += '}';
+    lines_.push_back(std::move(b));
+}
+
+BenchJsonWriter::~BenchJsonWriter()
+{
+    if (!enabled_ || lines_.empty())
+        return;
+    std::ofstream out(path_);
+    if (!out.is_open()) {
+        std::cerr << "cannot write " << path_ << "\n";
+        return;
+    }
+    for (const auto &line : lines_)
+        out << line << "\n";
+    std::cout << "perf trajectory written to " << path_ << "\n";
 }
 
 void

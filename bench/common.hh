@@ -111,6 +111,70 @@ entropyVsCores(const std::string &strategy,
 std::string num(double v, int precision = 3);
 
 /**
+ * The git revision the bench binary was configured from (the
+ * AHQ_GIT_REV compile definition; "unknown" outside a checkout) —
+ * stamped into BENCH_*.json so bench_diff can name what regressed.
+ */
+std::string gitRev();
+
+/** Parsed perf-trajectory flags for a bench main(). */
+struct BenchArgs
+{
+    /** --json[=FILE] seen: emit a BENCH_<name>.json trajectory. */
+    bool json = false;
+
+    /** Destination; default outputDir()/BENCH_<name>.json. */
+    std::string jsonPath;
+};
+
+/**
+ * Parse a bench binary's argv: `--json` (default path) or
+ * `--json=FILE`. Unknown options abort with a usage message on
+ * stderr and exit code 2 — bench binaries have no other flags.
+ *
+ * @param name The bench's short name ("parallel_scaling").
+ */
+BenchArgs parseBenchArgs(int argc, char **argv,
+                         const std::string &name);
+
+/**
+ * Perf-trajectory emitter: collects one row per timed workload and
+ * writes them as BENCH_<name>.json — JSONL, one flat object per
+ * line: {"type":"bench","benchmark":...,"wall_ms":...,
+ * "throughput":...,"unit":...,"config":...,"git_rev":...} — the
+ * shape obs::parseTraceLine reads back and `ahq report` /
+ * `ahq bench-diff` / tools/bench_diff consume. A writer built from
+ * BenchArgs with json=false drops every row, so benches call add()
+ * unconditionally.
+ */
+class BenchJsonWriter
+{
+  public:
+    BenchJsonWriter(const std::string &name, const BenchArgs &args);
+
+    /** Writes the collected rows (no-op when --json was absent). */
+    ~BenchJsonWriter();
+
+    /**
+     * Record one timed workload.
+     *
+     * @param benchmark Row name, unique within the file.
+     * @param wall_ms Wall time in milliseconds.
+     * @param throughput Work per second (0 = not meaningful).
+     * @param unit What throughput counts ("epochs/s").
+     * @param config Free-form knob summary ("threads=4 jobs=15").
+     */
+    void add(const std::string &benchmark, double wall_ms,
+             double throughput, const std::string &unit,
+             const std::string &config);
+
+  private:
+    bool enabled_;
+    std::string path_;
+    std::vector<std::string> lines_;
+};
+
+/**
  * The Section VI-A load-sweep figure shape shared by Figs. 8, 9 and
  * 11: one primary LC app sweeps 10-90% load while two secondary LC
  * apps sit at a fixed load (20%, then 40%), colocated with one BE

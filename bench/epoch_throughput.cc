@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fast perf-trajectory anchor (not a paper figure): epoch-loop
+ * throughput of the canonical 4-app colocation under each strategy,
+ * plus the span-profiler-on variant, in a couple of seconds total.
+ * With --json it writes BENCH_epoch_throughput.json — the file the
+ * repo commits as the baseline tools/bench_diff compares future
+ * revisions against (see EXPERIMENTS.md).
+ */
+
+#include <chrono>
+#include <iostream>
+
+#include "common.hh"
+#include "obs/span.hh"
+
+using namespace ahq;
+using namespace ahq::bench;
+
+namespace
+{
+
+/** Best-of-three wall seconds, like parallel_scaling. */
+double
+secondsOf(const std::function<void()> &fn)
+{
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(
+            best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args =
+        parseBenchArgs(argc, argv, "epoch_throughput");
+    BenchJsonWriter json("epoch_throughput", args);
+
+    report::heading(std::cout,
+                    "Epoch-loop throughput (canonical 4-app node, "
+                    "30 simulated seconds)");
+
+    const auto node = canonicalNode(0.5, 0.2, 0.2, apps::stream());
+    cluster::SimulationConfig cfg = standardConfig();
+    cfg.durationSeconds = 30.0;
+    cfg.warmupEpochs = 0;
+    const double epochs = cfg.durationSeconds / cfg.epochSeconds;
+
+    report::TextTable t({"workload", "wall (ms)", "epochs/s"});
+    auto row = [&](const std::string &name,
+                   const cluster::SimulationConfig &c,
+                   const std::string &strategy,
+                   const std::string &config) {
+        const double s = secondsOf([&] {
+            const auto r = runScenario(strategy, node, c);
+            if (r.epochs.empty())
+                std::cerr << "empty run\n"; // keep r observable
+        });
+        t.addRow({name, num(s * 1e3), num(epochs / s, 0)});
+        json.add(name, s * 1e3, epochs / s, "epochs/s", config);
+    };
+
+    for (const auto &strategy : allStrategies())
+        row(strategy, cfg, strategy, "epochs=60 " + strategy);
+
+    // The profiler-on variant tracks the span-timing overhead on
+    // the same workload (spans: epoch phases + scheduler steps).
+    cluster::SimulationConfig prof_cfg = cfg;
+    obs::SpanProfiler prof;
+    prof_cfg.obs.prof = &prof;
+    row("ARQ+profiler", prof_cfg, "ARQ", "epochs=60 ARQ profile=1");
+
+    t.print(std::cout);
+    return 0;
+}

@@ -8,6 +8,7 @@
  *  - ARQ's low-load BE IPC uplift (paper: +63.8% / +37.1%).
  */
 
+#include <chrono>
 #include <iostream>
 
 #include "common.hh"
@@ -17,8 +18,13 @@ using namespace ahq;
 using namespace ahq::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchArgs bench_args =
+        parseBenchArgs(argc, argv, "headline_summary");
+    BenchJsonWriter json("headline_summary", bench_args);
+    const auto wall_start = std::chrono::steady_clock::now();
+
     report::heading(std::cout,
                     "Headline summary over the Fig. 8/9 sweeps");
 
@@ -118,5 +124,14 @@ main()
                  "claim; magnitudes differ because the\nsubstrate "
                  "is a calibrated simulator, not the authors' "
                  "testbed (see EXPERIMENTS.md).\n";
+
+    const double wall_s =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    const int scenarios = parties.n + clite.n + arq.n;
+    json.add("headline_summary", wall_s * 1e3,
+             scenarios / wall_s, "scenarios/s",
+             "scenarios=" + std::to_string(scenarios));
     return 0;
 }

@@ -19,6 +19,7 @@
 #include "exec/thread_pool.hh"
 #include "fault/plan.hh"
 #include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "obs/trace_sink.hh"
 #include "perf/queueing.hh"
 #include "sched/gp.hh"
@@ -169,6 +170,37 @@ BM_EpochSimTracing(benchmark::State &state)
     }
 }
 BENCHMARK(BM_EpochSimTracing)->Arg(0)->Arg(1);
+
+void
+BM_EpochSimProfiling(benchmark::State &state)
+{
+    // The span-profiler overhead contract: Arg(0) runs the epoch
+    // loop with no profiler attached (the default — every
+    // obs::Span construction is one null-pointer branch, no clock
+    // read), Arg(1) with a live SpanProfiler on every instrumented
+    // phase. Arg(0) must stay within 2% of
+    // BM_EpochSimulationSecond; the Arg(1) delta is the real cost
+    // of span timing (two clock reads + one map update per span).
+    cluster::Node node(machine::MachineConfig::xeonE52630v4(),
+                       {cluster::lcAt(apps::xapian(), 0.5),
+                        cluster::lcAt(apps::moses(), 0.2),
+                        cluster::lcAt(apps::imgDnn(), 0.2),
+                        cluster::be(apps::stream())});
+    cluster::SimulationConfig cfg;
+    cfg.durationSeconds = 1.0;
+    cfg.warmupEpochs = 0;
+    obs::SpanProfiler prof;
+    if (state.range(0) == 1)
+        cfg.obs.prof = &prof;
+    for (auto _ : state) {
+        const auto sched = sched::makeScheduler("ARQ");
+        cluster::EpochSimulator sim(node, cfg);
+        auto res = sim.run(*sched);
+        benchmark::DoNotOptimize(res.meanES);
+        prof.clear();
+    }
+}
+BENCHMARK(BM_EpochSimProfiling)->Arg(0)->Arg(1);
 
 void
 BM_EpochSimChecking(benchmark::State &state)

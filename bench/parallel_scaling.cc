@@ -61,8 +61,12 @@ scenarioBatch()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchArgs bench_args =
+        parseBenchArgs(argc, argv, "parallel_scaling");
+    BenchJsonWriter json("parallel_scaling", bench_args);
+
     report::heading(std::cout,
                     "Parallel scaling — ScenarioRunner batch and "
                     "oracle search vs thread count");
@@ -130,6 +134,15 @@ main()
                      num(batch_s, 4), num(batch_sp, 3),
                      num(oracle_s, 4), num(oracle_sp, 3),
                      identical ? "1" : "0"});
+        const std::string cfg_tag = "threads=" +
+            std::to_string(threads) + " hw=" + std::to_string(hw);
+        json.add("batch@" + std::to_string(threads) + "t",
+                 batch_s * 1e3,
+                 static_cast<double>(jobs.size()) / batch_s,
+                 "scenarios/s", cfg_tag);
+        json.add("oracle@" + std::to_string(threads) + "t",
+                 oracle_s * 1e3, 1.0 / oracle_s, "searches/s",
+                 cfg_tag);
         if (!identical) {
             std::cerr << "determinism violation at " << threads
                       << " threads\n";

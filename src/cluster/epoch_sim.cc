@@ -12,6 +12,7 @@
 
 #include "check/auditor.hh"
 #include "fault/injector.hh"
+#include "obs/span.hh"
 #include "perf/queueing.hh"
 #include "stats/rng.hh"
 
@@ -48,6 +49,10 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
     const int epochs = static_cast<int>(
         std::round(cfg.durationSeconds / cfg.epochSeconds));
     const double dt = cfg.epochSeconds;
+
+    // Profiling root for the whole run; every phase span below
+    // nests under it. One branch when no profiler is attached.
+    obs::Span run_span(cfg.obs, "run");
 
     stats::Rng rng(cfg.seed);
     perf::ContentionModel contention(node_.config(), cfg.contention);
@@ -107,6 +112,7 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
 
     for (int e = 0; e < epochs; ++e) {
         const double t = e * dt;
+        obs::Span epoch_span(cfg.obs, "epoch");
 
         // 1) Scheduler reacts to last epoch's measurements.
         if (tracing)
@@ -122,44 +128,63 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
                 cfg.obs.count("fault.decision_skipped");
             } else if (faulting) {
                 machine::RegionLayout intent = layout;
-                scheduler.adjust(intent, last_obs, t);
+                {
+                    obs::Span span(cfg.obs, "decide");
+                    scheduler.adjust(intent, last_obs, t);
+                }
                 if (auditing) {
+                    obs::Span span(cfg.obs, "audit");
                     auditor.afterDecision(scheduler, layout, intent,
                                           e, t, last_degraded);
                 }
-                auto act =
-                    injector->actuate(layout, intent, e, t);
-                scheduler.onActuation(act.ok);
+                fault::FaultInjector::Actuation act;
+                {
+                    obs::Span span(cfg.obs, "actuate");
+                    act = injector->actuate(layout, intent, e, t);
+                    scheduler.onActuation(act.ok);
+                }
                 if (auditing) {
+                    obs::Span span(cfg.obs, "audit");
                     auditor.afterActuation(intent, act.applied,
                                            act.ok, e, t);
                 }
                 layout = std::move(act.applied);
             } else if (auditing) {
                 const machine::RegionLayout before = layout;
-                scheduler.adjust(layout, last_obs, t);
+                {
+                    obs::Span span(cfg.obs, "decide");
+                    scheduler.adjust(layout, last_obs, t);
+                }
+                obs::Span span(cfg.obs, "audit");
                 auditor.afterDecision(scheduler, before, layout,
                                       e, t);
             } else {
+                obs::Span span(cfg.obs, "decide");
                 scheduler.adjust(layout, last_obs, t);
             }
             assert(layout.valid());
         }
 
-        // 2) Contention model under the current layout and loads.
-        const auto demands = node_.demandsAt(t);
-        const auto outcomes = contention.evaluate(
-            layout, demands, scheduler.corePolicy());
-
-        // 3+4) Advance queues and produce measurements.
         EpochRecord rec;
         rec.time = t;
         rec.obs = static_obs;
-        rec.outcomes = outcomes;
 
         std::vector<core::LcObservation> lc_obs;
         std::vector<core::BeObservation> be_obs;
         int dropped = 0;
+
+        // 2) Contention model under the current layout and loads,
+        //    then 3+4) advance queues and produce measurements —
+        //    together the epoch's "measure" phase.
+        {
+        obs::Span measure_span(cfg.obs, "measure");
+        const auto demands = node_.demandsAt(t);
+        {
+            obs::Span span(cfg.obs, "model");
+            rec.outcomes = contention.evaluate(
+                layout, demands, scheduler.corePolicy());
+        }
+        const auto &outcomes = rec.outcomes;
 
         for (AppId i = 0; i < n; ++i) {
             const auto ui = static_cast<std::size_t>(i);
@@ -291,7 +316,10 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
         }
 
         rec.entropy = core::computeEntropy(lc_obs, be_obs, cfg.ri);
+        } // measure phase
+
         if (auditing) {
+            obs::Span span(cfg.obs, "audit");
             auditor.afterEpoch(rec.entropy, cfg.ri, !lc_obs.empty(),
                                !be_obs.empty(), e, t);
         }

@@ -12,6 +12,7 @@
 
 #include "exec/jobs.hh"
 #include "exec/parallel.hh"
+#include "obs/span.hh"
 #include "sched/registry.hh"
 
 namespace ahq::cluster
@@ -159,8 +160,10 @@ Fleet::run(const SimulationConfig &config, exec::ThreadPool *pool)
             node_ptrs.push_back(&nodes_[n].node);
             result_ptrs.push_back(&out.nodes[n]);
         }
-        const auto rep =
-            fleetEntropy(node_ptrs, result_ptrs, config.ri);
+        const auto rep = [&] {
+            obs::Span span(scope, "fleet.entropy");
+            return fleetEntropy(node_ptrs, result_ptrs, config.ri);
+        }();
         out.eLc = rep.eLc;
         out.eBe = rep.eBe;
         out.eS = rep.eS;
@@ -246,8 +249,14 @@ Fleet::run(const SimulationConfig &config, exec::ThreadPool *pool)
     PlacementAdvisor advisor(
         first.node.config(), static_cast<int>(survivors.size()),
         [strategy] { return sched::makeScheduler(strategy); });
-    const auto placement =
-        advisor.place(refugees, trial, &p, &initial);
+    // The trial scope is stripped (trial.obs = {}), so no trial
+    // simulation records spans — the placement search appears as
+    // one caller-side span and the node bodies stay span-free,
+    // keeping paths independent of which thread ran which trial.
+    const auto placement = [&] {
+        obs::Span span(scope, "fleet.place");
+        return advisor.place(refugees, trial, &p, &initial);
+    }();
 
     for (std::size_t r = 0; r < refugees.size(); ++r)
         scope.count("recovery.failover");
@@ -305,7 +314,10 @@ Fleet::run(const SimulationConfig &config, exec::ThreadPool *pool)
         node_ptrs.push_back(&phase_b[s].node);
         result_ptrs.push_back(&res_b[s]);
     }
-    const auto rep = fleetEntropy(node_ptrs, result_ptrs, config.ri);
+    const auto rep = [&] {
+        obs::Span span(scope, "fleet.entropy");
+        return fleetEntropy(node_ptrs, result_ptrs, config.ri);
+    }();
     out.eLc = rep.eLc;
     out.eBe = rep.eBe;
     out.eS = rep.eS;

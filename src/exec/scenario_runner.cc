@@ -9,6 +9,7 @@
 
 #include "exec/jobs.hh"
 #include "exec/parallel.hh"
+#include "obs/span.hh"
 #include "sched/registry.hh"
 
 namespace ahq::exec
@@ -26,7 +27,8 @@ std::vector<cluster::SimulationResult>
 ScenarioRunner::run(const std::vector<ScenarioJob> &jobs) const
 {
     ThreadPool &pool = pool_ ? *pool_ : globalPool();
-    if (!obs_.tracing() && obs_.metrics == nullptr) {
+    if (!obs_.tracing() && obs_.metrics == nullptr &&
+        !obs_.profiling()) {
         return parallelMap(pool, jobs, [&](const ScenarioJob &job) {
             const auto sched = factory_(job.strategy);
             cluster::EpochSimulator sim(job.node, job.config);
@@ -34,13 +36,19 @@ ScenarioRunner::run(const std::vector<ScenarioJob> &jobs) const
         });
     }
 
-    // Telemetry path. Each job traces into its own buffer; the
-    // buffers are flushed to the real sink in job order afterwards,
-    // so the trace is byte-identical at any thread count. Metrics
-    // go straight to the shared registry — counter and histogram
-    // updates commute, so those totals are order-independent too.
+    // Telemetry path. Each job traces into its own buffer and
+    // profiles into its own SpanProfiler; the buffers (span events
+    // included) are flushed to the real sink in job order
+    // afterwards, so the trace is byte-identical at any thread
+    // count. Metrics go straight to the shared registry — counter
+    // and histogram updates commute, so those totals are
+    // order-independent too, and so are the per-job profiler
+    // merges into the runner-level profiler (integer aggregates).
     const bool tracing = obs_.tracing();
+    const bool profiling = obs_.profiling();
     std::vector<obs::BufferTraceSink> buffers(jobs.size());
+    std::vector<obs::SpanProfiler> profs(
+        profiling ? jobs.size() : 0);
     std::vector<cluster::SimulationResult> results(jobs.size());
     parallelFor(pool, jobs.size(), [&](std::size_t i) {
         const ScenarioJob &job = jobs[i];
@@ -48,6 +56,8 @@ ScenarioRunner::run(const std::vector<ScenarioJob> &jobs) const
             obs_.tagged(job.tag.empty() ? job.strategy : job.tag);
         if (tracing)
             scope.sink = &buffers[i];
+        if (profiling)
+            scope.prof = &profs[i];
 
         const auto start = std::chrono::steady_clock::now();
         if (tracing) {
@@ -62,8 +72,11 @@ ScenarioRunner::run(const std::vector<ScenarioJob> &jobs) const
         const auto sched = factory_(job.strategy);
         cluster::SimulationConfig cfg = job.config;
         cfg.obs = scope;
-        cluster::EpochSimulator sim(job.node, cfg);
-        results[i] = sim.run(*sched);
+        {
+            obs::Span span(scope, "exec.scenario");
+            cluster::EpochSimulator sim(job.node, cfg);
+            results[i] = sim.run(*sched);
+        }
 
         const double wall_ms =
             std::chrono::duration<double, std::milli>(
@@ -82,6 +95,13 @@ ScenarioRunner::run(const std::vector<ScenarioJob> &jobs) const
         }
         scope.count("exec.scenarios");
         scope.observe("exec.scenario_wall_ms", wall_ms);
+        if (profiling) {
+            // Span events land in this job's buffer (deterministic
+            // content, deterministic flush order below); the fold
+            // into the runner-level profiler commutes.
+            profs[i].flush(scope);
+            obs_.prof->merge(profs[i]);
+        }
     });
 
     if (tracing) {

@@ -5,6 +5,8 @@
 
 #include "fault/injector.hh"
 
+#include "obs/span.hh"
+
 namespace ahq::fault
 {
 
@@ -56,6 +58,7 @@ FaultInjector::FaultInjector(const FaultPlan &plan,
 void
 FaultInjector::beginEpoch(int epoch, double now_s)
 {
+    obs::Span span(obs_, "fault.begin_epoch");
     const auto &spikes = plan_.spikes();
     for (std::size_t s = 0; s < spikes.size(); ++s) {
         const bool on = spikes[s].activeAt(now_s);
@@ -134,6 +137,7 @@ FaultInjector::actuate(const RegionLayout &before,
                        const RegionLayout &intended, int epoch,
                        double now_s)
 {
+    obs::Span span(obs_, "fault.actuate");
     Actuation out;
     out.applied = intended;
     const auto &a = plan_.actuation();

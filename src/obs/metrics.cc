@@ -56,6 +56,34 @@ MetricsRegistry::observe(const std::string &name, double value,
     h.sum += value;
 }
 
+void
+MetricsRegistry::observeBucketed(
+    const std::string &name,
+    const std::vector<std::pair<double, std::uint64_t>>
+        &valueCounts,
+    double sum, const std::vector<double> &bounds)
+{
+    std::lock_guard<std::mutex> lk(m);
+    auto it = hists_.find(name);
+    if (it == hists_.end()) {
+        Histogram h;
+        h.bounds = bounds;
+        std::sort(h.bounds.begin(), h.bounds.end());
+        h.counts.assign(h.bounds.size() + 1, 0);
+        it = hists_.emplace(name, std::move(h)).first;
+    }
+    Histogram &h = it->second;
+    for (const auto &[value, n] : valueCounts) {
+        const auto bucket = static_cast<std::size_t>(
+            std::lower_bound(h.bounds.begin(), h.bounds.end(),
+                             value) -
+            h.bounds.begin());
+        h.counts[bucket] += n;
+        h.total += n;
+    }
+    h.sum += sum;
+}
+
 double
 MetricsRegistry::counter(const std::string &name) const
 {

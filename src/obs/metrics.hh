@@ -23,6 +23,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ahq::obs
@@ -67,6 +68,21 @@ class MetricsRegistry
      */
     void observe(const std::string &name, double value,
                  const std::vector<double> &bounds = defaultBounds());
+
+    /**
+     * Fold pre-aggregated observations into a histogram: for each
+     * (value, count) pair, count occurrences of approximately
+     * `value`; `sum` is added to the histogram's running sum once
+     * (callers that track an exact total pass it here instead of
+     * count * value). Used by SpanProfiler to publish `prof.*`
+     * histograms from its log2 buckets.
+     */
+    void observeBucketed(
+        const std::string &name,
+        const std::vector<std::pair<double, std::uint64_t>>
+            &valueCounts,
+        double sum,
+        const std::vector<double> &bounds = defaultBounds());
 
     /** Counter value (0 when absent). */
     double counter(const std::string &name) const;

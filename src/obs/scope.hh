@@ -26,6 +26,8 @@
 namespace ahq::obs
 {
 
+class SpanProfiler;
+
 /** Version stamped into every trace event as `"v"`. */
 inline constexpr int kSchemaVersion = 1;
 
@@ -87,8 +89,18 @@ struct Scope
      */
     bool wallClock = false;
 
+    /**
+     * Span destination; null = profiling off, and every obs::Span
+     * constructed against this scope is a single branch. See
+     * obs/span.hh for the aggregation and determinism rules.
+     */
+    SpanProfiler *prof = nullptr;
+
     /** Whether events would actually be written. */
     bool tracing() const { return sink != nullptr; }
+
+    /** Whether spans would actually be recorded. */
+    bool profiling() const { return prof != nullptr; }
 
     /** Render and write an event (no-op without a sink). */
     void emit(const Event &ev) const
@@ -139,6 +151,14 @@ struct Scope
     {
         Scope out = *this;
         out.sink = s;
+        return out;
+    }
+
+    /** Copy of this scope recording spans into a profiler. */
+    Scope withProf(SpanProfiler *p) const
+    {
+        Scope out = *this;
+        out.prof = p;
         return out;
     }
 };

@@ -260,10 +260,9 @@ parseTraceLine(const std::string &line)
     return ev;
 }
 
-std::vector<TraceEvent>
-readTrace(std::istream &in)
+void
+forEachTrace(std::istream &in, const TraceEventFn &fn)
 {
-    std::vector<TraceEvent> events;
     std::string line;
     int n = 0;
     while (std::getline(in, line)) {
@@ -271,26 +270,46 @@ readTrace(std::istream &in)
         if (line.empty())
             continue;
         try {
-            events.push_back(parseTraceLine(line));
+            fn(parseTraceLine(line), n);
         } catch (const std::exception &e) {
             throw std::runtime_error("line " + std::to_string(n) +
                                      ": " + e.what());
         }
     }
+}
+
+void
+forEachTraceFile(const std::string &path, const TraceEventFn &fn)
+{
+    std::ifstream in(path);
+    if (!in.is_open())
+        throw std::runtime_error("cannot open trace: " + path);
+    try {
+        forEachTrace(in, fn);
+    } catch (const std::exception &e) {
+        throw std::runtime_error(path + ": " + e.what());
+    }
+}
+
+std::vector<TraceEvent>
+readTrace(std::istream &in)
+{
+    std::vector<TraceEvent> events;
+    forEachTrace(in, [&events](const TraceEvent &ev, int) {
+        events.push_back(ev);
+    });
     return events;
 }
 
 std::vector<TraceEvent>
 readTraceFile(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in.is_open())
-        throw std::runtime_error("cannot open trace: " + path);
-    try {
-        return readTrace(in);
-    } catch (const std::exception &e) {
-        throw std::runtime_error(path + ": " + e.what());
-    }
+    std::vector<TraceEvent> events;
+    forEachTraceFile(path,
+                     [&events](const TraceEvent &ev, int) {
+                         events.push_back(ev);
+                     });
+    return events;
 }
 
 } // namespace ahq::obs

@@ -13,6 +13,7 @@
 #ifndef AHQ_OBS_TRACE_READER_HH
 #define AHQ_OBS_TRACE_READER_HH
 
+#include <functional>
 #include <istream>
 #include <map>
 #include <string>
@@ -67,6 +68,29 @@ struct TraceEvent
 
 /** Parse one JSONL line. @throws std::runtime_error on bad input. */
 TraceEvent parseTraceLine(const std::string &line);
+
+/** Callback receiving each event with its 1-based line number. */
+using TraceEventFn =
+    std::function<void(const TraceEvent &, int line)>;
+
+/**
+ * Stream a trace: parse one line at a time (blank lines skipped)
+ * and hand each event to `fn` without materialising the file.
+ * This is how `ahq trace`/`ahq profile` read multi-GB traces in
+ * constant memory.
+ * @throws std::runtime_error with a "line N:" prefix on the first
+ *         malformed line (nothing after it is delivered); anything
+ *         `fn` throws propagates with the same line prefix.
+ */
+void forEachTrace(std::istream &in, const TraceEventFn &fn);
+
+/**
+ * Stream a trace file.
+ * @throws std::runtime_error when the file cannot be opened, or as
+ *         forEachTrace with the path prefixed.
+ */
+void forEachTraceFile(const std::string &path,
+                      const TraceEventFn &fn);
 
 /** Parse a whole stream (blank lines skipped). */
 std::vector<TraceEvent> readTrace(std::istream &in);

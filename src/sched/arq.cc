@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/span.hh"
+
 namespace ahq::sched
 {
 
@@ -213,18 +215,26 @@ void
 Arq::adjust(RegionLayout &layout,
             const std::vector<AppObservation> &obs, double now_s)
 {
+    const obs::Scope &scope = obsScope();
+
     // Monitor: compute E_S and the ReT array.
-    std::vector<core::LcObservation> lc;
-    std::vector<core::BeObservation> be;
-    for (const auto &o : obs) {
-        if (o.latencyCritical)
-            lc.push_back({o.idealP95Ms, o.p95Ms, o.thresholdMs});
-        else
-            be.push_back({o.ipcSolo, o.ipc});
+    decltype(remainingTolerance(obs)) ret;
+    {
+        obs::Span span(scope, "arq.monitor");
+        std::vector<core::LcObservation> lc;
+        std::vector<core::BeObservation> be;
+        for (const auto &o : obs) {
+            if (o.latencyCritical)
+                lc.push_back(
+                    {o.idealP95Ms, o.p95Ms, o.thresholdMs});
+            else
+                be.push_back({o.ipcSolo, o.ipc});
+        }
+        report =
+            core::computeEntropy(lc, be, cfg.relativeImportance);
+        ret = remainingTolerance(obs);
     }
-    report = core::computeEntropy(lc, be, cfg.relativeImportance);
     const double es = report.eS;
-    auto ret = remainingTolerance(obs);
 
     // Hold the last good ReT per app: a dropped sample repeats the
     // previous delivery, and the controller must not mistake that
@@ -268,7 +278,12 @@ Arq::adjust(RegionLayout &layout,
         action = "rollback";
         prevEs = es;
     } else {
-        isAdjust = adjustResource(layout, ret, now_s);
+        {
+            // FINDVICTIMREGION + FINDVICTIMRESOURCE: the search
+            // for a (victim, beneficiary, resource) move.
+            obs::Span span(scope, "arq.search");
+            isAdjust = adjustResource(layout, ret, now_s);
+        }
         if (isAdjust) {
             settleLeft = cfg.settleEpochs;
             action = "move";
@@ -277,7 +292,6 @@ Arq::adjust(RegionLayout &layout,
     }
     lastAction_ = action;
 
-    const obs::Scope &scope = obsScope();
     scope.count(std::string("arq.") + action);
     if (scope.tracing()) {
         // One decision event per interval: the entropy inputs, the

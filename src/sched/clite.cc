@@ -9,6 +9,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/span.hh"
+
 namespace ahq::sched
 {
 
@@ -366,6 +368,7 @@ Clite::adjust(machine::RegionLayout &layout,
     }
 
     // Score the configuration that was live during this interval.
+    obs::Span sample_span(obsScope(), "clite.sample");
     const double score = objective(obs);
     xs.push_back(normalise(currentAlloc));
     ys.push_back(score);
@@ -408,6 +411,7 @@ Clite::adjust(machine::RegionLayout &layout,
     } else if (exploreCount < cfg.initialSamples) {
         next = randomAlloc();
     } else {
+        obs::Span span(obsScope(), "clite.gp");
         GaussianProcess gp(cfg.gpLengthScale, cfg.gpSignalVar,
                            cfg.gpNoiseVar);
         gp.fit(xs, ys);

@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/span.hh"
+
 namespace ahq::sched
 {
 
@@ -228,70 +230,78 @@ Parties::adjust(RegionLayout &layout,
     //    commit once the watch window passes cleanly. While the
     //    trial app's sample is stale the verdict is deferred — the
     //    watch window is held open rather than judged on a repeat.
-    bool trial_stale = false;
     if (trial.active) {
+        obs::Span trial_span(obsScope(), "parties.trial");
+        bool trial_stale = false;
         for (const auto &o : obs) {
             if (o.id == trial.app && o.latencyCritical &&
                 !o.sampleValid)
                 trial_stale = true;
         }
-    }
-    if (trial.active && !trial_stale) {
         bool reverted = false;
-        for (const auto &o : obs) {
-            if (o.id == trial.app && o.latencyCritical &&
-                o.slack() < cfg.upsizeSlack) {
-                // Revert from the pool; if the pool unit was taken
-                // by someone else in the meantime, reclaim through
-                // the ordinary upsize path so the app cannot be
-                // stranded below its viable partition.
-                const RegionId pool = bePool(layout);
-                const RegionId region =
-                    layout.isolatedRegionOf(trial.app);
-                bool undone = pool != machine::kNoRegion &&
-                    region != machine::kNoRegion &&
-                    layout.moveResource(trial.kind, pool, region);
-                if (!undone)
-                    upsizeApp(layout, obs, trial.app);
-                cooldown[trial.app] = cfg.revertCooldown;
-                trial.active = false;
-                reverted = true;
-                recordMove("revert", trial.app, trial.kind,
-                           bePool(layout),
-                           layout.isolatedRegionOf(trial.app));
-                break;
+        if (!trial_stale) {
+            for (const auto &o : obs) {
+                if (o.id == trial.app && o.latencyCritical &&
+                    o.slack() < cfg.upsizeSlack) {
+                    // Revert from the pool; if the pool unit was
+                    // taken by someone else in the meantime,
+                    // reclaim through the ordinary upsize path so
+                    // the app cannot be stranded below its viable
+                    // partition.
+                    const RegionId pool = bePool(layout);
+                    const RegionId region =
+                        layout.isolatedRegionOf(trial.app);
+                    bool undone = pool != machine::kNoRegion &&
+                        region != machine::kNoRegion &&
+                        layout.moveResource(trial.kind, pool,
+                                            region);
+                    if (!undone)
+                        upsizeApp(layout, obs, trial.app);
+                    cooldown[trial.app] = cfg.revertCooldown;
+                    trial.active = false;
+                    reverted = true;
+                    recordMove("revert", trial.app, trial.kind,
+                               bePool(layout),
+                               layout.isolatedRegionOf(trial.app));
+                    break;
+                }
             }
-        }
-        if (!reverted && --trial.watchLeft <= 0) {
-            cooldown[trial.app] = cfg.commitCooldown;
-            trial.active = false;
-            recordMove("commit", trial.app, trial.kind,
-                       layout.isolatedRegionOf(trial.app),
-                       bePool(layout));
+            if (!reverted && --trial.watchLeft <= 0) {
+                cooldown[trial.app] = cfg.commitCooldown;
+                trial.active = false;
+                recordMove("commit", trial.app, trial.kind,
+                           layout.isolatedRegionOf(trial.app),
+                           bePool(layout));
+            }
         }
     }
 
     // 2) Upsize every violated LC app by one unit, worst first.
     bool any_violation = false;
-    std::vector<const AppObservation *> violated;
-    for (const auto &o : obs) {
-        if (o.latencyCritical && o.sampleValid &&
-            o.slack() < cfg.upsizeSlack) {
-            violated.push_back(&o);
-            any_violation = true;
+    {
+        obs::Span span(obsScope(), "parties.upsize");
+        std::vector<const AppObservation *> violated;
+        for (const auto &o : obs) {
+            if (o.latencyCritical && o.sampleValid &&
+                o.slack() < cfg.upsizeSlack) {
+                violated.push_back(&o);
+                any_violation = true;
+            }
         }
+        std::sort(
+            violated.begin(), violated.end(),
+            [](const AppObservation *a, const AppObservation *b) {
+                return a->slack() < b->slack();
+            });
+        for (const AppObservation *o : violated)
+            upsizeApp(layout, obs, o->id);
     }
-    std::sort(violated.begin(), violated.end(),
-              [](const AppObservation *a, const AppObservation *b) {
-                  return a->slack() < b->slack();
-              });
-    for (const AppObservation *o : violated)
-        upsizeApp(layout, obs, o->id);
 
     // 3) With everyone comfortable for long enough and no trial in
     //    flight, tentatively downsize the most over-provisioned app
     //    to grow the BE pool.
     if (!any_violation && !trial.active) {
+        obs::Span span(obsScope(), "parties.downsize");
         const AppObservation *richest = nullptr;
         for (const auto &o : obs) {
             if (!o.latencyCritical || !o.sampleValid ||

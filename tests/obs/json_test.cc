@@ -83,6 +83,57 @@ TEST(Json, NonFiniteDoublesRenderAsNull)
     EXPECT_EQ(ev.num("x", -1.0), -1.0); // null is not a number
 }
 
+TEST(Json, NegativeZeroRendersDeterministically)
+{
+    // -0.0 must render the same bytes every time and round-trip to
+    // a value that compares equal to zero.
+    std::string a, b;
+    json::appendNumber(a, -0.0);
+    json::appendNumber(b, -0.0);
+    EXPECT_EQ(a, b);
+    const auto ev = parseTraceLine("{\"x\":" + a + "}");
+    EXPECT_EQ(ev.num("x"), 0.0);
+    // +0.0 and -0.0 are distinct doubles; whatever the renderer
+    // chooses, each must be stable.
+    std::string pos1, pos2;
+    json::appendNumber(pos1, 0.0);
+    json::appendNumber(pos2, 0.0);
+    EXPECT_EQ(pos1, pos2);
+}
+
+TEST(Json, DenormalsRenderShortestRoundTrip)
+{
+    for (const double v :
+         {std::numeric_limits<double>::denorm_min(),
+          1e-310, // mid-range subnormal
+          std::numeric_limits<double>::min() / 2.0}) {
+        std::string a, b;
+        json::appendNumber(a, v);
+        json::appendNumber(b, v);
+        EXPECT_EQ(a, b) << "unstable rendering for " << v;
+        const auto ev = parseTraceLine("{\"x\":" + a + "}");
+        EXPECT_EQ(ev.num("x"), v)
+            << "lossy round-trip for " << v;
+    }
+}
+
+TEST(Json, EveryNonFiniteShapeRendersNull)
+{
+    // NaN (both signs), +/-Inf: all become the literal "null", so
+    // a trace line can never contain invalid JSON tokens like
+    // "nan" or "inf".
+    for (const double v :
+         {std::numeric_limits<double>::quiet_NaN(),
+          -std::numeric_limits<double>::quiet_NaN(),
+          std::numeric_limits<double>::signaling_NaN(),
+          std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity()}) {
+        std::string out;
+        json::appendNumber(out, v);
+        EXPECT_EQ(out, "null");
+    }
+}
+
 TEST(Json, ReaderParsesArraysAndTypedAccessors)
 {
     const auto ev = parseTraceLine(

@@ -139,6 +139,67 @@ TEST(Metrics, MergeOrderOfWorkersMatchesSerialTotals)
     EXPECT_DOUBLE_EQ(hm.sum, hs.sum);
 }
 
+TEST(Metrics, ObserveBucketedFoldsPrecountedValues)
+{
+    // The SpanProfiler flush path: whole buckets at a time, with
+    // the sum supplied once.
+    MetricsRegistry m;
+    m.observeBucketed("h", {{0.5, 3}, {1.5, 2}, {99.0, 1}}, 12.5,
+                      {1.0, 2.0});
+    const auto h = m.histogram("h");
+    ASSERT_EQ(h.counts.size(), 3u);
+    EXPECT_EQ(h.counts[0], 3u);
+    EXPECT_EQ(h.counts[1], 2u);
+    EXPECT_EQ(h.counts[2], 1u); // overflow
+    EXPECT_EQ(h.total, 6u);
+    EXPECT_DOUBLE_EQ(h.sum, 12.5);
+}
+
+TEST(Metrics, HistogramMergeOrderNeverChangesSerialisedOutput)
+{
+    // Three registries with interleaved observations, merged in
+    // two different orders: bucket counts AND the print() bytes
+    // must match — the property that makes `ahq sweep --jobs N`
+    // metrics independent of worker interleaving.
+    auto fill = [](MetricsRegistry &r, int offset) {
+        for (int i = 0; i < 9; ++i) {
+            const double v = (i * 7 + offset) % 11;
+            r.observe("lat", v, {2.0, 5.0, 8.0});
+            r.add("events");
+        }
+        r.observeBucketed("pre", {{1.0, 2}, {6.0, 1}}, 8.0,
+                          {2.0, 5.0, 8.0});
+    };
+    MetricsRegistry a1, b1, c1, a2, b2, c2;
+    fill(a1, 0);
+    fill(b1, 1);
+    fill(c1, 2);
+    fill(a2, 0);
+    fill(b2, 1);
+    fill(c2, 2);
+
+    MetricsRegistry left;  // a, then b, then c
+    left.merge(a1);
+    left.merge(b1);
+    left.merge(c1);
+    MetricsRegistry right; // c, then a, then b
+    right.merge(c2);
+    right.merge(a2);
+    right.merge(b2);
+
+    const auto hl = left.histogram("lat");
+    const auto hr = right.histogram("lat");
+    ASSERT_EQ(hl.counts.size(), hr.counts.size());
+    for (std::size_t i = 0; i < hl.counts.size(); ++i)
+        EXPECT_EQ(hl.counts[i], hr.counts[i]);
+    EXPECT_EQ(hl.total, hr.total);
+
+    std::ostringstream sl, sr;
+    left.print(sl);
+    right.print(sr);
+    EXPECT_EQ(sl.str(), sr.str());
+}
+
 TEST(Metrics, ConcurrentAddsIntoSharedRegistryAreExact)
 {
     MetricsRegistry m;

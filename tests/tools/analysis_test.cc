@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Tests for the analysis subcommands riding the span profiler:
+ * `ahq profile` (tree output, epoch-count consistency, no partial
+ * output on malformed traces), `ahq report` (JSON and Markdown),
+ * `ahq bench-diff` (regression gate), sweep --profile trace
+ * byte-identity across --jobs, and the --profile flag plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli.hh"
+#include "obs/trace_reader.hh"
+
+namespace
+{
+
+using namespace ahq::cli;
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "ahq_analysis_" + name;
+}
+
+/** dispatch() wrapper collecting stdout/stderr. */
+struct CliResult
+{
+    int code;
+    std::string out;
+    std::string err;
+};
+
+CliResult
+run(const std::vector<std::string> &argv)
+{
+    std::ostringstream out, err;
+    const int code = dispatch(argv, out, err);
+    return {code, out.str(), err.str()};
+}
+
+TEST(CliParse, ProfileFlag)
+{
+    EXPECT_FALSE(
+        parseSimulateArgs({"xapian=0.5", "stream"}).profile);
+    EXPECT_TRUE(parseSimulateArgs(
+                    {"--profile", "xapian=0.5", "stream"})
+                    .profile);
+    // --profile takes no value.
+    EXPECT_THROW((void)parseSimulateArgs(
+                     {"--profile=yes", "xapian=0.5"}),
+                 std::invalid_argument);
+}
+
+TEST(Profile, TreeCountsMatchTheSimulatedEpochs)
+{
+    const std::string trace = tmpPath("prof.jsonl");
+    const auto sim = run({"simulate", "--duration", "5",
+                          "--warmup", "0", "--profile", "--trace",
+                          trace, "xapian=0.5", "stream"});
+    ASSERT_EQ(sim.code, 0) << sim.err;
+    // The console summary contains the tree.
+    EXPECT_NE(sim.out.find("profile (span tree):"),
+              std::string::npos);
+
+    // duration 5 s at the default 0.5 s epoch = 10 epochs.
+    const auto prof = run({"profile", trace});
+    ASSERT_EQ(prof.code, 0) << prof.err;
+    EXPECT_NE(prof.out.find("scenario ARQ"), std::string::npos);
+
+    // Cross-check the span events directly: run count 1, epoch
+    // count == the run's epoch count, child totals <= parent.
+    long long epochs = 0;
+    double run_total = -1.0, epoch_total = -1.0;
+    long long epoch_count = -1, run_count = -1;
+    ahq::obs::forEachTraceFile(
+        trace, [&](const ahq::obs::TraceEvent &ev, int) {
+            if (ev.type() == "epoch")
+                ++epochs;
+            if (ev.type() != "span")
+                return;
+            if (ev.str("path") == "run") {
+                run_count =
+                    static_cast<long long>(ev.num("count"));
+                run_total = ev.num("total_ms");
+            } else if (ev.str("path") == "run/epoch") {
+                epoch_count =
+                    static_cast<long long>(ev.num("count"));
+                epoch_total = ev.num("total_ms");
+            }
+        });
+    EXPECT_EQ(epochs, 10);
+    EXPECT_EQ(run_count, 1);
+    EXPECT_EQ(epoch_count, epochs);
+    ASSERT_GE(run_total, 0.0); // simulate --profile -> wallClock
+    EXPECT_LE(epoch_total, run_total);
+    std::remove(trace.c_str());
+}
+
+TEST(Profile, MalformedTraceExitsOneWithLineNumberAndNoTable)
+{
+    const std::string trace = tmpPath("malformed.jsonl");
+    {
+        std::ofstream f(trace);
+        f << "{\"v\":1,\"type\":\"span\",\"scenario\":\"s\","
+             "\"path\":\"run\",\"name\":\"run\",\"depth\":0,"
+             "\"count\":1}\n";
+        f << "{\"v\":1,\"type\":\"span\",\"truncat\n";
+    }
+    const auto res = run({"profile", trace});
+    EXPECT_EQ(res.code, 1);
+    EXPECT_NE(res.err.find("line 2"), std::string::npos)
+        << res.err;
+    // No partial summary on stdout.
+    EXPECT_TRUE(res.out.empty()) << res.out;
+    std::remove(trace.c_str());
+}
+
+TEST(Profile, UsageAndUnsupportedInputs)
+{
+    EXPECT_EQ(run({"profile"}).code, 2);
+    EXPECT_EQ(run({"profile", "/nonexistent/x.jsonl"}).code, 1);
+
+    // A trace without span events is a loud error, not an empty
+    // table.
+    const std::string trace = tmpPath("nospans.jsonl");
+    {
+        std::ofstream f(trace);
+        f << "{\"v\":1,\"type\":\"epoch\",\"scenario\":\"s\","
+             "\"e_s\":0.5}\n";
+    }
+    const auto res = run({"profile", trace});
+    EXPECT_EQ(res.code, 1);
+    EXPECT_NE(res.err.find("no span events"), std::string::npos);
+    std::remove(trace.c_str());
+}
+
+TEST(Trace, MalformedTraceExitsOneWithLineNumberAndNoOutput)
+{
+    const std::string trace = tmpPath("trace_bad.jsonl");
+    {
+        std::ofstream f(trace);
+        f << "{\"v\":1,\"type\":\"epoch\",\"scenario\":\"s\","
+             "\"e_s\":0.1}\n";
+        f << "not json at all\n";
+    }
+    const auto res = run({"trace", trace});
+    EXPECT_EQ(res.code, 1);
+    EXPECT_NE(res.err.find("line 2"), std::string::npos)
+        << res.err;
+    EXPECT_TRUE(res.out.empty()) << res.out;
+    std::remove(trace.c_str());
+}
+
+TEST(Sweep, ProfiledTracesAreByteIdenticalAcrossJobs)
+{
+    const std::string t1 = tmpPath("sweep_j1.jsonl");
+    const std::string t4 = tmpPath("sweep_j4.jsonl");
+    const std::vector<std::string> base{
+        "sweep", "--duration", "2", "--warmup", "0", "--profile",
+        "xapian=0.5", "stream"};
+    auto with = [&](const std::string &trace,
+                    const std::string &jobs) {
+        auto argv = base;
+        argv.insert(argv.begin() + 1, {"--trace", trace, "--jobs",
+                                       jobs});
+        return run(argv);
+    };
+    ASSERT_EQ(with(t1, "1").code, 0);
+    ASSERT_EQ(with(t4, "4").code, 0);
+
+    std::ifstream f1(t1), f4(t4);
+    const std::string c1((std::istreambuf_iterator<char>(f1)),
+                         std::istreambuf_iterator<char>());
+    const std::string c4((std::istreambuf_iterator<char>(f4)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_FALSE(c1.empty());
+    EXPECT_EQ(c1, c4);
+    // Spans present, timing fields absent (wallClock off).
+    EXPECT_NE(c1.find("\"type\":\"span\""), std::string::npos);
+    EXPECT_EQ(c1.find("total_ms"), std::string::npos);
+    std::remove(t1.c_str());
+    std::remove(t4.c_str());
+}
+
+TEST(Report, FoldsTracesAndBenchFilesIntoJsonAndMarkdown)
+{
+    const std::string trace = tmpPath("report_trace.jsonl");
+    const auto sim = run({"simulate", "--duration", "3",
+                          "--warmup", "0", "--profile", "--trace",
+                          trace, "xapian=0.5", "stream"});
+    ASSERT_EQ(sim.code, 0) << sim.err;
+
+    const std::string benchf = tmpPath("BENCH_x.json");
+    {
+        std::ofstream f(benchf);
+        f << "{\"type\":\"bench\",\"benchmark\":\"b1\","
+             "\"wall_ms\":10,\"throughput\":100,"
+             "\"unit\":\"eps\",\"config\":\"c\","
+             "\"git_rev\":\"r\"}\n";
+    }
+
+    const auto js = run({"report", trace, benchf});
+    ASSERT_EQ(js.code, 0) << js.err;
+    // The JSON report names the tool and carries both sections.
+    // (It nests objects, so the flat trace parser can't read it.)
+    EXPECT_NE(js.out.find("\"tool\":\"ahq report\""),
+              std::string::npos)
+        << js.out;
+    EXPECT_NE(js.out.find("\"runs\":["), std::string::npos);
+    EXPECT_NE(js.out.find("\"bench\":["), std::string::npos);
+    EXPECT_NE(js.out.find("\"b1\""), std::string::npos);
+
+    const auto md = run({"report", "--format=md", trace, benchf});
+    ASSERT_EQ(md.code, 0) << md.err;
+    EXPECT_NE(md.out.find("## Runs"), std::string::npos);
+    EXPECT_NE(md.out.find("## Benchmarks"), std::string::npos);
+    EXPECT_NE(md.out.find("b1"), std::string::npos);
+
+    // -o FILE writes the report instead of stdout.
+    const std::string outf = tmpPath("report.json");
+    const auto filed =
+        run({"report", "-o", outf, trace, benchf});
+    ASSERT_EQ(filed.code, 0) << filed.err;
+    std::ifstream f(outf);
+    EXPECT_TRUE(f.is_open());
+
+    EXPECT_EQ(run({"report"}).code, 2);
+    EXPECT_EQ(run({"report", "--format=xml", trace}).code, 2);
+    EXPECT_EQ(run({"report", "/nonexistent/x.jsonl"}).code, 1);
+
+    std::remove(trace.c_str());
+    std::remove(benchf.c_str());
+    std::remove(outf.c_str());
+}
+
+TEST(BenchDiff, FlagsRegressionsBeyondThreshold)
+{
+    const std::string oldf = tmpPath("BENCH_old.json");
+    const std::string newf = tmpPath("BENCH_new.json");
+    auto write = [](const std::string &path, double wall,
+                    double thru) {
+        std::ofstream f(path);
+        f << "{\"type\":\"bench\",\"benchmark\":\"b\","
+             "\"wall_ms\":"
+          << wall << ",\"throughput\":" << thru
+          << ",\"unit\":\"eps\",\"config\":\"c\","
+             "\"git_rev\":\"r\"}\n";
+    };
+
+    // Identical -> clean exit.
+    write(oldf, 100.0, 1000.0);
+    write(newf, 100.0, 1000.0);
+    EXPECT_EQ(run({"bench-diff", oldf, newf}).code, 0);
+
+    // 25% slower -> regression, exit 1, row flagged.
+    write(newf, 125.0, 1000.0);
+    const auto slow = run({"bench-diff", oldf, newf});
+    EXPECT_EQ(slow.code, 1);
+    EXPECT_NE(slow.out.find("REGRESSION"), std::string::npos);
+
+    // The same delta passes a 30% threshold.
+    EXPECT_EQ(
+        run({"bench-diff", "--threshold=0.3", oldf, newf}).code,
+        0);
+
+    // Throughput drop alone is also a regression.
+    write(newf, 100.0, 800.0);
+    EXPECT_EQ(run({"bench-diff", oldf, newf}).code, 1);
+
+    // Usage / parse errors exit 2.
+    EXPECT_EQ(run({"bench-diff", oldf}).code, 2);
+    EXPECT_EQ(run({"bench-diff", "--threshold=zz", oldf, newf})
+                  .code,
+              2);
+    EXPECT_EQ(
+        run({"bench-diff", oldf, "/nonexistent/b.json"}).code, 2);
+
+    std::remove(oldf.c_str());
+    std::remove(newf.c_str());
+}
+
+TEST(Usage, MentionsTheNewSubcommands)
+{
+    const auto res = run({"help"});
+    EXPECT_EQ(res.code, 0);
+    EXPECT_NE(res.out.find("profile <file.jsonl>"),
+              std::string::npos);
+    EXPECT_NE(res.out.find("report [opts]"), std::string::npos);
+    EXPECT_NE(res.out.find("bench-diff"), std::string::npos);
+    EXPECT_NE(res.out.find("--profile"), std::string::npos);
+}
+
+} // namespace

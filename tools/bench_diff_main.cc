@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Standalone `bench_diff` binary: the same comparison `ahq
+ * bench-diff` runs, packaged for CI pipelines that only have the
+ * bench output directory (no ahq install). Exit 0 = clean, 1 =
+ * regression flagged, 2 = usage/parse error.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return ahq::cli::runBenchDiff(args, std::cout, std::cerr);
+}

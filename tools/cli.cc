@@ -18,6 +18,7 @@
 #include "fault/plan.hh"
 #include "exec/scenario_runner.hh"
 #include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "obs/trace_sink.hh"
 #include "report/csv.hh"
 #include "report/table.hh"
@@ -186,6 +187,12 @@ parseSimulateArgs(const std::vector<std::string> &args,
                     "--metrics does not take a value");
             }
             opt.dumpMetrics = true;
+        } else if (a == "--profile") {
+            if (has_inline) {
+                throw std::invalid_argument(
+                    "--profile does not take a value");
+            }
+            opt.profile = true;
         } else if (a == "--jobs") {
             opt.jobs = static_cast<int>(
                 parseIntAtLeast(next("--jobs"), "--jobs", 1));
@@ -213,6 +220,11 @@ parseSimulateArgs(const std::vector<std::string> &args,
     if (opt.faultsPath.empty()) {
         if (const char *env = std::getenv("AHQ_FAULTS"))
             opt.faultsPath = env;
+    }
+    if (!opt.profile) {
+        if (const char *env = std::getenv("AHQ_PROF"))
+            opt.profile = env[0] != '\0' &&
+                std::string(env) != "0";
     }
     return opt;
 }
@@ -338,18 +350,31 @@ runSimulate(const std::vector<std::string> &args, std::ostream &out,
 
         std::unique_ptr<obs::FileTraceSink> sink;
         obs::MetricsRegistry metrics;
+        obs::SpanProfiler prof;
         if (!opt.tracePath.empty()) {
             sink = std::make_unique<obs::FileTraceSink>(
                 opt.tracePath);
             cfg.obs.sink = sink.get();
             cfg.obs.scenario = opt.strategy;
         }
-        if (opt.dumpMetrics || sink)
+        if (opt.dumpMetrics || sink || opt.profile)
             cfg.obs.metrics = &metrics;
+        if (opt.profile) {
+            cfg.obs.prof = &prof;
+            // A single run owns its trace, so the span events may
+            // carry wall-clock fields (they differ run to run, but
+            // there is no --jobs fan-out here to stay identical
+            // across).
+            cfg.obs.wallClock = true;
+            if (cfg.obs.scenario.empty())
+                cfg.obs.scenario = opt.strategy;
+        }
 
         const auto sched = makeScheduler(opt.strategy);
         cluster::EpochSimulator sim(node, cfg);
         const auto res = sim.run(*sched);
+        if (opt.profile)
+            prof.flush(cfg.obs);
 
         report::TextTable t({"app", "kind", "tail (ms)",
                              "threshold", "IPC", "IPC solo"});
@@ -388,6 +413,10 @@ runSimulate(const std::vector<std::string> &args, std::ostream &out,
                             report::TextTable::num(rec.entropy.eS)});
             }
             out << "timeline written to " << opt.csvPath << "\n";
+        }
+        if (opt.profile) {
+            out << "profile (span tree):\n";
+            printSpanProfile(out, prof, /*wall_times=*/true);
         }
         if (sink) {
             sink->flush();
@@ -509,14 +538,21 @@ runSweep(const std::vector<std::string> &args, std::ostream &out,
 
         std::unique_ptr<obs::FileTraceSink> sink;
         obs::MetricsRegistry metrics;
+        obs::SpanProfiler prof;
         obs::Scope scope;
         if (!opt.tracePath.empty()) {
             sink = std::make_unique<obs::FileTraceSink>(
                 opt.tracePath);
             scope.sink = sink.get();
         }
-        if (opt.dumpMetrics || sink)
+        if (opt.dumpMetrics || sink || opt.profile)
             scope.metrics = &metrics;
+        // wallClock stays off: the runner fans jobs across --jobs
+        // threads, and span-bearing traces must stay byte-identical
+        // at any thread count. The console tree below still shows
+        // wall times (stdout is not the trace).
+        if (opt.profile)
+            scope.prof = &prof;
 
         // One tagged job per (load, strategy), fanned across the
         // pool; results and (while tracing) trace buffers come back
@@ -577,6 +613,10 @@ runSweep(const std::vector<std::string> &args, std::ostream &out,
         out << "E_S by strategy ("
             << opt.lcApps[0].first << " sweeping):\n";
         t.print(out);
+        if (opt.profile) {
+            out << "profile (span tree, all scenarios merged):\n";
+            printSpanProfile(out, prof, /*wall_times=*/true);
+        }
         if (sink) {
             sink->flush();
             out << "trace written to " << sink->path() << "\n";
@@ -641,6 +681,7 @@ runChaos(const std::vector<std::string> &args, std::ostream &out,
 
         std::unique_ptr<obs::FileTraceSink> sink;
         obs::MetricsRegistry metrics;
+        obs::SpanProfiler prof;
         obs::Scope scope;
         if (!opt.tracePath.empty()) {
             sink = std::make_unique<obs::FileTraceSink>(
@@ -649,6 +690,10 @@ runChaos(const std::vector<std::string> &args, std::ostream &out,
         }
         // Metrics are always on: the summary below reads them.
         scope.metrics = &metrics;
+        // As in sweep: profiler on, wallClock off (trace identity
+        // across --jobs).
+        if (opt.profile)
+            scope.prof = &prof;
 
         std::vector<exec::ScenarioJob> jobs;
         for (const auto &name : sched::allStrategyNames())
@@ -687,6 +732,10 @@ runChaos(const std::vector<std::string> &args, std::ostream &out,
         line("measurement recoveries", "recovery.measurement");
         line("actuation retries won", "recovery.actuation_retry");
 
+        if (opt.profile) {
+            out << "profile (span tree, all strategies merged):\n";
+            printSpanProfile(out, prof, /*wall_times=*/true);
+        }
         if (sink) {
             sink->flush();
             out << "trace written to " << sink->path() << "\n";
@@ -757,6 +806,12 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
               "  oracle [opts] app=load..   best static partitions\n"
               "  trace <file.jsonl>         summarise a --trace "
               "run\n"
+              "  profile <file.jsonl>       span tree of a "
+              "--profile run\n"
+              "  report [opts] <input>...   fold traces + "
+              "BENCH_*.json into one summary\n"
+              "  bench-diff <old> <new>     flag perf regressions "
+              "between two BENCH_*.json\n"
               "  apps                       workload catalogue\n"
               "  strategies                 scheduler registry\n"
               "  checks                     invariant-audit "
@@ -769,6 +824,8 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
               "all cores)\n"
               "  --trace FILE (JSONL decision trace; env "
               "AHQ_TRACE) --metrics (dump counters)\n"
+              "  --profile (span profiler + tree; env AHQ_PROF; "
+              "sweep/chaos keep traces byte-identical)\n"
               "  --check off|log|strict (invariant audit; env "
               "AHQ_CHECK)\n"
               "  --faults FILE (JSONL fault plan; env AHQ_FAULTS; "
@@ -803,6 +860,12 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
         return runChaos(rest, out, err);
     if (cmd == "trace")
         return runTrace(rest, out, err);
+    if (cmd == "profile")
+        return runProfile(rest, out, err);
+    if (cmd == "report")
+        return runReport(rest, out, err);
+    if (cmd == "bench-diff")
+        return runBenchDiff(rest, out, err);
     if (cmd == "apps")
         return runApps(out);
     if (cmd == "strategies")

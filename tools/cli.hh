@@ -30,6 +30,11 @@
 #include "cluster/epoch_sim.hh"
 #include "core/entropy.hh"
 
+namespace ahq::obs
+{
+class SpanProfiler;
+} // namespace ahq::obs
+
 namespace ahq::cli
 {
 
@@ -73,6 +78,15 @@ struct SimulateOptions
 
     /** Dump the metrics registry after the run (--metrics). */
     bool dumpMetrics = false;
+
+    /**
+     * Self-profile the run (--profile, or the AHQ_PROF environment
+     * variable): attach a SpanProfiler to the hot paths and print
+     * the span tree afterwards. simulate turns wall-clock fields on
+     * (a single run owns its trace); sweep/chaos keep them off so
+     * span-bearing traces stay byte-identical at any --jobs.
+     */
+    bool profile = false;
 
     /**
      * Worker threads for parallel paths (the oracle search); 0 =
@@ -158,6 +172,48 @@ int runSweep(const std::vector<std::string> &args, std::ostream &out,
  */
 int runTrace(const std::vector<std::string> &args, std::ostream &out,
              std::ostream &err);
+
+/**
+ * Run `ahq profile <file.jsonl>`: aggregate the `span` events of a
+ * profiled trace into a flame-style indented tree per scenario —
+ * count, total/mean/p99 wall time (when the trace carries timing)
+ * and each span's share of its parent (implemented in
+ * profile_cmd.cc). Exits 1 with a line-numbered error and no
+ * partial table on malformed input.
+ */
+int runProfile(const std::vector<std::string> &args,
+               std::ostream &out, std::ostream &err);
+
+/**
+ * Print a live profiler's aggregates as the same indented span
+ * tree `ahq profile` renders — the --profile console output of
+ * simulate/sweep/chaos (implemented in profile_cmd.cc).
+ *
+ * @param wall_times Include total/mean/p99/max columns and the
+ *        %-of-parent share (they vary run to run; counts do not).
+ */
+void printSpanProfile(std::ostream &out,
+                      const obs::SpanProfiler &prof,
+                      bool wall_times);
+
+/**
+ * Run `ahq report [--format=json|md] [-o FILE] <input>...`: fold
+ * traces and BENCH_*.json files from one or more runs into a single
+ * JSON or Markdown summary (implemented in report_cmd.cc).
+ */
+int runReport(const std::vector<std::string> &args,
+              std::ostream &out, std::ostream &err);
+
+/**
+ * Run `ahq bench-diff [--threshold=T] <old.json> <new.json>`:
+ * compare two BENCH_*.json perf-trajectory files by benchmark name
+ * and flag regressions beyond the threshold (default 10%). Exit 0
+ * when clean, 1 when a regression is flagged, 2 on usage or parse
+ * errors (implemented in report_cmd.cc; also built standalone as
+ * tools/bench_diff).
+ */
+int runBenchDiff(const std::vector<std::string> &args,
+                 std::ostream &out, std::ostream &err);
 
 /** Run `ahq apps`. */
 int runApps(std::ostream &out);

@@ -1,0 +1,409 @@
+/**
+ * @file
+ * `ahq report` — fold decision traces and BENCH_*.json
+ * perf-trajectory files from one or more runs into a single JSON
+ * or Markdown summary — and `ahq bench-diff`, the regression gate
+ * comparing two BENCH_*.json files (also built standalone as
+ * tools/bench_diff).
+ */
+
+#include "cli.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "obs/json.hh"
+#include "obs/trace_reader.hh"
+#include "report/table.hh"
+
+namespace ahq::cli
+{
+
+namespace
+{
+
+/** Aggregates for one scenario within one trace file. */
+struct RunSummary
+{
+    std::string file;
+    std::string scenario;
+    std::string scheduler;
+    long long epochs = 0;
+    double sumEs = 0.0;
+    double finalEs = 0.0;
+    long long decisions = 0;
+    long long spans = 0;
+    long long faults = 0;
+};
+
+/** One BENCH_*.json line. */
+struct BenchEntry
+{
+    std::string file;
+    std::string benchmark;
+    double wallMs = 0.0;
+    double throughput = 0.0;
+    std::string unit;
+    std::string config;
+    std::string gitRev;
+};
+
+bool
+isDecisionType(const std::string &type)
+{
+    return type.size() > 9 &&
+        type.compare(type.size() - 9, 9, "_decision") == 0;
+}
+
+/** Scan one input file into the run / bench aggregates. */
+void
+scanInput(const std::string &path,
+          std::vector<RunSummary> &runs,
+          std::vector<BenchEntry> &bench)
+{
+    // (file, scenario) -> index into runs, keeping file order.
+    std::map<std::string, std::size_t> index;
+    obs::forEachTraceFile(
+        path, [&](const obs::TraceEvent &ev, int) {
+            const std::string type = ev.type();
+            if (type == "bench") {
+                BenchEntry e;
+                e.file = path;
+                e.benchmark = ev.str("benchmark");
+                e.wallMs = ev.num("wall_ms");
+                e.throughput = ev.num("throughput");
+                e.unit = ev.str("unit");
+                e.config = ev.str("config");
+                e.gitRev = ev.str("git_rev");
+                bench.push_back(std::move(e));
+                return;
+            }
+            const std::string tag = ev.str("scenario");
+            auto it = index.find(tag);
+            if (it == index.end()) {
+                it = index.emplace(tag, runs.size()).first;
+                runs.push_back({path, tag, "", 0, 0.0, 0.0, 0,
+                                0, 0});
+            }
+            RunSummary &s = runs[it->second];
+            if (type == "run_start") {
+                s.scheduler = ev.str("scheduler");
+            } else if (type == "epoch") {
+                ++s.epochs;
+                s.finalEs = ev.num("e_s");
+                s.sumEs += s.finalEs;
+            } else if (type == "span") {
+                s.spans +=
+                    static_cast<long long>(ev.num("count"));
+            } else if (type == "fault") {
+                ++s.faults;
+            } else if (isDecisionType(type)) {
+                ++s.decisions;
+            }
+        });
+}
+
+void
+emitJson(std::ostream &out, const std::vector<RunSummary> &runs,
+         const std::vector<BenchEntry> &bench)
+{
+    std::string b;
+    b += "{\"tool\":\"ahq report\",\"runs\":[";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const RunSummary &s = runs[i];
+        if (i > 0)
+            b += ',';
+        b += "{\"file\":";
+        obs::json::appendString(b, s.file);
+        b += ",\"scenario\":";
+        obs::json::appendString(b, s.scenario);
+        b += ",\"scheduler\":";
+        obs::json::appendString(b, s.scheduler);
+        b += ",\"epochs\":";
+        obs::json::appendNumber(b, s.epochs);
+        b += ",\"mean_e_s\":";
+        obs::json::appendNumber(
+            b, s.epochs > 0 ? s.sumEs / s.epochs : 0.0);
+        b += ",\"final_e_s\":";
+        obs::json::appendNumber(b, s.finalEs);
+        b += ",\"decisions\":";
+        obs::json::appendNumber(b, s.decisions);
+        b += ",\"spans\":";
+        obs::json::appendNumber(b, s.spans);
+        b += ",\"faults\":";
+        obs::json::appendNumber(b, s.faults);
+        b += '}';
+    }
+    b += "],\"bench\":[";
+    for (std::size_t i = 0; i < bench.size(); ++i) {
+        const BenchEntry &e = bench[i];
+        if (i > 0)
+            b += ',';
+        b += "{\"file\":";
+        obs::json::appendString(b, e.file);
+        b += ",\"benchmark\":";
+        obs::json::appendString(b, e.benchmark);
+        b += ",\"wall_ms\":";
+        obs::json::appendNumber(b, e.wallMs);
+        b += ",\"throughput\":";
+        obs::json::appendNumber(b, e.throughput);
+        b += ",\"unit\":";
+        obs::json::appendString(b, e.unit);
+        b += ",\"config\":";
+        obs::json::appendString(b, e.config);
+        b += ",\"git_rev\":";
+        obs::json::appendString(b, e.gitRev);
+        b += '}';
+    }
+    b += "]}";
+    out << b << "\n";
+}
+
+void
+emitMarkdown(std::ostream &out,
+             const std::vector<RunSummary> &runs,
+             const std::vector<BenchEntry> &bench)
+{
+    out << "# ahq report\n";
+    if (!runs.empty()) {
+        out << "\n## Runs\n\n"
+            << "| file | scenario | scheduler | epochs | mean E_S"
+               " | final E_S | decisions | spans | faults |\n"
+            << "|---|---|---|---|---|---|---|---|---|\n";
+        for (const RunSummary &s : runs) {
+            out << "| " << s.file << " | "
+                << (s.scenario.empty() ? "(untagged)"
+                                       : s.scenario)
+                << " | " << (s.scheduler.empty() ? "-"
+                                                 : s.scheduler)
+                << " | " << s.epochs << " | "
+                << report::TextTable::num(
+                       s.epochs > 0 ? s.sumEs / s.epochs : 0.0)
+                << " | " << report::TextTable::num(s.finalEs)
+                << " | " << s.decisions << " | " << s.spans
+                << " | " << s.faults << " |\n";
+        }
+    }
+    if (!bench.empty()) {
+        out << "\n## Benchmarks\n\n"
+            << "| file | benchmark | wall (ms) | throughput | "
+               "unit | config | git rev |\n"
+            << "|---|---|---|---|---|---|---|\n";
+        for (const BenchEntry &e : bench) {
+            out << "| " << e.file << " | " << e.benchmark
+                << " | " << report::TextTable::num(e.wallMs)
+                << " | "
+                << report::TextTable::num(e.throughput) << " | "
+                << (e.unit.empty() ? "-" : e.unit) << " | "
+                << (e.config.empty() ? "-" : e.config) << " | "
+                << (e.gitRev.empty() ? "-" : e.gitRev)
+                << " |\n";
+        }
+    }
+    if (runs.empty() && bench.empty())
+        out << "\n(no runs or benchmarks in the inputs)\n";
+}
+
+/** name -> last (wall_ms, throughput) seen, for bench-diff. */
+std::map<std::string, std::pair<double, double>>
+loadBenchFile(const std::string &path)
+{
+    std::map<std::string, std::pair<double, double>> entries;
+    obs::forEachTraceFile(
+        path, [&](const obs::TraceEvent &ev, int) {
+            if (ev.type() != "bench") {
+                throw std::runtime_error(
+                    "not a bench entry (type '" + ev.type() +
+                    "'; expected BENCH_*.json from --json)");
+            }
+            entries[ev.str("benchmark")] = {
+                ev.num("wall_ms"), ev.num("throughput")};
+        });
+    if (entries.empty())
+        throw std::runtime_error(path + ": no bench entries");
+    return entries;
+}
+
+} // namespace
+
+int
+runReport(const std::vector<std::string> &args, std::ostream &out,
+          std::ostream &err)
+{
+    std::string format = "json";
+    std::string outPath;
+    std::vector<std::string> inputs;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        if (a == "--format" || a.rfind("--format=", 0) == 0) {
+            if (a == "--format") {
+                if (i + 1 >= args.size()) {
+                    err << "error: --format needs a value\n";
+                    return 2;
+                }
+                format = args[++i];
+            } else {
+                format = a.substr(std::string("--format=").size());
+            }
+            if (format != "json" && format != "md") {
+                err << "error: --format must be json or md (got "
+                    << format << ")\n";
+                return 2;
+            }
+        } else if (a == "-o" || a == "--output") {
+            if (i + 1 >= args.size()) {
+                err << "error: " << a << " needs a value\n";
+                return 2;
+            }
+            outPath = args[++i];
+        } else if (!a.empty() && a[0] == '-') {
+            err << "error: unknown option: " << a << "\n";
+            return 2;
+        } else {
+            inputs.push_back(a);
+        }
+    }
+    if (inputs.empty()) {
+        err << "usage: ahq report [--format=json|md] [-o FILE] "
+               "<trace.jsonl|BENCH_*.json>...\n";
+        return 2;
+    }
+
+    std::vector<RunSummary> runs;
+    std::vector<BenchEntry> bench;
+    try {
+        for (const auto &path : inputs)
+            scanInput(path, runs, bench);
+    } catch (const std::exception &e) {
+        err << "error: " << e.what() << "\n";
+        return 1;
+    }
+
+    std::ofstream file;
+    if (!outPath.empty()) {
+        file.open(outPath);
+        if (!file.is_open()) {
+            err << "error: cannot write: " << outPath << "\n";
+            return 1;
+        }
+    }
+    std::ostream &dst = outPath.empty() ? out : file;
+    if (format == "json")
+        emitJson(dst, runs, bench);
+    else
+        emitMarkdown(dst, runs, bench);
+    if (!outPath.empty())
+        out << "report written to " << outPath << "\n";
+    return 0;
+}
+
+int
+runBenchDiff(const std::vector<std::string> &args,
+             std::ostream &out, std::ostream &err)
+{
+    double threshold = 0.10;
+    std::vector<std::string> files;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        std::string value;
+        if (a == "--threshold") {
+            if (i + 1 >= args.size()) {
+                err << "error: --threshold needs a value\n";
+                return 2;
+            }
+            value = args[++i];
+        } else if (a.rfind("--threshold=", 0) == 0) {
+            value = a.substr(std::string("--threshold=").size());
+        } else if (!a.empty() && a[0] == '-') {
+            err << "error: unknown option: " << a << "\n";
+            return 2;
+        } else {
+            files.push_back(a);
+            continue;
+        }
+        try {
+            threshold = std::stod(value);
+        } catch (const std::exception &) {
+            threshold = -1.0;
+        }
+        if (threshold <= 0.0 || threshold >= 1.0) {
+            err << "error: --threshold must be a fraction in "
+                   "(0, 1), got '"
+                << value << "'\n";
+            return 2;
+        }
+    }
+    if (files.size() != 2) {
+        err << "usage: ahq bench-diff [--threshold=0.10] "
+               "<old.json> <new.json>\n";
+        return 2;
+    }
+
+    std::map<std::string, std::pair<double, double>> oldB, newB;
+    try {
+        oldB = loadBenchFile(files[0]);
+        newB = loadBenchFile(files[1]);
+    } catch (const std::exception &e) {
+        err << "error: " << e.what() << "\n";
+        return 2;
+    }
+
+    report::TextTable t({"benchmark", "wall old (ms)",
+                         "wall new (ms)", "wall delta%",
+                         "thru old", "thru new", "thru delta%",
+                         "status"});
+    int regressions = 0;
+    int compared = 0;
+    for (const auto &[name, o] : oldB) {
+        const auto it = newB.find(name);
+        if (it == newB.end()) {
+            t.addRow({name, report::TextTable::num(o.first), "-",
+                      "-", report::TextTable::num(o.second), "-",
+                      "-", "missing"});
+            continue;
+        }
+        ++compared;
+        const auto &n = it->second;
+        const double wallPct =
+            o.first > 0.0
+                ? 100.0 * (n.first - o.first) / o.first
+                : 0.0;
+        const double thruPct =
+            o.second > 0.0
+                ? 100.0 * (n.second - o.second) / o.second
+                : 0.0;
+        // Slower wall OR lower throughput beyond the threshold
+        // flags the row (each metric is only judged when both
+        // files carry it).
+        const bool wallBad = o.first > 0.0 && n.first > 0.0 &&
+            n.first > o.first * (1.0 + threshold);
+        const bool thruBad = o.second > 0.0 && n.second > 0.0 &&
+            n.second < o.second * (1.0 - threshold);
+        if (wallBad || thruBad)
+            ++regressions;
+        t.addRow({name, report::TextTable::num(o.first),
+                  report::TextTable::num(n.first),
+                  report::TextTable::num(wallPct, 1),
+                  report::TextTable::num(o.second),
+                  report::TextTable::num(n.second),
+                  report::TextTable::num(thruPct, 1),
+                  wallBad || thruBad ? "REGRESSION" : "ok"});
+    }
+    for (const auto &[name, n] : newB) {
+        if (oldB.find(name) == oldB.end()) {
+            t.addRow({name, "-",
+                      report::TextTable::num(n.first), "-", "-",
+                      report::TextTable::num(n.second), "-",
+                      "new"});
+        }
+    }
+    t.print(out);
+    out << compared << " benchmark(s) compared, " << regressions
+        << " regression(s) beyond "
+        << report::TextTable::num(threshold * 100.0, 0) << "%\n";
+    return regressions > 0 ? 1 : 0;
+}
+
+} // namespace ahq::cli

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <stdexcept>
 
 #include "obs/scope.hh"
 #include "obs/trace_reader.hh"
@@ -68,30 +69,10 @@ runTrace(const std::vector<std::string> &args, std::ostream &out,
         return 2;
     }
 
-    std::vector<obs::TraceEvent> events;
-    try {
-        events = obs::readTraceFile(args[0]);
-    } catch (const std::exception &e) {
-        err << "error: " << e.what() << "\n";
-        return 1;
-    }
-    if (events.empty()) {
-        err << "error: " << args[0] << ": empty trace\n";
-        return 1;
-    }
-    for (const auto &ev : events) {
-        const int v = static_cast<int>(ev.num("v", -1.0));
-        if (v != obs::kSchemaVersion) {
-            err << "error: " << args[0]
-                << ": unsupported schema version " << v
-                << " (this build reads v" << obs::kSchemaVersion
-                << ")\n";
-            return 1;
-        }
-    }
-
-    // Scenario tags in first-seen order.
-    std::vector<std::string> order;
+    // Streamed: one line at a time (multi-GB traces read in
+    // constant memory), everything aggregated before anything is
+    // printed so a malformed line never leaves partial output.
+    std::vector<std::string> order; // scenario tags, first-seen
     std::map<std::string, ScenarioSummary> scenarios;
     auto summary = [&](const obs::TraceEvent &ev)
         -> ScenarioSummary & {
@@ -101,55 +82,78 @@ runTrace(const std::vector<std::string> &args, std::ostream &out,
         return scenarios[tag];
     };
 
-    for (const auto &ev : events) {
-        const std::string type = ev.type();
-        if (type == "run_start") {
-            summary(ev).scheduler = ev.str("scheduler");
-        } else if (type == "epoch") {
-            auto &s = summary(ev);
-            ++s.epochs;
-            s.lastEs = ev.num("e_s");
-            s.sumEs += s.lastEs;
-            s.ts.push_back(ev.num("t"));
-            s.es.push_back(s.lastEs);
-        } else if (type == "arq_decision") {
-            auto &s = summary(ev);
-            const std::string action = ev.str("action");
-            if (action == "move")
-                ++s.adjustments;
-            else if (action == "rollback")
-                ++s.rollbacks;
-            else if (action == "hold")
-                ++s.holds;
-            if (ev.has("ban_region"))
-                ++s.bans;
-            const auto apps = ev.nums("apps");
-            const auto ret = ev.nums("ret");
-            const auto q = ev.nums("q");
-            for (std::size_t i = 0;
-                 i < apps.size() && i < ret.size(); ++i) {
-                auto &r = s.retByApp[static_cast<int>(apps[i])];
-                ++r.samples;
-                r.sumRet += ret[i];
-                r.minRet = std::min(r.minRet, ret[i]);
-                if (i < q.size())
-                    r.sumQ += q[i];
+    std::size_t num_events = 0;
+    try {
+        obs::forEachTraceFile(args[0], [&](
+                                           const obs::TraceEvent
+                                               &ev,
+                                           int) {
+            ++num_events;
+            const int v = static_cast<int>(ev.num("v", -1.0));
+            if (v != obs::kSchemaVersion) {
+                throw std::runtime_error(
+                    "unsupported schema version " +
+                    std::to_string(v) + " (this build reads v" +
+                    std::to_string(obs::kSchemaVersion) + ")");
             }
-        } else if (type == "parties_decision" ||
-                   type == "clite_decision") {
-            auto &s = summary(ev);
-            const std::string action = ev.str("action");
-            if (isAdjustAction(action))
-                ++s.adjustments;
-            else if (action == "revert" || action == "re_explore")
-                ++s.rollbacks;
-        }
+            const std::string type = ev.type();
+            if (type == "run_start") {
+                summary(ev).scheduler = ev.str("scheduler");
+            } else if (type == "epoch") {
+                auto &s = summary(ev);
+                ++s.epochs;
+                s.lastEs = ev.num("e_s");
+                s.sumEs += s.lastEs;
+                s.ts.push_back(ev.num("t"));
+                s.es.push_back(s.lastEs);
+            } else if (type == "arq_decision") {
+                auto &s = summary(ev);
+                const std::string action = ev.str("action");
+                if (action == "move")
+                    ++s.adjustments;
+                else if (action == "rollback")
+                    ++s.rollbacks;
+                else if (action == "hold")
+                    ++s.holds;
+                if (ev.has("ban_region"))
+                    ++s.bans;
+                const auto apps = ev.nums("apps");
+                const auto ret = ev.nums("ret");
+                const auto q = ev.nums("q");
+                for (std::size_t i = 0;
+                     i < apps.size() && i < ret.size(); ++i) {
+                    auto &r =
+                        s.retByApp[static_cast<int>(apps[i])];
+                    ++r.samples;
+                    r.sumRet += ret[i];
+                    r.minRet = std::min(r.minRet, ret[i]);
+                    if (i < q.size())
+                        r.sumQ += q[i];
+                }
+            } else if (type == "parties_decision" ||
+                       type == "clite_decision") {
+                auto &s = summary(ev);
+                const std::string action = ev.str("action");
+                if (isAdjustAction(action))
+                    ++s.adjustments;
+                else if (action == "revert" ||
+                         action == "re_explore")
+                    ++s.rollbacks;
+            }
+        });
+    } catch (const std::exception &e) {
+        err << "error: " << e.what() << "\n";
+        return 1;
+    }
+    if (num_events == 0) {
+        err << "error: " << args[0] << ": empty trace\n";
+        return 1;
     }
 
     int total_epochs = 0;
     for (const auto &[tag, s] : scenarios)
         total_epochs += s.epochs;
-    out << args[0] << ": " << events.size() << " events, "
+    out << args[0] << ": " << num_events << " events, "
         << scenarios.size() << " scenario(s), " << total_epochs
         << " epochs (schema v" << obs::kSchemaVersion << ")\n";
 
