@@ -1,10 +1,13 @@
 /**
  * @file
  * Fast perf-trajectory anchor (not a paper figure): epoch-loop
- * throughput of the canonical 4-app colocation under each strategy,
- * plus the span-profiler-on variant, in a couple of seconds total.
- * With --json it writes BENCH_epoch_throughput.json — the file the
- * repo commits as the baseline tools/bench_diff compares future
+ * throughput of the canonical 4-app colocation under every
+ * registered strategy, the span-profiler-on variant, larger-node
+ * variants (8 and 32 colocated apps — where the GP window cap and
+ * the O(n²) incremental Cholesky keep CLITE's decision cost flat),
+ * and a small Fleet run. Finishes in a few seconds total. With
+ * --json it writes BENCH_epoch_throughput.json — the file the repo
+ * commits as the baseline tools/bench_diff compares future
  * revisions against (see EXPERIMENTS.md).
  */
 
@@ -12,7 +15,9 @@
 #include <iostream>
 
 #include "common.hh"
+#include "cluster/fleet.hh"
 #include "obs/span.hh"
+#include "sched/registry.hh"
 
 using namespace ahq;
 using namespace ahq::bench;
@@ -33,6 +38,49 @@ secondsOf(const std::function<void()> &fn)
             best, std::chrono::duration<double>(t1 - t0).count());
     }
     return best;
+}
+
+/** Fig. 12's 6 LC + 2 BE colocation. */
+cluster::Node
+eightAppNode()
+{
+    return cluster::Node(
+        machine::MachineConfig::xeonE52630v4(),
+        {cluster::lcAt(apps::moses(), 0.2),
+         cluster::lcAt(apps::xapian(), 0.2),
+         cluster::lcAt(apps::imgDnn(), 0.2),
+         cluster::lcAt(apps::sphinx(), 0.2),
+         cluster::lcAt(apps::masstree(), 0.2),
+         cluster::lcAt(apps::silo(), 0.2),
+         cluster::be(apps::fluidanimate()),
+         cluster::be(apps::streamcluster())});
+}
+
+/**
+ * A deliberately over-colocated 32-app node (8 LC + 24 BE) on the
+ * larger Gold 6248 so per-group resource minimums stay feasible.
+ * Not a paper scenario — a stress row for the trajectory.
+ */
+cluster::Node
+thirtyTwoAppNode()
+{
+    std::vector<cluster::ColocatedApp> colocated;
+    const double load = 0.15;
+    colocated.push_back(cluster::lcAt(apps::moses(), load));
+    colocated.push_back(cluster::lcAt(apps::xapian(), load));
+    colocated.push_back(cluster::lcAt(apps::imgDnn(), load));
+    colocated.push_back(cluster::lcAt(apps::sphinx(), load));
+    colocated.push_back(cluster::lcAt(apps::masstree(), load));
+    colocated.push_back(cluster::lcAt(apps::silo(), load));
+    colocated.push_back(cluster::lcAt(apps::moses(), 2 * load));
+    colocated.push_back(cluster::lcAt(apps::xapian(), 2 * load));
+    for (int i = 0; i < 8; ++i) {
+        colocated.push_back(cluster::be(apps::fluidanimate()));
+        colocated.push_back(cluster::be(apps::streamcluster()));
+        colocated.push_back(cluster::be(apps::stream()));
+    }
+    return cluster::Node(machine::MachineConfig::xeonGold6248(),
+                         std::move(colocated));
 }
 
 } // namespace
@@ -56,11 +104,12 @@ main(int argc, char **argv)
 
     report::TextTable t({"workload", "wall (ms)", "epochs/s"});
     auto row = [&](const std::string &name,
+                   const cluster::Node &n,
                    const cluster::SimulationConfig &c,
                    const std::string &strategy,
                    const std::string &config) {
         const double s = secondsOf([&] {
-            const auto r = runScenario(strategy, node, c);
+            const auto r = runScenario(strategy, n, c);
             if (r.epochs.empty())
                 std::cerr << "empty run\n"; // keep r observable
         });
@@ -68,15 +117,52 @@ main(int argc, char **argv)
         json.add(name, s * 1e3, epochs / s, "epochs/s", config);
     };
 
-    for (const auto &strategy : allStrategies())
-        row(strategy, cfg, strategy, "epochs=60 " + strategy);
+    // Every registered strategy (the registry's presentation
+    // order), not just the headline five.
+    for (const auto &strategy : sched::allStrategyNames())
+        row(strategy, node, cfg, strategy,
+            "epochs=60 " + strategy);
 
     // The profiler-on variant tracks the span-timing overhead on
     // the same workload (spans: epoch phases + scheduler steps).
     cluster::SimulationConfig prof_cfg = cfg;
     obs::SpanProfiler prof;
     prof_cfg.obs.prof = &prof;
-    row("ARQ+profiler", prof_cfg, "ARQ", "epochs=60 ARQ profile=1");
+    row("ARQ+profiler", node, prof_cfg, "ARQ",
+        "epochs=60 ARQ profile=1");
+
+    // Larger colocations: the decision loops that scale with app
+    // count (CLITE's GP over groups x kinds, ARQ's ReT array, the
+    // contention fixed point) against 2x and 8x the canonical node.
+    const auto node8 = eightAppNode();
+    const auto node32 = thirtyTwoAppNode();
+    for (const auto &strategy :
+         {std::string("Unmanaged"), std::string("CLITE"),
+          std::string("ARQ")}) {
+        row(strategy + "@8apps", node8, cfg, strategy,
+            "epochs=60 apps=8 " + strategy);
+        row(strategy + "@32apps", node32, cfg, strategy,
+            "epochs=60 apps=32 " + strategy);
+    }
+
+    // A small fleet: 4 canonical nodes under ARQ, epochs counted
+    // across all nodes (runs on the global pool, byte-identical at
+    // any thread count).
+    {
+        const double s = secondsOf([&] {
+            cluster::Fleet fleet;
+            for (int i = 0; i < 4; ++i)
+                fleet.addNode(node, sched::makeScheduler("ARQ"));
+            const auto r = fleet.run(cfg);
+            if (r.nodes.empty())
+                std::cerr << "empty fleet run\n";
+        });
+        const double fleet_epochs = 4.0 * epochs;
+        t.addRow({"Fleet/ARQ x4", num(s * 1e3),
+                  num(fleet_epochs / s, 0)});
+        json.add("Fleet/ARQ x4", s * 1e3, fleet_epochs / s,
+                 "epochs/s", "epochs=60 nodes=4 ARQ");
+    }
 
     t.print(std::cout);
     return 0;

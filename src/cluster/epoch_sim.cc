@@ -101,10 +101,16 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
     bool last_degraded = false;
     bool last_all_dropped = false;
 
+    // Per-run state kept struct-of-arrays so the measure phase
+    // iterates contiguous memory; the buffers below are reused
+    // across all epochs of the run.
     std::vector<double> backlog(static_cast<std::size_t>(n), 0.0);
     std::vector<int> prev_ways(static_cast<std::size_t>(n), -1);
     std::vector<int> prev_cores(static_cast<std::size_t>(n), -1);
     std::vector<sched::AppObservation> last_obs;
+    std::vector<perf::AppDemand> demands;
+    std::vector<core::LcObservation> lc_obs;
+    std::vector<core::BeObservation> be_obs;
 
     SimulationResult result;
     result.warmupEpochs = std::min(cfg.warmupEpochs, epochs);
@@ -169,8 +175,8 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
         rec.time = t;
         rec.obs = static_obs;
 
-        std::vector<core::LcObservation> lc_obs;
-        std::vector<core::BeObservation> be_obs;
+        lc_obs.clear();
+        be_obs.clear();
         int dropped = 0;
 
         // 2) Contention model under the current layout and loads,
@@ -178,11 +184,12 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
         //    together the epoch's "measure" phase.
         {
         obs::Span measure_span(cfg.obs, "measure");
-        const auto demands = node_.demandsAt(t);
+        node_.demandsAt(t, demands);
         {
             obs::Span span(cfg.obs, "model");
-            rec.outcomes = contention.evaluate(
-                layout, demands, scheduler.corePolicy());
+            contention.evaluateInto(layout, demands,
+                                    scheduler.corePolicy(),
+                                    rec.outcomes);
         }
         const auto &outcomes = rec.outcomes;
 

@@ -134,6 +134,22 @@ computeEntropy(const std::vector<LcObservation> &lc,
                const std::vector<BeObservation> &be, double ri)
 {
     EntropyReport rep;
+    computeEntropyInto(lc, be, ri, rep);
+    return rep;
+}
+
+void
+computeEntropyInto(const std::vector<LcObservation> &lc,
+                   const std::vector<BeObservation> &be, double ri,
+                   EntropyReport &rep)
+{
+    // Reset every scalar while keeping the detail vector's capacity
+    // (per-interval controllers pass the same report object so the
+    // monitor phase stays allocation-free once warm).
+    auto detail = std::move(rep.lcDetail);
+    detail.clear();
+    rep = EntropyReport{};
+    rep.lcDetail = std::move(detail);
     rep.lcDetail.reserve(lc.size());
     for (const auto &obs : lc)
         rep.lcDetail.push_back(lcBreakdown(obs));
@@ -155,7 +171,6 @@ computeEntropy(const std::vector<LcObservation> &lc,
         rep.meanInterference /= n;
         rep.meanRemainingTolerance /= n;
     }
-    return rep;
 }
 
 } // namespace ahq::core

@@ -129,6 +129,15 @@ EntropyReport computeEntropy(const std::vector<LcObservation> &lc,
                              const std::vector<BeObservation> &be,
                              double ri = kDefaultRelativeImportance);
 
+/**
+ * As computeEntropy(), but recycling @p rep (all fields are reset;
+ * the lcDetail vector keeps its capacity). Per-interval controllers
+ * pass a persistent report so the monitor phase does not allocate.
+ */
+void computeEntropyInto(const std::vector<LcObservation> &lc,
+                        const std::vector<BeObservation> &be,
+                        double ri, EntropyReport &rep);
+
 } // namespace ahq::core
 
 #endif // AHQ_CORE_ENTROPY_HH

@@ -127,11 +127,18 @@ RegionLayout::valid() const
     }
     if (!allocated().fitsWithin(available_))
         return false;
-    for (AppId app : allApps()) {
-        if (reachable(app, ResourceKind::Cores) < 1)
-            return false;
-        if (reachable(app, ResourceKind::LlcWays) < 1)
-            return false;
+    // Enumerate members region by region instead of materialising
+    // allApps(): valid() runs inside every moveResource (ARQ's
+    // per-interval search), and the vector build was the search
+    // path's only heap allocation. Apps in several regions are
+    // simply re-checked — same predicate, no allocation.
+    for (const Region &reg : regions_) {
+        for (AppId app : reg.members) {
+            if (reachable(app, ResourceKind::Cores) < 1)
+                return false;
+            if (reachable(app, ResourceKind::LlcWays) < 1)
+                return false;
+        }
     }
     return true;
 }

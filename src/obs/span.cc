@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/alloc.hh"
+
 namespace ahq::obs
 {
 
@@ -75,7 +77,8 @@ SpanProfiler::Stats::quantileNs(double q) const
 }
 
 void
-SpanProfiler::record(std::string_view path, std::uint64_t ns)
+SpanProfiler::record(std::string_view path, std::uint64_t ns,
+                     std::uint64_t allocs)
 {
     std::lock_guard<std::mutex> lock(m_);
     auto &s = spans_[std::string(path)];
@@ -83,6 +86,7 @@ SpanProfiler::record(std::string_view path, std::uint64_t ns)
     s.totalNs += ns;
     if (ns > s.maxNs)
         s.maxNs = ns;
+    s.allocs += allocs;
     s.buckets[bucketIndex(ns)] += 1;
 }
 
@@ -97,6 +101,7 @@ SpanProfiler::merge(const SpanProfiler &other)
         s.totalNs += st.totalNs;
         if (st.maxNs > s.maxNs)
             s.maxNs = st.maxNs;
+        s.allocs += st.allocs;
         for (std::size_t i = 0; i < kBuckets; ++i)
             s.buckets[i] += st.buckets[i];
     }
@@ -159,13 +164,22 @@ SpanProfiler::flush(const Scope &scope) const
                      static_cast<double>(st.quantileNs(0.99)) /
                          1e6)
                 .num("max_ms",
-                     static_cast<double>(st.maxNs) / 1e6);
+                     static_cast<double>(st.maxNs) / 1e6)
+                .integer("allocs",
+                         static_cast<long long>(st.allocs));
         }
         scope.emit(ev);
 
         if (scope.metrics != nullptr) {
             scope.metrics->add("prof." + path + ".calls",
                                static_cast<double>(st.count));
+            if (scope.wallClock) {
+                // Allocation totals depend on buffer warm-up (and
+                // thus on job placement), so like wall time they
+                // ride on the wallClock opt-in.
+                scope.metrics->add("prof." + path + ".allocs",
+                                   static_cast<double>(st.allocs));
+            }
             std::vector<std::pair<double, std::uint64_t>> vc;
             for (std::size_t i = 0; i < kBuckets; ++i)
                 if (st.buckets[i] != 0)
@@ -195,6 +209,7 @@ Span::open(SpanProfiler *prof, std::string_view name)
     }
     t.path.append(name.data(), name.size());
     t.frames.push_back(f);
+    allocStart_ = threadAllocCount();
     start_ = std::chrono::steady_clock::now();
 }
 
@@ -211,8 +226,8 @@ Span::close()
     if (t.frames.empty())
         return;
     const Frame f = t.frames.back();
-    prof_->record(
-        std::string_view(t.path).substr(f.ctxStart), ns);
+    prof_->record(std::string_view(t.path).substr(f.ctxStart), ns,
+                  threadAllocCount() - allocStart_);
     t.path.resize(f.prevLen);
     t.frames.pop_back();
 }

@@ -57,6 +57,16 @@ class SpanProfiler
         std::uint64_t count = 0;
         std::uint64_t totalNs = 0;
         std::uint64_t maxNs = 0;
+
+        /**
+         * Heap allocations performed on the recording thread while
+         * the span was open (obs/alloc.hh; 0 in sanitizer builds).
+         * Like wall time, allocation counts depend on buffer
+         * warm-up and thus on how jobs land on workers, so they are
+         * only serialised under Scope::wallClock.
+         */
+        std::uint64_t allocs = 0;
+
         std::array<std::uint64_t, kBuckets> buckets{};
 
         /**
@@ -69,7 +79,8 @@ class SpanProfiler
     };
 
     /** Record one completed span under an already-built path. */
-    void record(std::string_view path, std::uint64_t ns);
+    void record(std::string_view path, std::uint64_t ns,
+                std::uint64_t allocs = 0);
 
     /** Fold another profiler's stats into this one (commutative). */
     void merge(const SpanProfiler &other);
@@ -138,6 +149,7 @@ class Span
 
     SpanProfiler *prof_ = nullptr;
     std::chrono::steady_clock::time_point start_;
+    std::uint64_t allocStart_ = 0;
 };
 
 } // namespace ahq::obs

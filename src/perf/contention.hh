@@ -38,7 +38,9 @@
 #include "machine/config.hh"
 #include "machine/layout.hh"
 #include "perf/bandwidth.hh"
+#include "perf/contention_cache.hh"
 #include "perf/cpi.hh"
+#include "perf/curve_table.hh"
 
 namespace ahq::perf
 {
@@ -76,6 +78,14 @@ struct AppDemand
 
     /** Cache/CPI behaviour. */
     CpiModel cpi;
+
+    /**
+     * Optional precomputed curve table for this app (not owned; must
+     * outlive the demand and match cpi). Purely an evaluation
+     * accelerator — never part of the model's inputs, so it is
+     * excluded from memo keys.
+     */
+    const AppCurveTable *curves = nullptr;
 
     AppDemand() : cpi(MissRateCurve(10.0, 1.0, 4.0), CpiTraits{}) {}
 };
@@ -149,10 +159,23 @@ struct ContentionTraits
      * triangles).
      */
     double sharedServicePenalty = 1.15;
+
+    /**
+     * Entries of the exact-key evaluation memo (0 disables). Hits
+     * return byte-identical outcomes for byte-identical inputs, so
+     * this changes no observable result — only the cost of epochs
+     * whose layout and demands repeat.
+     */
+    int memoCapacity = 64;
 };
 
 /**
  * Evaluates per-epoch application performance under a layout.
+ *
+ * evaluate() is logically const but reuses an internal scratch
+ * workspace across calls, so a single instance must not be used from
+ * multiple threads concurrently. Construct one model per thread (the
+ * simulators and the oracle already do).
  */
 class ContentionModel
 {
@@ -173,13 +196,69 @@ class ContentionModel
              const std::vector<AppDemand> &demands,
              CoreSharePolicy policy) const;
 
+    /**
+     * As evaluate(), but writing the outcomes into @p out (resized to
+     * the app count) so steady-state callers recycle the buffer.
+     */
+    void evaluateInto(const machine::RegionLayout &layout,
+                      const std::vector<AppDemand> &demands,
+                      CoreSharePolicy policy,
+                      std::vector<PerfOutcome> &out) const;
+
     const machine::MachineConfig &config() const { return config_; }
     const ContentionTraits &traits() const { return traits_; }
 
+    /** Evaluation-memo statistics (tests and telemetry). */
+    std::size_t memoHits() const { return memo_.hits(); }
+    std::size_t memoMisses() const { return memo_.misses(); }
+
   private:
+    /** Mutable per-app state threaded through the fixed point. */
+    struct AppState
+    {
+        double speed = 1.0;       // cache+memory speed factor
+        double ways = 1.0;        // effective LLC ways
+        double dilation = 1.0;    // memory latency dilation
+        double isoCores = 0.0;    // cores from isolated regions
+        double sharedGrant = 0.0; // core-equivalents, shared regions
+        double stretch = 1.0;     // PS service-time stretch
+        double beCores = 0.0;     // BE: granted cores (iso + shared)
+        double busyCores = 0.0;   // cores actively executing
+        double bwDemand = 0.0;    // GiB/s
+        double mbaScale = 1.0;    // throttle past the MBA cap
+    };
+
+    /**
+     * Scratch buffers reused across evaluate() calls, plus the
+     * iteration-invariant per-app quantities hoisted out of the
+     * fixed-point loop (iso-core grants, offered load, MBA caps,
+     * shared-region member splits). Once warm, an evaluation
+     * allocates only its result vector.
+     */
+    struct Workspace
+    {
+        std::vector<AppState> st;
+        std::vector<double> prevStretch;
+        std::vector<double> isoLc;    // iso cores granted to LC apps
+        std::vector<double> isoBe;    // iso cores granted to BE apps
+        std::vector<double> lambda;   // LC offered load, core-seconds/s
+        std::vector<double> capGibps; // per-app MBA bandwidth cap
+        std::vector<std::vector<machine::AppId>> lcOf; // shared regions
+        std::vector<std::vector<machine::AppId>> beOf; // shared regions
+        std::vector<double> resid, burstCap, activeLc;
+        std::vector<double> caps, weights, grants; // water-fill scratch
+        std::vector<char> frozen;                  // water-fill scratch
+        std::vector<double> intensity, newWays;
+        std::vector<double> cpiIdeal; // hoisted per-app ideal CPI
+        std::vector<double> mpki;     // per-iteration mpki(ways)
+        std::vector<double> memoKey;  // canonicalised memo key
+    };
+
     machine::MachineConfig config_;
     ContentionTraits traits_;
     BandwidthModel bwModel;
+    mutable Workspace ws_;
+    mutable EvaluationMemo<PerfOutcome> memo_;
 };
 
 } // namespace ahq::perf

@@ -1,6 +1,8 @@
 /**
  * @file
- * CPI model implementation.
+ * CPI model implementation. The per-evaluation methods are inline in
+ * the header (the contention fixed point calls them in its innermost
+ * loops); construction and the ideal-conditions helpers stay here.
  */
 
 #include "perf/cpi.hh"
@@ -19,15 +21,6 @@ CpiModel::CpiModel(MissRateCurve mrc, CpiTraits traits)
 }
 
 double
-CpiModel::cpi(double ways, double dilation) const
-{
-    assert(dilation >= 1.0);
-    return traits_.cpiBase +
-        mrc_.mpki(ways) / 1000.0 *
-        (traits_.missPenaltyCycles / traits_.mlp) * dilation;
-}
-
-double
 CpiModel::cpiIdeal(double full_ways) const
 {
     return cpi(full_ways, 1.0);
@@ -37,17 +30,6 @@ double
 CpiModel::speed(double ways, double dilation, double full_ways) const
 {
     return cpiIdeal(full_ways) / cpi(ways, dilation);
-}
-
-double
-CpiModel::bwDemandPerCore(double ways, double dilation) const
-{
-    // instructions/s = freq / CPI; bytes/s = inst/s * mpki/1000 * 64B.
-    const double inst_per_ns = traits_.coreFreqGhz / cpi(ways, dilation);
-    const double bytes_per_ns =
-        inst_per_ns * mrc_.mpki(ways) / 1000.0 * traits_.bytesPerMiss;
-    // bytes/ns == GB/s; convert to GiB/s.
-    return bytes_per_ns * 1e9 / (1024.0 * 1024.0 * 1024.0);
 }
 
 } // namespace ahq::perf

@@ -18,6 +18,8 @@
 #ifndef AHQ_PERF_CPI_HH
 #define AHQ_PERF_CPI_HH
 
+#include <cassert>
+
 #include "perf/mrc.hh"
 
 namespace ahq::perf
@@ -56,7 +58,26 @@ class CpiModel
     CpiModel(MissRateCurve mrc, CpiTraits traits);
 
     /** CPI at the given effective ways and memory dilation. */
-    double cpi(double ways, double dilation) const;
+    double
+    cpi(double ways, double dilation) const
+    {
+        return cpiWithMpki(mrc_.mpki(ways), dilation);
+    }
+
+    /**
+     * As cpi(), but with the miss rate already evaluated. The
+     * contention fixed point needs CPI and bandwidth demand at the
+     * same way allocation every iteration; evaluating mpki once and
+     * passing it to both is bitwise identical to recomputing it.
+     */
+    double
+    cpiWithMpki(double mpki, double dilation) const
+    {
+        assert(dilation >= 1.0);
+        return traits_.cpiBase +
+            mpki / 1000.0 *
+            (traits_.missPenaltyCycles / traits_.mlp) * dilation;
+    }
 
     /** CPI under ideal conditions (full cache, no dilation). */
     double cpiIdeal(double full_ways) const;
@@ -74,7 +95,25 @@ class CpiModel
      * Memory bandwidth demand in GiB/s of one core running this app
      * flat out at the given conditions.
      */
-    double bwDemandPerCore(double ways, double dilation) const;
+    double
+    bwDemandPerCore(double ways, double dilation) const
+    {
+        return bwDemandPerCoreWithMpki(mrc_.mpki(ways), dilation);
+    }
+
+    /** As bwDemandPerCore() with the miss rate already evaluated. */
+    double
+    bwDemandPerCoreWithMpki(double mpki, double dilation) const
+    {
+        // instructions/s = freq / CPI;
+        // bytes/s = inst/s * mpki/1000 * 64B.
+        const double inst_per_ns =
+            traits_.coreFreqGhz / cpiWithMpki(mpki, dilation);
+        const double bytes_per_ns =
+            inst_per_ns * mpki / 1000.0 * traits_.bytesPerMiss;
+        // bytes/ns == GB/s; convert to GiB/s.
+        return bytes_per_ns * 1e9 / (1024.0 * 1024.0 * 1024.0);
+    }
 
     const MissRateCurve &mrc() const { return mrc_; }
     const CpiTraits &traits() const { return traits_; }

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Curve-table implementation.
+ *
+ * Every expression here mirrors the corresponding CpiModel /
+ * MissRateCurve expression term for term (same grouping, same
+ * constants), so integer-lattice evaluations are bitwise identical
+ * to the direct path — the property tests/perf/curve_table_test.cc
+ * checks exhaustively.
+ */
+
+#include "perf/curve_table.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace ahq::perf
+{
+
+AppCurveTable::AppCurveTable(const CpiModel &model, int max_ways)
+    : maxWays_(max_ways), cpiBase_(model.traits().cpiBase),
+      missCostPerMpki_(model.traits().missPenaltyCycles /
+                       model.traits().mlp),
+      coreFreqGhz_(model.traits().coreFreqGhz),
+      bytesPerMiss_(model.traits().bytesPerMiss),
+      cpiIdeal_(model.cpiIdeal(static_cast<double>(max_ways)))
+{
+    assert(max_ways >= 1);
+    mpkiTab_.resize(static_cast<std::size_t>(max_ways) + 1);
+    intensityTab_.resize(static_cast<std::size_t>(max_ways) + 1);
+    for (int w = 0; w <= max_ways; ++w) {
+        mpkiTab_[static_cast<std::size_t>(w)] =
+            model.mrc().mpki(static_cast<double>(w));
+        intensityTab_[static_cast<std::size_t>(w)] =
+            model.mrc().accessIntensity(static_cast<double>(w));
+    }
+}
+
+double
+AppCurveTable::mpkiAt(double ways) const
+{
+    if (ways <= 0.0)
+        return mpkiTab_[0];
+    if (ways >= static_cast<double>(maxWays_))
+        return mpkiTab_[static_cast<std::size_t>(maxWays_)];
+    const double fl = std::floor(ways);
+    const auto w0 = static_cast<std::size_t>(fl);
+    const double frac = ways - fl;
+    if (frac == 0.0)
+        return mpkiTab_[w0];
+    return mpkiTab_[w0] +
+        frac * (mpkiTab_[w0 + 1] - mpkiTab_[w0]);
+}
+
+double
+AppCurveTable::mpki(double ways) const
+{
+    return mpkiAt(ways);
+}
+
+double
+AppCurveTable::accessIntensity(double ways) const
+{
+    if (ways <= 0.0)
+        return intensityTab_[0];
+    if (ways >= static_cast<double>(maxWays_))
+        return intensityTab_[static_cast<std::size_t>(maxWays_)];
+    const double fl = std::floor(ways);
+    const auto w0 = static_cast<std::size_t>(fl);
+    const double frac = ways - fl;
+    if (frac == 0.0)
+        return intensityTab_[w0];
+    return intensityTab_[w0] +
+        frac * (intensityTab_[w0 + 1] - intensityTab_[w0]);
+}
+
+double
+AppCurveTable::cpi(double ways, double dilation) const
+{
+    assert(dilation >= 1.0);
+    return cpiBase_ +
+        mpkiAt(ways) / 1000.0 * missCostPerMpki_ * dilation;
+}
+
+double
+AppCurveTable::speed(double ways, double dilation) const
+{
+    return cpiIdeal_ / cpi(ways, dilation);
+}
+
+double
+AppCurveTable::bwDemandPerCore(double ways, double dilation) const
+{
+    // instructions/s = freq / CPI; bytes/s = inst/s * mpki/1000 * 64B.
+    const double inst_per_ns = coreFreqGhz_ / cpi(ways, dilation);
+    const double bytes_per_ns =
+        inst_per_ns * mpkiAt(ways) / 1000.0 * bytesPerMiss_;
+    // bytes/ns == GB/s; convert to GiB/s.
+    return bytes_per_ns * 1e9 / (1024.0 * 1024.0 * 1024.0);
+}
+
+} // namespace ahq::perf

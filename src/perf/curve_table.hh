@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Dense per-application contention-curve tables.
+ *
+ * The per-app inputs to the contention model — the miss-rate curve
+ * and the CPI inflation derived from it — are closed-form algebra in
+ * this codebase, but they are evaluated millions of times across an
+ * epoch sweep. An AppCurveTable precomputes the per-way values once
+ * at app-registration time into dense arrays indexed by the integer
+ * LLC-way lattice 0..maxWays:
+ *
+ *  - at integer way counts every accessor reproduces the direct
+ *    perf::CpiModel / perf::MissRateCurve evaluation bit-for-bit
+ *    (same operation order, same constants), which is what the
+ *    layout-derived allocation sites use;
+ *
+ *  - between lattice points the miss-rate quantities are linearly
+ *    interpolated, the documented approximation for callers probing
+ *    fractional effective ways.
+ *
+ * The dilation axis stays analytic: CPI is affine in the dilation
+ * (CPI = cpi_base + mpki/1000 * penalty * d), so tabulating it would
+ * add interpolation error without saving work.
+ */
+
+#ifndef AHQ_PERF_CURVE_TABLE_HH
+#define AHQ_PERF_CURVE_TABLE_HH
+
+#include <vector>
+
+#include "perf/cpi.hh"
+
+namespace ahq::perf
+{
+
+/**
+ * Precomputed miss-rate / CPI curves of one application over the
+ * machine's integer LLC-way lattice.
+ */
+class AppCurveTable
+{
+  public:
+    /**
+     * @param model The app's CPI model to tabulate.
+     * @param max_ways The machine's total LLC ways (>= 1); also the
+     *                 way count that defines "ideal" speed.
+     */
+    AppCurveTable(const CpiModel &model, int max_ways);
+
+    /** Misses per kilo-instruction (lerp between integer ways). */
+    double mpki(double ways) const;
+
+    /** Way-stealing access intensity (lerp between integer ways). */
+    double accessIntensity(double ways) const;
+
+    /** CPI at the given ways and memory dilation. */
+    double cpi(double ways, double dilation) const;
+
+    /** CPI under ideal conditions (tabulated once). */
+    double cpiIdeal() const { return cpiIdeal_; }
+
+    /** Speed factor relative to ideal, as CpiModel::speed. */
+    double speed(double ways, double dilation) const;
+
+    /** Bandwidth demand of one core, as CpiModel::bwDemandPerCore. */
+    double bwDemandPerCore(double ways, double dilation) const;
+
+    /** The lattice upper bound the table was built with. */
+    int maxWays() const { return maxWays_; }
+
+  private:
+    /** mpki at the (clamped, interpolated) way count. */
+    double mpkiAt(double ways) const;
+
+    int maxWays_;
+    double cpiBase_;
+    double missCostPerMpki_; // missPenaltyCycles / mlp
+    double coreFreqGhz_;
+    double bytesPerMiss_;
+    double cpiIdeal_;
+    std::vector<double> mpkiTab_;      // index = integer ways, 0..max
+    std::vector<double> intensityTab_; // index = integer ways, 0..max
+};
+
+} // namespace ahq::perf
+
+#endif // AHQ_PERF_CURVE_TABLE_HH

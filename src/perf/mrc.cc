@@ -1,11 +1,12 @@
 /**
  * @file
- * Miss-rate curve implementation.
+ * Miss-rate curve implementation. The evaluation methods live in the
+ * header so the contention model's inner loops can inline them; only
+ * construction-time validation stays out of line.
  */
 
 #include "perf/mrc.hh"
 
-#include <algorithm>
 #include <cassert>
 
 namespace ahq::perf
@@ -18,25 +19,6 @@ MissRateCurve::MissRateCurve(double mpki_max, double mpki_min,
     assert(mpki_max >= mpki_min);
     assert(mpki_min >= 0.0);
     assert(ways_half > 0.0);
-}
-
-double
-MissRateCurve::mpki(double ways) const
-{
-    const double w = std::max(0.0, ways);
-    return mpkiMin_ +
-        (mpkiMax_ - mpkiMin_) * waysHalf_ / (w + waysHalf_);
-}
-
-double
-MissRateCurve::accessIntensity(double ways) const
-{
-    // Reducible miss mass remaining at this allocation: lines a
-    // workload would actually re-reference if kept. Streaming apps
-    // with flat MRCs touch many lines but evict their own data and
-    // retain almost no occupancy under LRU, so only the reducible
-    // part competes, with a small floor for residual churn.
-    return std::max(0.05, mpki(ways) - mpkiMin_);
 }
 
 } // namespace ahq::perf

@@ -33,16 +33,34 @@ class MissRateCurve
 
     /**
      * Misses per kilo-instruction with the given (possibly
-     * fractional) effective ways. Clamped at w = 0.
+     * fractional) effective ways. Clamped at w = 0. Defined inline:
+     * the contention fixed point evaluates this in its innermost
+     * loops, and the call must fold into them.
      */
-    double mpki(double ways) const;
+    double
+    mpki(double ways) const
+    {
+        const double w = ways > 0.0 ? ways : 0.0;
+        return mpkiMin_ +
+            (mpkiMax_ - mpkiMin_) * waysHalf_ / (w + waysHalf_);
+    }
 
     /**
      * Access intensity used for way-stealing in shared regions:
      * the marginal cache appetite of the application, proportional to
      * the reducible miss mass it still has at the given allocation.
      */
-    double accessIntensity(double ways) const;
+    double
+    accessIntensity(double ways) const
+    {
+        // Reducible miss mass remaining at this allocation: lines a
+        // workload would actually re-reference if kept. Streaming
+        // apps with flat MRCs touch many lines but evict their own
+        // data and retain almost no occupancy under LRU, so only the
+        // reducible part competes, with a floor for residual churn.
+        const double reducible = mpki(ways) - mpkiMin_;
+        return reducible > 0.05 ? reducible : 0.05;
+    }
 
     double mpkiMax() const { return mpkiMax_; }
     double mpkiMin() const { return mpkiMin_; }

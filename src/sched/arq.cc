@@ -37,6 +37,7 @@ Arq::reset()
     banUntil.clear();
     fsmIndex.clear();
     lastGoodRet.clear();
+    retBuf.clear();
     report = {};
 }
 
@@ -106,33 +107,42 @@ Arq::initialLayout(const machine::MachineConfig &config,
     return layout;
 }
 
-std::map<AppId, Arq::Tolerance>
-Arq::remainingTolerance(const std::vector<AppObservation> &obs) const
+void
+Arq::remainingToleranceInto(const std::vector<AppObservation> &obs,
+                            std::vector<Tolerance> &ret) const
 {
-    std::map<AppId, Tolerance> ret;
+    AppId max_id = -1;
+    for (const auto &o : obs)
+        max_id = std::max(max_id, o.id);
+    ret.assign(static_cast<std::size_t>(max_id + 1), Tolerance{});
     for (const auto &o : obs) {
         if (!o.latencyCritical)
             continue;
         const core::LcBreakdown b = core::lcBreakdown(
             {o.idealP95Ms, o.p95Ms, o.thresholdMs});
-        ret[o.id] = {b.remainingTolerance, b.intolerable};
+        ret[static_cast<std::size_t>(o.id)] = {
+            b.remainingTolerance, b.intolerable, true};
     }
-    return ret;
 }
 
 RegionId
 Arq::findVictimRegion(const RegionLayout &layout,
-                      const std::map<AppId, Tolerance> &ret,
+                      const std::vector<Tolerance> &ret,
                       double now_s) const
 {
     // Traverse the ReT array in descending order (Algorithm 1,
-    // FINDVICTIMREGION).
-    std::vector<std::pair<double, AppId>> order;
-    for (const auto &[app, t] : ret)
-        order.emplace_back(t.ret, app);
-    std::sort(order.rbegin(), order.rend());
+    // FINDVICTIMREGION). The array is AppId-indexed, so ascending
+    // AppId enumeration plus the reverse pair sort reproduce the
+    // exact traversal order of the former ordered-map walk.
+    orderBuf.clear();
+    for (std::size_t i = 0; i < ret.size(); ++i) {
+        if (ret[i].lc)
+            orderBuf.emplace_back(ret[i].ret,
+                                  static_cast<AppId>(i));
+    }
+    std::sort(orderBuf.rbegin(), orderBuf.rend());
 
-    for (const auto &[r, app] : order) {
+    for (const auto &[r, app] : orderBuf) {
         if (r <= cfg.victimRetThreshold)
             break;
         const RegionId iso = layout.isolatedRegionOf(app);
@@ -158,20 +168,24 @@ Arq::findVictimRegion(const RegionLayout &layout,
 
 RegionId
 Arq::findBeneficiaryRegion(const RegionLayout &layout,
-                           const std::map<AppId, Tolerance> &ret) const
+                           const std::vector<Tolerance> &ret) const
 {
     // Identify the application with the smallest ReT (Algorithm 1,
     // FINDBENEFICIARYREGION). ReT saturates at 0 for every violated
     // app, so ties are broken towards the largest intolerable
-    // interference Q_i — the app hurting the most.
+    // interference Q_i — the app hurting the most. Ascending AppId
+    // enumeration keeps the former map's first-seen tie behaviour.
     AppId poorest = machine::kNoApp;
-    Tolerance worst{2.0, -1.0};
-    for (const auto &[app, t] : ret) {
+    Tolerance worst{2.0, -1.0, false};
+    for (std::size_t i = 0; i < ret.size(); ++i) {
+        const Tolerance &t = ret[i];
+        if (!t.lc)
+            continue;
         const bool better = t.ret < worst.ret ||
             (t.ret == worst.ret && t.q > worst.q);
         if (better) {
             worst = t;
-            poorest = app;
+            poorest = static_cast<AppId>(i);
         }
     }
     if (poorest != machine::kNoApp &&
@@ -185,7 +199,7 @@ Arq::findBeneficiaryRegion(const RegionLayout &layout,
 
 bool
 Arq::adjustResource(RegionLayout &layout,
-                    const std::map<AppId, Tolerance> &ret, double now_s)
+                    const std::vector<Tolerance> &ret, double now_s)
 {
     const RegionId victim = findVictimRegion(layout, ret, now_s);
     const RegionId beneficiary = findBeneficiaryRegion(layout, ret);
@@ -218,21 +232,21 @@ Arq::adjust(RegionLayout &layout,
     const obs::Scope &scope = obsScope();
 
     // Monitor: compute E_S and the ReT array.
-    decltype(remainingTolerance(obs)) ret;
+    std::vector<Tolerance> &ret = retBuf;
     {
         obs::Span span(scope, "arq.monitor");
-        std::vector<core::LcObservation> lc;
-        std::vector<core::BeObservation> be;
+        lcBuf.clear();
+        beBuf.clear();
         for (const auto &o : obs) {
             if (o.latencyCritical)
-                lc.push_back(
+                lcBuf.push_back(
                     {o.idealP95Ms, o.p95Ms, o.thresholdMs});
             else
-                be.push_back({o.ipcSolo, o.ipc});
+                beBuf.push_back({o.ipcSolo, o.ipc});
         }
-        report =
-            core::computeEntropy(lc, be, cfg.relativeImportance);
-        ret = remainingTolerance(obs);
+        core::computeEntropyInto(lcBuf, beBuf,
+                                 cfg.relativeImportance, report);
+        remainingToleranceInto(obs, ret);
     }
     const double es = report.eS;
 
@@ -240,17 +254,18 @@ Arq::adjust(RegionLayout &layout,
     // previous delivery, and the controller must not mistake that
     // staleness for a fresh reading.
     bool degraded = false;
+    if (lastGoodRet.size() < ret.size())
+        lastGoodRet.resize(ret.size());
     for (const auto &o : obs) {
         if (!o.sampleValid)
             degraded = true;
         if (!o.latencyCritical)
             continue;
+        const auto id = static_cast<std::size_t>(o.id);
         if (o.sampleValid) {
-            lastGoodRet[o.id] = ret[o.id];
-        } else {
-            const auto it = lastGoodRet.find(o.id);
-            if (it != lastGoodRet.end())
-                ret[o.id] = it->second;
+            lastGoodRet[id] = ret[id];
+        } else if (lastGoodRet[id].lc) {
+            ret[id] = lastGoodRet[id];
         }
     }
 
@@ -298,10 +313,12 @@ Arq::adjust(RegionLayout &layout,
         // full ReT/Q arrays and what Algorithm 1 did about them.
         std::vector<int> app_ids;
         std::vector<double> ret_arr, q_arr;
-        for (const auto &[app, t] : ret) {
-            app_ids.push_back(app);
-            ret_arr.push_back(t.ret);
-            q_arr.push_back(t.q);
+        for (std::size_t i = 0; i < ret.size(); ++i) {
+            if (!ret[i].lc)
+                continue;
+            app_ids.push_back(static_cast<int>(i));
+            ret_arr.push_back(ret[i].ret);
+            q_arr.push_back(ret[i].q);
         }
         obs::Event ev("arq_decision");
         ev.num("t", now_s)

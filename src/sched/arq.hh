@@ -146,36 +146,54 @@ class Arq : public Scheduler
 
     core::EntropyReport report;
 
-    /** Per-app (ReT_i, Q_i) pairs, by AppId. */
+    /**
+     * Per-app (ReT_i, Q_i) entry of the ReT array. The array is a
+     * flat vector indexed by AppId (struct-of-decisions hot path:
+     * the per-epoch monitor fills it by index with no node lookups
+     * or allocations once warm); `lc` marks the LC entries — BE
+     * slots stay defaulted and are skipped by every traversal.
+     */
     struct Tolerance
     {
         double ret = 0.0; // remaining tolerance
         double q = 0.0;   // intolerable interference
+        bool lc = false;  // entry belongs to an LC app
     };
 
-    /**
-     * Last ReT computed from a *delivered* measurement per app.
-     * When an app's sample is dropped the controller steers (well,
-     * holds) on this instead of the stale repeat.
-     */
-    std::map<machine::AppId, Tolerance> lastGoodRet;
+    /** ReT array scratch, rebuilt every interval (AppId-indexed). */
+    std::vector<Tolerance> retBuf;
 
-    std::map<machine::AppId, Tolerance>
-    remainingTolerance(const std::vector<AppObservation> &obs) const;
+    /** Entropy-input scratch, rebuilt every interval. */
+    std::vector<core::LcObservation> lcBuf;
+    std::vector<core::BeObservation> beBuf;
+
+    /**
+     * Last ReT computed from a *delivered* measurement per app
+     * (AppId-indexed; `lc` doubles as the presence flag). When an
+     * app's sample is dropped the controller steers (well, holds)
+     * on this instead of the stale repeat.
+     */
+    std::vector<Tolerance> lastGoodRet;
+
+    /** Victim-search ordering scratch: (ReT, AppId) pairs. */
+    mutable std::vector<std::pair<double, machine::AppId>> orderBuf;
+
+    void
+    remainingToleranceInto(const std::vector<AppObservation> &obs,
+                           std::vector<Tolerance> &ret) const;
 
     machine::RegionId
     findVictimRegion(const machine::RegionLayout &layout,
-                     const std::map<machine::AppId, Tolerance> &ret,
+                     const std::vector<Tolerance> &ret,
                      double now_s) const;
 
     machine::RegionId
-    findBeneficiaryRegion(
-        const machine::RegionLayout &layout,
-        const std::map<machine::AppId, Tolerance> &ret) const;
+    findBeneficiaryRegion(const machine::RegionLayout &layout,
+                          const std::vector<Tolerance> &ret) const;
 
     /** Algorithm 1's AdjustResource; true when a unit moved. */
     bool adjustResource(machine::RegionLayout &layout,
-                        const std::map<machine::AppId, Tolerance> &ret,
+                        const std::vector<Tolerance> &ret,
                         double now_s);
 };
 

@@ -1,6 +1,11 @@
 /**
  * @file
  * CLITE controller implementation.
+ *
+ * Hot-path note: adjust() runs every monitoring interval, so the
+ * decision loop works entirely on member scratch buffers and the
+ * persistent incrementally-updated GP — after the first few
+ * intervals a decision performs no heap allocation.
  */
 
 #include "sched/clite.hh"
@@ -21,15 +26,19 @@ using machine::RegionLayout;
 using machine::ResourceKind;
 
 Clite::Clite(CliteConfig config)
-    : cfg(config), rng(config.seed)
+    : cfg(config), rng(config.seed),
+      gp(config.gpLengthScale, config.gpSignalVar, config.gpNoiseVar)
 {
+    gp.setWindowCap(cfg.gpWindowCap > 0
+                        ? static_cast<std::size_t>(cfg.gpWindowCap)
+                        : 0);
 }
 
 void
 Clite::reset()
 {
     rng = stats::Rng(cfg.seed);
-    xs.clear();
+    gp.clear();
     ys.clear();
     rawAllocs.clear();
     currentAlloc.clear();
@@ -137,10 +146,10 @@ Clite::objective(const std::vector<AppObservation> &obs) const
         1.0 + 0.1 * slack_sum / static_cast<double>(lc_total) : 1.0;
 }
 
-std::vector<int>
-Clite::randomAlloc()
+void
+Clite::randomAllocInto(std::vector<int> &out)
 {
-    std::vector<int> alloc(
+    out.assign(
         static_cast<std::size_t>(numGroups) * kNumResourceKinds, 0);
     for (int k = 0; k < kNumResourceKinds; ++k) {
         const ResourceKind kind =
@@ -153,40 +162,39 @@ Clite::randomAlloc()
         assert(remaining >= 0);
 
         // Random proportional split via uniform weights.
-        std::vector<double> w(static_cast<std::size_t>(numGroups));
+        wBuf.assign(static_cast<std::size_t>(numGroups), 0.0);
         double w_sum = 0.0;
-        for (auto &v : w) {
+        for (auto &v : wBuf) {
             v = rng.uniform() + 0.05;
             w_sum += v;
         }
-        std::vector<int> extra(static_cast<std::size_t>(numGroups),
-                               0);
+        extraBuf.assign(static_cast<std::size_t>(numGroups), 0);
         int assigned = 0;
         for (int g = 0; g < numGroups; ++g) {
-            extra[static_cast<std::size_t>(g)] = static_cast<int>(
+            extraBuf[static_cast<std::size_t>(g)] = static_cast<int>(
                 std::floor(remaining *
-                           w[static_cast<std::size_t>(g)] / w_sum));
-            assigned += extra[static_cast<std::size_t>(g)];
+                           wBuf[static_cast<std::size_t>(g)] /
+                           w_sum));
+            assigned += extraBuf[static_cast<std::size_t>(g)];
         }
         // Distribute the rounding remainder round-robin.
         int leftover = remaining - assigned;
         for (int g = 0; leftover > 0;
              g = (g + 1) % numGroups, --leftover) {
-            ++extra[static_cast<std::size_t>(g)];
+            ++extraBuf[static_cast<std::size_t>(g)];
         }
         for (int g = 0; g < numGroups; ++g) {
-            alloc[static_cast<std::size_t>(g * kNumResourceKinds +
-                                           k)] =
-                min_per + extra[static_cast<std::size_t>(g)];
+            out[static_cast<std::size_t>(g * kNumResourceKinds + k)] =
+                min_per + extraBuf[static_cast<std::size_t>(g)];
         }
     }
-    return alloc;
 }
 
-std::vector<int>
-Clite::perturbAlloc(const std::vector<int> &base)
+void
+Clite::perturbAllocInto(const std::vector<int> &base,
+                        std::vector<int> &out)
 {
-    std::vector<int> alloc = base;
+    out = base;
     // Move one unit of a random kind between two random groups,
     // preserving the per-group minimum of 1 core / 1 way.
     for (int tries = 0; tries < 8; ++tries) {
@@ -205,24 +213,23 @@ Clite::perturbAlloc(const std::vector<int> &base)
         const auto ti =
             static_cast<std::size_t>(to * kNumResourceKinds + k);
         const int min_keep = kind == ResourceKind::MemBw ? 0 : 1;
-        if (alloc[fi] > min_keep) {
-            --alloc[fi];
-            ++alloc[ti];
+        if (out[fi] > min_keep) {
+            --out[fi];
+            ++out[ti];
             break;
         }
     }
-    return alloc;
 }
 
-std::vector<int>
-Clite::rebalanceAlloc(const std::vector<int> &base,
-                      const std::vector<AppObservation> &obs)
+void
+Clite::rebalanceAllocInto(const std::vector<int> &base,
+                          const std::vector<AppObservation> &obs,
+                          std::vector<int> &out)
 {
-    std::vector<int> alloc = base;
-
     // Group order mirrors initialLayout: LC apps in observation
     // order, then the BE pool.
-    std::vector<int> violated, donors;
+    violatedBuf.clear();
+    donorBuf.clear();
     int g = 0;
     bool has_be = false;
     for (const auto &o : obs) {
@@ -231,22 +238,25 @@ Clite::rebalanceAlloc(const std::vector<int> &base,
             continue;
         }
         if (o.p95Ms > o.thresholdMs)
-            violated.push_back(g);
+            violatedBuf.push_back(g);
         else if (o.slack() > 0.2)
-            donors.push_back(g);
+            donorBuf.push_back(g);
         ++g;
     }
     if (has_be)
-        donors.push_back(numGroups - 1); // the BE pool donates too
-    if (violated.empty() || donors.empty())
-        return perturbAlloc(base);
+        donorBuf.push_back(numGroups - 1); // the BE pool donates too
+    if (violatedBuf.empty() || donorBuf.empty()) {
+        perturbAllocInto(base, out);
+        return;
+    }
+    out = base;
 
     // Shift a few units of random kinds towards the violated groups.
     const int moves = 1 + static_cast<int>(rng.uniformInt(3));
     for (int m = 0; m < moves; ++m) {
         const int to =
-            violated[rng.uniformInt(violated.size())];
-        const int from = donors[rng.uniformInt(donors.size())];
+            violatedBuf[rng.uniformInt(violatedBuf.size())];
+        const int from = donorBuf[rng.uniformInt(donorBuf.size())];
         const int k = static_cast<int>(
             rng.uniformInt(kNumResourceKinds));
         const ResourceKind kind =
@@ -256,18 +266,18 @@ Clite::rebalanceAlloc(const std::vector<int> &base,
         const auto ti =
             static_cast<std::size_t>(to * kNumResourceKinds + k);
         const int min_keep = kind == ResourceKind::MemBw ? 0 : 1;
-        if (alloc[fi] > min_keep) {
-            --alloc[fi];
-            ++alloc[ti];
+        if (out[fi] > min_keep) {
+            --out[fi];
+            ++out[ti];
         }
     }
-    return alloc;
 }
 
-std::vector<double>
-Clite::normalise(const std::vector<int> &alloc) const
+void
+Clite::normaliseInto(const std::vector<int> &alloc,
+                     std::vector<double> &x) const
 {
-    std::vector<double> x(alloc.size());
+    x.resize(alloc.size());
     for (int g = 0; g < numGroups; ++g) {
         for (int k = 0; k < kNumResourceKinds; ++k) {
             const int total = available.get(kAllResourceKinds[
@@ -278,7 +288,6 @@ Clite::normalise(const std::vector<int> &alloc) const
                 static_cast<double>(alloc[i]) / total : 0.0;
         }
     }
-    return x;
 }
 
 void
@@ -330,16 +339,16 @@ Clite::adjust(machine::RegionLayout &layout,
     }
 
     // Detect load shifts: the pinned optimum is stale, re-explore.
-    std::vector<double> loads;
+    loadsBuf.clear();
     for (const auto &o : obs) {
         if (o.latencyCritical)
-            loads.push_back(o.loadFraction);
+            loadsBuf.push_back(o.loadFraction);
     }
-    if (!lastLoads.empty() && loads.size() == lastLoads.size()) {
-        for (std::size_t i = 0; i < loads.size(); ++i) {
-            if (std::abs(loads[i] - lastLoads[i]) >
+    if (!lastLoads.empty() && loadsBuf.size() == lastLoads.size()) {
+        for (std::size_t i = 0; i < loadsBuf.size(); ++i) {
+            if (std::abs(loadsBuf[i] - lastLoads[i]) >
                 cfg.loadShiftThreshold) {
-                xs.clear();
+                gp.clear();
                 ys.clear();
                 rawAllocs.clear();
                 exploiting = false;
@@ -356,7 +365,7 @@ Clite::adjust(machine::RegionLayout &layout,
             }
         }
     }
-    lastLoads = loads;
+    std::swap(lastLoads, loadsBuf);
 
     // Let the system settle on the deployed sample before scoring:
     // the previous sample's queue backlog would otherwise make a
@@ -368,9 +377,12 @@ Clite::adjust(machine::RegionLayout &layout,
     }
 
     // Score the configuration that was live during this interval.
+    // The surrogate ingests it immediately (O(window^2) row-append),
+    // so no decision ever pays a refit.
     obs::Span sample_span(obsScope(), "clite.sample");
     const double score = objective(obs);
-    xs.push_back(normalise(currentAlloc));
+    normaliseInto(currentAlloc, xBuf);
+    gp.addSample(xBuf, score);
     ys.push_back(score);
     rawAllocs.push_back(currentAlloc);
 
@@ -395,57 +407,55 @@ Clite::adjust(machine::RegionLayout &layout,
             exploiting = true;
     }
 
-    std::vector<int> next;
     const auto best_it = std::max_element(ys.begin(), ys.end());
     const std::size_t best_idx =
         static_cast<std::size_t>(best_it - ys.begin());
 
     if (exploiting) {
-        next = rawAllocs[best_idx];
+        nextBuf = rawAllocs[best_idx];
     } else if (score < 0.0 && rng.bernoulli(0.6)) {
         // The live config violated QoS: usually hill-climb from the
         // best configuration seen so far instead of waiting for the
         // surrogate to learn the constraint boundary, but keep some
         // probability mass on the global search for diversity.
-        next = rebalanceAlloc(rawAllocs[best_idx], obs);
+        rebalanceAllocInto(rawAllocs[best_idx], obs, nextBuf);
     } else if (exploreCount < cfg.initialSamples) {
-        next = randomAlloc();
+        randomAllocInto(nextBuf);
     } else {
         obs::Span span(obsScope(), "clite.gp");
-        GaussianProcess gp(cfg.gpLengthScale, cfg.gpSignalVar,
-                           cfg.gpNoiseVar);
-        gp.fit(xs, ys);
+        assert(gp.fitted());
         const double best_y = *best_it;
 
         double best_ei = -1.0;
+        bool found = false;
         for (int cand = 0; cand < cfg.candidatePool; ++cand) {
             // Mix global random draws with local refinements of the
             // incumbent and demand-directed rebalances, CLITE-style.
-            std::vector<int> a;
             switch (cand % 4) {
               case 0:
-                a = perturbAlloc(rawAllocs[best_idx]);
+                perturbAllocInto(rawAllocs[best_idx], candBuf);
                 break;
               case 1:
-                a = rebalanceAlloc(rawAllocs[best_idx], obs);
+                rebalanceAllocInto(rawAllocs[best_idx], obs, candBuf);
                 break;
               default:
-                a = randomAlloc();
+                randomAllocInto(candBuf);
                 break;
             }
-            const double ei =
-                gp.expectedImprovement(normalise(a), best_y);
+            normaliseInto(candBuf, xBuf);
+            const double ei = gp.expectedImprovement(xBuf, best_y);
             if (ei > best_ei) {
                 best_ei = ei;
-                next = std::move(a);
+                std::swap(nextBuf, candBuf);
+                found = true;
             }
         }
-        if (next.empty())
-            next = randomAlloc();
+        if (!found)
+            randomAllocInto(nextBuf);
     }
 
-    currentAlloc = next;
-    applyAlloc(layout, next);
+    currentAlloc = nextBuf;
+    applyAlloc(layout, nextBuf);
     if (!exploiting)
         settleLeft = cfg.settleEpochs;
 

@@ -55,8 +55,24 @@ struct CliteConfig
      */
     double guardBand = 0.90;
 
-    /** Candidate pool size for the EI maximisation. */
-    int candidatePool = 300;
+    /**
+     * Candidate pool size for the EI maximisation. Sized so a GP
+     * decision (pool x O(window^2) posterior evaluations) fits the
+     * monitoring interval's compute budget; the pool mixes local
+     * perturbations, demand-directed rebalances and global draws,
+     * so coverage degrades gracefully as it shrinks.
+     */
+    int candidatePool = 64;
+
+    /**
+     * Sliding-window cap on the GP's training samples (0 =
+     * unbounded). The surrogate's Cholesky factor is maintained
+     * incrementally, so this bounds the per-decision cost at
+     * O(window^2) no matter how long the run accumulates samples
+     * (exploit-phase scores stream in every interval). The best
+     * score / allocation history is kept in full regardless.
+     */
+    int gpWindowCap = 10;
 
     /** Load-fraction change that triggers re-exploration. */
     double loadShiftThreshold = 0.05;
@@ -120,14 +136,21 @@ class Clite : public Scheduler
     CliteConfig cfg;
     stats::Rng rng;
 
+    /**
+     * Persistent surrogate, updated incrementally as samples are
+     * scored (one O(window^2) row-append per sample instead of an
+     * O(n^3) refit per decision); its factor is reused across the
+     * whole candidate pool.
+     */
+    GaussianProcess gp;
+
     int numGroups = 0; // LC apps + 1 BE pool
     machine::ResourceVector available;
 
-    /** Normalised allocation vectors and their measured scores. */
-    std::vector<std::vector<double>> xs;
+    /** Measured objective scores, in sample order. */
     std::vector<double> ys;
 
-    /** Raw unit allocations matching xs/ys entries. */
+    /** Raw unit allocations matching ys entries. */
     std::vector<std::vector<int>> rawAllocs;
 
     /** The configuration currently deployed (awaiting its score). */
@@ -139,26 +162,39 @@ class Clite : public Scheduler
 
     std::vector<double> lastLoads;
 
+    // Decision-loop scratch (reused across intervals so the hot
+    // path allocates nothing once warm).
+    std::vector<int> candBuf;     // candidate being scored
+    std::vector<int> nextBuf;     // best candidate so far
+    std::vector<double> xBuf;     // normalised GP input
+    std::vector<double> wBuf;     // random-split weights
+    std::vector<int> extraBuf;    // random-split remainders
+    std::vector<int> violatedBuf; // rebalance: violated groups
+    std::vector<int> donorBuf;    // rebalance: donor groups
+    std::vector<double> loadsBuf; // load-shift detection
+
     /** CLITE's penalised objective from this interval's metrics. */
     double objective(const std::vector<AppObservation> &obs) const;
 
     /** Draw a random feasible allocation (min 1 core/way/group). */
-    std::vector<int> randomAlloc();
+    void randomAllocInto(std::vector<int> &out);
 
     /** Perturb an allocation by moving a few random units. */
-    std::vector<int> perturbAlloc(const std::vector<int> &base);
+    void perturbAllocInto(const std::vector<int> &base,
+                          std::vector<int> &out);
 
     /**
      * Demand-directed candidate: shift units towards the groups of
      * currently violated LC apps from the slack-rich groups and the
      * BE pool (CLITE's prior-informed sampling).
      */
-    std::vector<int>
-    rebalanceAlloc(const std::vector<int> &base,
-                   const std::vector<AppObservation> &obs);
+    void rebalanceAllocInto(const std::vector<int> &base,
+                            const std::vector<AppObservation> &obs,
+                            std::vector<int> &out);
 
     /** Normalise an allocation to a [0,1]-ish GP input vector. */
-    std::vector<double> normalise(const std::vector<int> &alloc) const;
+    void normaliseInto(const std::vector<int> &alloc,
+                       std::vector<double> &x) const;
 
     /** Write an allocation into the layout's regions. */
     static void applyAlloc(machine::RegionLayout &layout,

@@ -1,12 +1,21 @@
 /**
  * @file
  * Gaussian-process implementation.
+ *
+ * The Cholesky factor lives in a fixed-stride row-major buffer so a
+ * row append never moves existing entries. Each appended row is
+ * computed with the same operation order a full left-looking refit
+ * would use, so the incremental factor (and hence predictions) is
+ * bitwise identical to refitting on the same window. Evicting the
+ * oldest sample shifts the trailing factor up-left and restores it
+ * with a Givens-style rank-1 update (cholupdate), O(n^2).
  */
 
 #include "sched/gp.hh"
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 namespace ahq::sched
 {
@@ -34,12 +43,10 @@ GaussianProcess::GaussianProcess(double length_scale, double signal_var,
 }
 
 double
-GaussianProcess::kernel(const std::vector<double> &a,
-                        const std::vector<double> &b) const
+GaussianProcess::kernelRows(const double *a, const double *b) const
 {
-    assert(a.size() == b.size());
     double d2 = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t i = 0; i < dim_; ++i) {
         const double d = a[i] - b[i];
         d2 += d * d;
     }
@@ -48,86 +55,191 @@ GaussianProcess::kernel(const std::vector<double> &a,
 }
 
 void
+GaussianProcess::clear()
+{
+    n_ = 0;
+    dim_ = 0;
+    ySum = 0.0;
+    yMean = 0.0;
+    train.clear();
+    ys_.clear();
+    alpha.clear();
+}
+
+void
+GaussianProcess::setWindowCap(std::size_t cap)
+{
+    window_ = cap;
+    if (window_ > 0) {
+        while (n_ > window_)
+            evictOldest();
+    }
+}
+
+void
 GaussianProcess::fit(const std::vector<std::vector<double>> &xs,
                      const std::vector<double> &ys)
 {
     assert(xs.size() == ys.size());
     assert(!xs.empty());
-    train = xs;
+    clear();
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        addSample(xs[i], ys[i]);
+}
 
-    const std::size_t n = xs.size();
-    yMean = 0.0;
-    for (double y : ys)
-        yMean += y;
-    yMean /= static_cast<double>(n);
-
-    // Build K + noise*I and factor it in place (lower Cholesky).
-    chol.assign(n * n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = 0; j <= i; ++j) {
-            double k = kernel(xs[i], xs[j]);
-            if (i == j)
-                k += noiseVar + 1e-10; // jitter
-            chol[i * n + j] = k;
-        }
+void
+GaussianProcess::addSample(const std::vector<double> &x, double y)
+{
+    if (n_ == 0) {
+        dim_ = x.size();
+    } else {
+        assert(x.size() == dim_ && "inconsistent dimensionality");
     }
-    for (std::size_t j = 0; j < n; ++j) {
-        double diag = chol[j * n + j];
+    if (window_ > 0 && n_ >= window_)
+        evictOldest();
+
+    const std::size_t i = n_;
+    // Grow the strided factor buffer geometrically so existing rows
+    // never move on append.
+    if (i >= stride_) {
+        const std::size_t new_stride =
+            stride_ == 0 ? 8 : stride_ * 2;
+        std::vector<double> grown(new_stride * new_stride, 0.0);
+        for (std::size_t r = 0; r < n_; ++r) {
+            std::memcpy(&grown[r * new_stride], &chol[r * stride_],
+                        (r + 1) * sizeof(double));
+        }
+        chol = std::move(grown);
+        stride_ = new_stride;
+    }
+
+    train.insert(train.end(), x.begin(), x.end());
+    ys_.push_back(y);
+    ySum += y;
+    n_ = i + 1;
+    yMean = ySum / static_cast<double>(n_);
+
+    // New factor row, left-looking — entry (i, j) is computed with
+    // exactly the operations a full refit would use, so the factor
+    // stays bitwise identical to a from-scratch fit of this window.
+    double *row = &chol[i * stride_];
+    const double *xi = &train[i * dim_];
+    for (std::size_t j = 0; j < i; ++j) {
+        double sum = kernelRows(xi, &train[j * dim_]);
+        const double *rj = &chol[j * stride_];
         for (std::size_t k = 0; k < j; ++k)
-            diag -= chol[j * n + k] * chol[j * n + k];
-        assert(diag > 0.0 && "kernel matrix not positive definite");
-        const double l_jj = std::sqrt(diag);
-        chol[j * n + j] = l_jj;
-        for (std::size_t i = j + 1; i < n; ++i) {
-            double sum = chol[i * n + j];
-            for (std::size_t k = 0; k < j; ++k)
-                sum -= chol[i * n + k] * chol[j * n + k];
-            chol[i * n + j] = sum / l_jj;
-        }
+            sum -= row[k] * rj[k];
+        row[j] = sum / rj[j];
     }
+    double diag = kernelRows(xi, xi) + (noiseVar + 1e-10); // jitter
+    for (std::size_t k = 0; k < i; ++k)
+        diag -= row[k] * row[k];
+    assert(diag > 0.0 && "kernel matrix not positive definite");
+    row[i] = std::sqrt(diag);
 
-    // alpha = K^-1 (y - mean) via forward/back substitution.
-    std::vector<double> z(n);
+    refreshAlpha();
+}
+
+void
+GaussianProcess::refreshAlpha()
+{
+    const std::size_t n = n_;
+    zBuf.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-        double sum = ys[i] - yMean;
+        double sum = ys_[i] - yMean;
+        const double *row = &chol[i * stride_];
         for (std::size_t k = 0; k < i; ++k)
-            sum -= chol[i * n + k] * z[k];
-        z[i] = sum / chol[i * n + i];
+            sum -= row[k] * zBuf[k];
+        zBuf[i] = sum / row[i];
     }
     alpha.assign(n, 0.0);
     for (std::size_t ii = n; ii-- > 0;) {
-        double sum = z[ii];
+        double sum = zBuf[ii];
         for (std::size_t k = ii + 1; k < n; ++k)
-            sum -= chol[k * n + ii] * alpha[k];
-        alpha[ii] = sum / chol[ii * n + ii];
+            sum -= chol[k * stride_ + ii] * alpha[k];
+        alpha[ii] = sum / chol[ii * stride_ + ii];
     }
+}
+
+void
+GaussianProcess::evictOldest()
+{
+    assert(n_ > 0);
+    if (n_ == 1) {
+        clear();
+        return;
+    }
+    const std::size_t m = n_ - 1;
+
+    // Removing row/column 0 from K leaves K22, whose factor L22'
+    // satisfies L22' L22'^T = L22 L22^T + l21 l21^T with l21 the
+    // evicted column of the old factor: a rank-1 *update* of the
+    // shifted trailing block.
+    downdateBuf.resize(m);
+    for (std::size_t k = 0; k < m; ++k)
+        downdateBuf[k] = chol[(k + 1) * stride_];
+    for (std::size_t r = 0; r < m; ++r) {
+        double *dst = &chol[r * stride_];
+        const double *src = &chol[(r + 1) * stride_ + 1];
+        for (std::size_t c = 0; c <= r; ++c)
+            dst[c] = src[c];
+    }
+    // Givens rotations zeroing the update vector against the factor
+    // diagonal (backward stable even for near-singular kernels).
+    double *x = downdateBuf.data();
+    for (std::size_t k = 0; k < m; ++k) {
+        double *rowk = &chol[k * stride_];
+        const double r = std::hypot(rowk[k], x[k]);
+        const double c = rowk[k] / r;
+        const double s = x[k] / r;
+        rowk[k] = r;
+        for (std::size_t i = k + 1; i < m; ++i) {
+            double &lik = chol[i * stride_ + k];
+            const double t = lik;
+            lik = c * t + s * x[i];
+            x[i] = c * x[i] - s * t;
+        }
+    }
+
+    train.erase(train.begin(),
+                train.begin() + static_cast<std::ptrdiff_t>(dim_));
+    ys_.erase(ys_.begin());
+    n_ = m;
+    // Fresh in-order sum: repeated add/subtract would drift.
+    ySum = 0.0;
+    for (double v : ys_)
+        ySum += v;
+    yMean = ySum / static_cast<double>(n_);
+    refreshAlpha();
 }
 
 GaussianProcess::Prediction
 GaussianProcess::predict(const std::vector<double> &x) const
 {
     assert(fitted());
-    const std::size_t n = train.size();
+    assert(x.size() == dim_);
+    const std::size_t n = n_;
 
-    std::vector<double> kstar(n);
+    kstarBuf.resize(n);
     for (std::size_t i = 0; i < n; ++i)
-        kstar[i] = kernel(train[i], x);
+        kstarBuf[i] = kernelRows(&train[i * dim_], x.data());
 
     double mean = yMean;
     for (std::size_t i = 0; i < n; ++i)
-        mean += kstar[i] * alpha[i];
+        mean += kstarBuf[i] * alpha[i];
 
     // v = L^-1 kstar; var = k(x,x) - v.v
-    std::vector<double> v(n);
+    vBuf.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-        double sum = kstar[i];
+        double sum = kstarBuf[i];
+        const double *row = &chol[i * stride_];
         for (std::size_t k = 0; k < i; ++k)
-            sum -= chol[i * n + k] * v[k];
-        v[i] = sum / chol[i * n + i];
+            sum -= row[k] * vBuf[k];
+        vBuf[i] = sum / row[i];
     }
-    double var = kernel(x, x);
+    double var = kernelRows(x.data(), x.data());
     for (std::size_t i = 0; i < n; ++i)
-        var -= v[i] * v[i];
+        var -= vBuf[i] * vBuf[i];
     var = std::max(var, 1e-12);
 
     return {mean, var};

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Property tests for the dense contention-curve tables and the
+ * exact-key evaluation memo — the two caching layers the epoch hot
+ * path relies on being *bitwise* transparent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "perf/contention_cache.hh"
+#include "perf/cpi.hh"
+#include "perf/curve_table.hh"
+
+namespace
+{
+
+using ahq::perf::AppCurveTable;
+using ahq::perf::CpiModel;
+using ahq::perf::CpiTraits;
+using ahq::perf::EvaluationMemo;
+using ahq::perf::MissRateCurve;
+
+CpiModel
+model(double mpki_max, double mpki_min, double half_ways,
+      double mlp)
+{
+    CpiTraits t;
+    t.cpiBase = 0.6;
+    t.missPenaltyCycles = 180.0;
+    t.mlp = mlp;
+    t.coreFreqGhz = 2.2;
+    return CpiModel(MissRateCurve(mpki_max, mpki_min, half_ways),
+                    t);
+}
+
+/** A few distinct shapes: cache-hungry, streaming, flat. */
+std::vector<CpiModel>
+models()
+{
+    return {model(20.0, 2.0, 5.0, 2.0), model(30.0, 25.0, 8.0, 8.0),
+            model(1.0, 0.5, 2.0, 1.0), model(40.0, 8.0, 12.0, 4.0)};
+}
+
+// The tentpole contract: at every point of the integer way lattice
+// the table reproduces the direct CpiModel / MissRateCurve
+// evaluation bit-for-bit, for every accessor, across the dilation
+// range the fixed point visits. EXPECT_EQ on doubles is exact.
+TEST(AppCurveTable, LatticeEvaluationsAreBitwiseIdentical)
+{
+    const std::vector<double> dilations{1.0, 1.25, 1.5, 2.0, 3.7};
+    for (const int max_ways : {1, 11, 20}) {
+        for (const CpiModel &m : models()) {
+            const AppCurveTable tab(m, max_ways);
+            EXPECT_EQ(tab.cpiIdeal(),
+                      m.cpiIdeal(static_cast<double>(max_ways)));
+            for (int w = 0; w <= max_ways; ++w) {
+                const auto ways = static_cast<double>(w);
+                EXPECT_EQ(tab.mpki(ways), m.mrc().mpki(ways));
+                EXPECT_EQ(tab.accessIntensity(ways),
+                          m.mrc().accessIntensity(ways));
+                for (const double d : dilations) {
+                    EXPECT_EQ(tab.cpi(ways, d), m.cpi(ways, d));
+                    EXPECT_EQ(
+                        tab.speed(ways, d),
+                        m.speed(ways, d,
+                                static_cast<double>(max_ways)));
+                    EXPECT_EQ(tab.bwDemandPerCore(ways, d),
+                              m.bwDemandPerCore(ways, d));
+                }
+            }
+        }
+    }
+}
+
+// Between lattice points the table interpolates linearly: the value
+// lies within the endpoint interval and hits the analytic lerp of
+// the endpoints.
+TEST(AppCurveTable, FractionalWaysInterpolateBetweenLatticePoints)
+{
+    const CpiModel m = models()[1];
+    const AppCurveTable tab(m, 20);
+    for (double ways = 0.25; ways < 20.0; ways += 0.5) {
+        const double lo = std::floor(ways);
+        const double frac = ways - lo;
+        const double a = m.mrc().mpki(lo);
+        const double b = m.mrc().mpki(lo + 1.0);
+        EXPECT_DOUBLE_EQ(tab.mpki(ways), a + frac * (b - a));
+        EXPECT_LE(tab.mpki(ways), std::max(a, b));
+        EXPECT_GE(tab.mpki(ways), std::min(a, b));
+    }
+}
+
+// Way counts outside the lattice clamp to its ends — the same
+// saturation the analytic curve exhibits at its extremes.
+TEST(AppCurveTable, OutOfRangeWaysClampToLatticeEnds)
+{
+    const CpiModel m = models()[0];
+    const AppCurveTable tab(m, 20);
+    EXPECT_EQ(tab.mpki(-3.0), tab.mpki(0.0));
+    EXPECT_EQ(tab.mpki(25.0), tab.mpki(20.0));
+    EXPECT_EQ(tab.accessIntensity(-1.0), tab.accessIntensity(0.0));
+    EXPECT_EQ(tab.accessIntensity(99.0),
+              tab.accessIntensity(20.0));
+}
+
+TEST(EvaluationMemo, HitReturnsStoredOutcomesExactly)
+{
+    EvaluationMemo<double> memo(8);
+    const std::vector<double> key{1.0, 2.5, -0.0, 3e18};
+    const std::vector<double> out{0.25, 0.75, 1.0};
+
+    EXPECT_EQ(memo.find(key), nullptr);
+    memo.store(key, out);
+    const std::vector<double> *hit = memo.find(key);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(*hit, out);
+    EXPECT_EQ(memo.hits(), 1u);
+    EXPECT_EQ(memo.misses(), 1u);
+}
+
+// Any single-element perturbation of the key — including ones that
+// collide under a weaker hash, like swapped elements — must miss:
+// the memo may only ever short-circuit exact re-evaluations.
+TEST(EvaluationMemo, PerturbedKeysMiss)
+{
+    EvaluationMemo<double> memo(8);
+    const std::vector<double> key{4.0, 8.0, 15.0, 16.0};
+    ASSERT_EQ(memo.find(key), nullptr); // stage the key's hash
+    memo.store(key, {1.0});
+    ASSERT_NE(memo.find(key), nullptr);
+
+    for (std::size_t i = 0; i < key.size(); ++i) {
+        std::vector<double> tweaked = key;
+        tweaked[i] += 1e-9;
+        EXPECT_EQ(memo.find(tweaked), nullptr) << i;
+    }
+    std::vector<double> swapped{8.0, 4.0, 15.0, 16.0};
+    EXPECT_EQ(memo.find(swapped), nullptr);
+    std::vector<double> shorter{4.0, 8.0, 15.0};
+    EXPECT_EQ(memo.find(shorter), nullptr);
+}
+
+TEST(EvaluationMemo, ClearsWhenFullInsteadOfGrowing)
+{
+    EvaluationMemo<int> memo(2);
+    ASSERT_EQ(memo.find({1.0}), nullptr);
+    memo.store({1.0}, {1});
+    ASSERT_EQ(memo.find({2.0}), nullptr);
+    memo.store({2.0}, {2});
+    ASSERT_NE(memo.find({1.0}), nullptr);
+    ASSERT_NE(memo.find({2.0}), nullptr);
+
+    // The third store clears the full table first: the old keys are
+    // gone, the new one is present.
+    ASSERT_EQ(memo.find({3.0}), nullptr);
+    memo.store({3.0}, {3});
+    EXPECT_EQ(memo.find({1.0}), nullptr);
+    EXPECT_EQ(memo.find({2.0}), nullptr);
+    EXPECT_NE(memo.find({3.0}), nullptr);
+}
+
+TEST(EvaluationMemo, ZeroCapacityDisablesCaching)
+{
+    EvaluationMemo<int> memo(0);
+    memo.store({1.0}, {1});
+    EXPECT_EQ(memo.find({1.0}), nullptr);
+    EXPECT_EQ(memo.hits(), 0u);
+    // A disabled memo does not even count traffic.
+    EXPECT_EQ(memo.misses(), 0u);
+}
+
+} // namespace

@@ -284,6 +284,54 @@ TEST(BenchDiff, FlagsRegressionsBeyondThreshold)
     std::remove(newf.c_str());
 }
 
+TEST(BenchDiff, ReportsSpeedupsAndBaselineSelection)
+{
+    const std::string oldf = tmpPath("BENCH_base.json");
+    const std::string newf = tmpPath("BENCH_run.json");
+    auto write = [](const std::string &path, double wall,
+                    double thru) {
+        std::ofstream f(path);
+        f << "{\"type\":\"bench\",\"benchmark\":\"b\","
+             "\"wall_ms\":"
+          << wall << ",\"throughput\":" << thru
+          << ",\"unit\":\"eps\",\"config\":\"c\","
+             "\"git_rev\":\"r\"}\n";
+    };
+
+    // 2x throughput -> a per-row speedup ratio plus the geomean
+    // footer, and still a clean exit.
+    write(oldf, 100.0, 1000.0);
+    write(newf, 50.0, 2000.0);
+    const auto fast = run({"bench-diff", oldf, newf});
+    EXPECT_EQ(fast.code, 0) << fast.err;
+    EXPECT_NE(fast.out.find("2.00x"), std::string::npos)
+        << fast.out;
+    EXPECT_NE(fast.out.find("geomean speedup"), std::string::npos)
+        << fast.out;
+
+    // --baseline <old> plus one positional is the same comparison.
+    const auto sel = run({"bench-diff", "--baseline", oldf, newf});
+    EXPECT_EQ(sel.code, 0) << sel.err;
+    EXPECT_EQ(sel.out, fast.out);
+    const auto eq =
+        run({"bench-diff", "--baseline=" + oldf, newf});
+    EXPECT_EQ(eq.out, fast.out);
+
+    // A regression under --baseline still gates (exit 1).
+    write(newf, 200.0, 500.0);
+    EXPECT_EQ(run({"bench-diff", "--baseline", oldf, newf}).code,
+              1);
+
+    // --baseline with two positionals is ambiguous -> usage error.
+    EXPECT_EQ(
+        run({"bench-diff", "--baseline", oldf, oldf, newf}).code,
+        2);
+    EXPECT_EQ(run({"bench-diff", "--baseline"}).code, 2);
+
+    std::remove(oldf.c_str());
+    std::remove(newf.c_str());
+}
+
 TEST(Usage, MentionsTheNewSubcommands)
 {
     const auto res = run({"help"});

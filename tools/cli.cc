@@ -810,8 +810,9 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
               "--profile run\n"
               "  report [opts] <input>...   fold traces + "
               "BENCH_*.json into one summary\n"
-              "  bench-diff <old> <new>     flag perf regressions "
-              "between two BENCH_*.json\n"
+              "  bench-diff <old> <new>     per-benchmark "
+              "speedups + regression gate between two "
+              "BENCH_*.json (or --baseline <old> <new>)\n"
               "  apps                       workload catalogue\n"
               "  strategies                 scheduler registry\n"
               "  checks                     invariant-audit "

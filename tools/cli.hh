@@ -205,12 +205,16 @@ int runReport(const std::vector<std::string> &args,
               std::ostream &out, std::ostream &err);
 
 /**
- * Run `ahq bench-diff [--threshold=T] <old.json> <new.json>`:
- * compare two BENCH_*.json perf-trajectory files by benchmark name
- * and flag regressions beyond the threshold (default 10%). Exit 0
- * when clean, 1 when a regression is flagged, 2 on usage or parse
- * errors (implemented in report_cmd.cc; also built standalone as
- * tools/bench_diff).
+ * Run `ahq bench-diff [--threshold=T] [--baseline <old.json>]
+ * <old.json> <new.json>`: compare two BENCH_*.json perf-trajectory
+ * files by benchmark name, print the per-benchmark speedup ratio
+ * (new/old throughput, or old/new wall time when a row has no
+ * throughput; geometric mean in the footer) and flag regressions
+ * beyond the threshold (default 10%). With --baseline only the new
+ * file is passed positionally — the CI shape, where the old file
+ * is a committed baseline. Exit 0 when clean, 1 when a regression
+ * is flagged, 2 on usage or parse errors (implemented in
+ * report_cmd.cc; also built standalone as tools/bench_diff).
  */
 int runBenchDiff(const std::vector<std::string> &args,
                  std::ostream &out, std::ostream &err);

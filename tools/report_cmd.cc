@@ -10,6 +10,7 @@
 #include "cli.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <stdexcept>
@@ -304,11 +305,22 @@ runBenchDiff(const std::vector<std::string> &args,
              std::ostream &out, std::ostream &err)
 {
     double threshold = 0.10;
+    std::string baseline;
     std::vector<std::string> files;
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &a = args[i];
         std::string value;
-        if (a == "--threshold") {
+        if (a == "--baseline") {
+            if (i + 1 >= args.size()) {
+                err << "error: --baseline needs a value\n";
+                return 2;
+            }
+            baseline = args[++i];
+            continue;
+        } else if (a.rfind("--baseline=", 0) == 0) {
+            baseline = a.substr(std::string("--baseline=").size());
+            continue;
+        } else if (a == "--threshold") {
             if (i + 1 >= args.size()) {
                 err << "error: --threshold needs a value\n";
                 return 2;
@@ -335,9 +347,21 @@ runBenchDiff(const std::vector<std::string> &args,
             return 2;
         }
     }
+    // Either the classic two-positional form, or --baseline plus
+    // one positional (the fresh run) — the CI shape, where the
+    // baseline is a committed file.
+    if (!baseline.empty()) {
+        if (files.size() != 1) {
+            err << "error: --baseline takes exactly one "
+                   "positional file (the new run)\n";
+            return 2;
+        }
+        files.insert(files.begin(), baseline);
+    }
     if (files.size() != 2) {
         err << "usage: ahq bench-diff [--threshold=0.10] "
-               "<old.json> <new.json>\n";
+               "[--baseline <old.json>] <old.json> <new.json>\n"
+               "       (with --baseline, pass only <new.json>)\n";
         return 2;
     }
 
@@ -352,10 +376,12 @@ runBenchDiff(const std::vector<std::string> &args,
 
     report::TextTable t({"benchmark", "wall old (ms)",
                          "wall new (ms)", "wall delta%",
-                         "thru old", "thru new", "thru delta%",
+                         "thru old", "thru new", "speedup",
                          "status"});
     int regressions = 0;
     int compared = 0;
+    double speedupProduct = 1.0;
+    int speedups = 0;
     for (const auto &[name, o] : oldB) {
         const auto it = newB.find(name);
         if (it == newB.end()) {
@@ -370,10 +396,18 @@ runBenchDiff(const std::vector<std::string> &args,
             o.first > 0.0
                 ? 100.0 * (n.first - o.first) / o.first
                 : 0.0;
-        const double thruPct =
-            o.second > 0.0
-                ? 100.0 * (n.second - o.second) / o.second
-                : 0.0;
+        // Per-benchmark speedup ratio: >1 means the new run is
+        // faster. Throughput is primary (what baselines track);
+        // wall-time inverse fills in for rows without one.
+        double speedup = 0.0;
+        if (o.second > 0.0 && n.second > 0.0)
+            speedup = n.second / o.second;
+        else if (o.first > 0.0 && n.first > 0.0)
+            speedup = o.first / n.first;
+        if (speedup > 0.0) {
+            speedupProduct *= speedup;
+            ++speedups;
+        }
         // Slower wall OR lower throughput beyond the threshold
         // flags the row (each metric is only judged when both
         // files carry it).
@@ -388,7 +422,9 @@ runBenchDiff(const std::vector<std::string> &args,
                   report::TextTable::num(wallPct, 1),
                   report::TextTable::num(o.second),
                   report::TextTable::num(n.second),
-                  report::TextTable::num(thruPct, 1),
+                  speedup > 0.0
+                      ? report::TextTable::num(speedup, 2) + "x"
+                      : "-",
                   wallBad || thruBad ? "REGRESSION" : "ok"});
     }
     for (const auto &[name, n] : newB) {
@@ -402,7 +438,18 @@ runBenchDiff(const std::vector<std::string> &args,
     t.print(out);
     out << compared << " benchmark(s) compared, " << regressions
         << " regression(s) beyond "
-        << report::TextTable::num(threshold * 100.0, 0) << "%\n";
+        << report::TextTable::num(threshold * 100.0, 0) << "%";
+    if (speedups > 0) {
+        // Geometric mean: the one mean that is symmetric under
+        // which file is the baseline of a ratio.
+        out << ", geomean speedup "
+            << report::TextTable::num(
+                   std::pow(speedupProduct,
+                            1.0 / static_cast<double>(speedups)),
+                   2)
+            << "x";
+    }
+    out << "\n";
     return regressions > 0 ? 1 : 0;
 }
 
