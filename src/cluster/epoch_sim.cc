@@ -9,10 +9,12 @@
 #include <cassert>
 #include <cmath>
 #include <optional>
+#include <string>
 
 #include "check/auditor.hh"
 #include "fault/injector.hh"
 #include "obs/span.hh"
+#include "obs/timeseries.hh"
 #include "perf/queueing.hh"
 #include "stats/rng.hh"
 
@@ -33,6 +35,22 @@ namespace
 constexpr double kSpikeLoadCap = 0.95;
 
 } // namespace
+
+bool
+epochTraceSampled(std::uint64_t seed, int epoch, double rate)
+{
+    if (rate >= 1.0)
+        return true;
+    if (rate <= 0.0 || epoch < 0)
+        return false;
+    // +1 keeps epoch 0 off the parent's 0 stream (split(0) would
+    // alias the convention other subsystems use for "first child").
+    stats::Rng r =
+        stats::Rng(seed)
+            .split(kTraceSampleStream)
+            .split(static_cast<std::uint64_t>(epoch) + 1);
+    return r.uniform() < rate;
+}
 
 EpochSimulator::EpochSimulator(Node node, SimulationConfig config)
     : node_(std::move(node)), cfg(config)
@@ -62,6 +80,14 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
     // runs must not keep reporting into the previous run's sinks.
     scheduler.setObsScope(cfg.obs);
     const bool tracing = cfg.obs.tracing();
+    const double sample_rate = cfg.traceSampleRate;
+    // Head-based sampling: the keep/drop decision is made once at
+    // each epoch's head and gates every trace event of that epoch
+    // (scheduler decisions, injector faults, the epoch record).
+    // run_start/run_end and auditor violations always emit, and
+    // metrics / time-series recording is never sampled — series are
+    // the bounded-memory signal sampling exists to protect.
+    const bool sampling = tracing && sample_rate < 1.0;
     if (tracing) {
         obs::Event ev("run_start");
         ev.str("scheduler", scheduler.name())
@@ -70,8 +96,22 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
             .num("epoch_seconds", dt)
             .integer("seed", static_cast<long long>(cfg.seed))
             .integer("warmup", std::min(cfg.warmupEpochs, epochs));
+        if (sampling)
+            ev.num("trace_sample", sample_rate);
         cfg.obs.emit(ev);
     }
+    // Scope handed to the scheduler/injector on sampled-out epochs:
+    // sink muted, metrics and profiler untouched. Built once — the
+    // rejected→rejected steady state performs no scope copies at
+    // all, which is what keeps it allocation-free.
+    obs::Scope muted_scope = cfg.obs;
+    muted_scope.sink = nullptr;
+    bool prev_traced = true;
+    // Per-run half of the epochTraceSampled() split chain, hoisted
+    // out of the loop; the per-epoch decision below must stay
+    // identical to the pure function (the tests assert it is).
+    const stats::Rng sample_base =
+        stats::Rng(cfg.seed).split(kTraceSampleStream);
 
     auto static_obs = node_.staticObservations();
     machine::RegionLayout layout =
@@ -112,6 +152,54 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
     std::vector<core::LcObservation> lc_obs;
     std::vector<core::BeObservation> be_obs;
 
+    // Time-series instrumentation (cfg.obs.series): resolve every
+    // handle once up front — std::map references are stable, so the
+    // per-epoch recording below is lock-free and allocation-free.
+    obs::TimeSeriesRegistry *const tsr = cfg.obs.series;
+    struct SeriesHandles
+    {
+        obs::TimeSeries *eS = nullptr;
+        obs::TimeSeries *eLc = nullptr;
+        obs::TimeSeries *eBe = nullptr;
+        obs::TimeSeries *violations = nullptr;
+        obs::TimeSeries *faults = nullptr;
+        std::vector<obs::TimeSeries *> p95, ret, queue, ipc, cores,
+            ways;
+    } series;
+    if (tsr != nullptr) {
+        const std::string &tag = cfg.obs.scenario;
+        auto h = [&](const std::string &name) {
+            return &tsr->handle(tag, name);
+        };
+        series.eS = h("e_s");
+        series.eLc = h("e_lc");
+        series.eBe = h("e_be");
+        series.violations = h("violations");
+        series.faults = h("faults");
+        const auto un = static_cast<std::size_t>(n);
+        series.p95.assign(un, nullptr);
+        series.ret.assign(un, nullptr);
+        series.queue.assign(un, nullptr);
+        series.ipc.assign(un, nullptr);
+        series.cores.assign(un, nullptr);
+        series.ways.assign(un, nullptr);
+        for (AppId i = 0; i < n; ++i) {
+            const auto ui = static_cast<std::size_t>(i);
+            const auto &prof = node_.profile(i);
+            const std::string suffix =
+                "." + std::to_string(i) + "." + prof.name;
+            series.cores[ui] = h("cores" + suffix);
+            series.ways[ui] = h("ways" + suffix);
+            if (prof.latencyCritical) {
+                series.p95[ui] = h("p95" + suffix);
+                series.ret[ui] = h("ret" + suffix);
+                series.queue[ui] = h("queue" + suffix);
+            } else {
+                series.ipc[ui] = h("ipc" + suffix);
+            }
+        }
+    }
+
     SimulationResult result;
     result.warmupEpochs = std::min(cfg.warmupEpochs, epochs);
     result.epochs.reserve(static_cast<std::size_t>(epochs));
@@ -121,8 +209,26 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
         obs::Span epoch_span(cfg.obs, "epoch");
 
         // 1) Scheduler reacts to last epoch's measurements.
-        if (tracing)
-            scheduler.setObsScope(cfg.obs.atEpoch(e));
+        const bool epoch_traced = tracing &&
+            (!sampling ||
+             sample_base.split(static_cast<std::uint64_t>(e) + 1)
+                     .uniform() < sample_rate);
+        if (tracing) {
+            if (epoch_traced) {
+                scheduler.setObsScope(cfg.obs.atEpoch(e));
+                if (faulting)
+                    injector->setEventsEnabled(true);
+            } else if (prev_traced) {
+                // First rejected epoch after a kept one: mute the
+                // scheduler/injector sinks once. Later rejected
+                // epochs skip even the scope copy, keeping the
+                // rejected steady state allocation-free.
+                scheduler.setObsScope(muted_scope);
+                if (faulting)
+                    injector->setEventsEnabled(false);
+            }
+            prev_traced = epoch_traced;
+        }
         if (faulting)
             injector->beginEpoch(e, t);
         if (e > 0) {
@@ -336,7 +442,41 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
             rec.regionRes.push_back(layout.region(r).res);
         rec.layout = layout;
 
-        if (tracing) {
+        if (tsr != nullptr) {
+            series.eS->record(e, rec.entropy.eS);
+            series.eLc->record(e, rec.entropy.eLc);
+            series.eBe->record(e, rec.entropy.eBe);
+            std::size_t lc_j = 0;
+            int epoch_violations = 0;
+            for (AppId i = 0; i < n; ++i) {
+                const auto ui = static_cast<std::size_t>(i);
+                const auto &o = rec.obs[ui];
+                // prev_ways/prev_cores hold this epoch's values at
+                // this point (updated in the measure phase above).
+                series.cores[ui]->record(e, prev_cores[ui]);
+                series.ways[ui]->record(e, prev_ways[ui]);
+                if (o.latencyCritical) {
+                    series.p95[ui]->record(e, o.p95Ms);
+                    series.queue[ui]->record(e, backlog[ui]);
+                    if (lc_j < rec.entropy.lcDetail.size()) {
+                        series.ret[ui]->record(
+                            e, rec.entropy.lcDetail[lc_j]
+                                   .remainingTolerance);
+                    }
+                    ++lc_j;
+                    if (o.p95Ms >
+                        o.thresholdMs *
+                            (1.0 + core::kThresholdElasticity))
+                        ++epoch_violations;
+                } else {
+                    series.ipc[ui]->record(e, o.ipc);
+                }
+            }
+            series.violations->record(e, epoch_violations);
+            series.faults->record(e, dropped);
+        }
+
+        if (epoch_traced) {
             std::vector<double> p95, ipc;
             p95.reserve(static_cast<std::size_t>(n));
             ipc.reserve(static_cast<std::size_t>(n));

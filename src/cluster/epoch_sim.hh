@@ -82,9 +82,26 @@ struct SimulationConfig
      * Telemetry scope for this run (null sinks by default). The
      * simulator forwards it to the scheduler and emits run/epoch
      * events through it; with no sink attached the instrumentation
-     * reduces to one branch per epoch.
+     * reduces to one branch per epoch. When a TimeSeriesRegistry is
+     * attached (obs.series) the simulator also records per-epoch
+     * E_S / ReT / queue / allocation / fault / violation series
+     * under the scope's scenario tag.
      */
     obs::Scope obs;
+
+    /**
+     * Head-based trace sampling rate in [0, 1]. At 1 (default)
+     * every epoch's trace events are emitted; below 1 each epoch is
+     * kept iff epochTraceSampled(seed, epoch, rate) — a pure
+     * function of (seed, epoch) on its own RNG split, the same
+     * discipline as the fault injector — so sampled traces are
+     * byte-identical across thread counts and the per-node seed
+     * salting makes the decision independent per (run, node).
+     * Sampling gates the epoch/decision/fault trace events only:
+     * run_start/run_end, auditor violations, metrics counters and
+     * time-series recording are unaffected.
+     */
+    double traceSampleRate = 1.0;
 
     /**
      * Invariant auditing for this run (see src/check/). Defaults
@@ -149,6 +166,21 @@ struct SimulationResult
     /** Steady-state mean IPC per app (0 for LC). */
     std::vector<double> meanIpc;
 };
+
+/**
+ * RNG stream id for head-based trace sampling, split off the run
+ * seed (cf. fault::kFaultStream): sampling draws never perturb the
+ * measurement-noise stream, so a sampled run's simulation results
+ * are bit-identical to an unsampled one.
+ */
+inline constexpr std::uint64_t kTraceSampleStream = 0x7e1e5;
+
+/**
+ * Head-based sampling decision for one epoch: keep iff the draw on
+ * split(seed, kTraceSampleStream, epoch) lands under `rate`. Pure
+ * function of its arguments — no state, no ordering dependence.
+ */
+bool epochTraceSampled(std::uint64_t seed, int epoch, double rate);
 
 /**
  * Runs a scheduling strategy on a node for a configured duration.

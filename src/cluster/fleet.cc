@@ -85,14 +85,19 @@ Fleet::runEntries(std::vector<Entry> &entries,
             : n;
         SimulationConfig per_node = config;
         per_node.seed = config.seed + 0x9e37 * (id + 1) + seed_salt;
-        if (tracing) {
-            per_node.obs = scope
-                .tagged((scope.scenario.empty()
-                             ? "node" + std::to_string(id)
-                             : scope.scenario + "/node" +
-                                   std::to_string(id)) +
-                        tag_suffix)
-                .withSink(&buffers[n]);
+        // A per-node scenario tag is needed when tracing (events
+        // must say which node they came from) and also when a
+        // time-series registry is attached: per-(series, node) keys
+        // are what keep concurrent node recordings disjoint.
+        if (tracing || scope.series != nullptr) {
+            per_node.obs = scope.tagged(
+                (scope.scenario.empty()
+                     ? "node" + std::to_string(id)
+                     : scope.scenario + "/node" +
+                           std::to_string(id)) +
+                tag_suffix);
+            if (tracing)
+                per_node.obs.sink = &buffers[n];
         }
         EpochSimulator sim(entries[n].node, per_node);
         out[n] = sim.run(*entries[n].scheduler);
@@ -171,8 +176,7 @@ Fleet::run(const SimulationConfig &config, exec::ThreadPool *pool)
 
         if (tracing) {
             for (std::size_t n = 0; n < nodes_.size(); ++n) {
-                for (const auto &line : buffers[n].lines())
-                    scope.sink->write(line);
+                buffers[n].flushTo(*scope.sink);
                 obs::Event ev("fleet_node");
                 ev.integer("node", static_cast<long long>(n))
                     .str("colocation", nodes_[n].node.describe())
@@ -326,15 +330,12 @@ Fleet::run(const SimulationConfig &config, exec::ThreadPool *pool)
     if (tracing) {
         std::size_t s = 0;
         for (std::size_t n = 0; n < nodes_.size(); ++n) {
-            for (const auto &line : buf_a[n].lines())
-                scope.sink->write(line);
+            buf_a[n].flushTo(*scope.sink);
             const bool survived = !std::binary_search(
                 crashed.begin(), crashed.end(),
                 static_cast<int>(n));
-            if (survived) {
-                for (const auto &line : buf_b[s].lines())
-                    scope.sink->write(line);
-            }
+            if (survived)
+                buf_b[s].flushTo(*scope.sink);
             obs::Event ev("fleet_node");
             ev.integer("node", static_cast<long long>(n))
                 .str("colocation",

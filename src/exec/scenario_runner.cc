@@ -28,7 +28,7 @@ ScenarioRunner::run(const std::vector<ScenarioJob> &jobs) const
 {
     ThreadPool &pool = pool_ ? *pool_ : globalPool();
     if (!obs_.tracing() && obs_.metrics == nullptr &&
-        !obs_.profiling()) {
+        !obs_.profiling() && obs_.series == nullptr) {
         return parallelMap(pool, jobs, [&](const ScenarioJob &job) {
             const auto sched = factory_(job.strategy);
             cluster::EpochSimulator sim(job.node, job.config);
@@ -44,6 +44,10 @@ ScenarioRunner::run(const std::vector<ScenarioJob> &jobs) const
     // and histogram updates commute, so those totals are
     // order-independent too, and so are the per-job profiler
     // merges into the runner-level profiler (integer aggregates).
+    // The time-series registry (obs_.series) likewise rides along
+    // on the per-job scope copies: each job records under its own
+    // scenario tag, so concurrent jobs touch disjoint series and
+    // the folded buckets are order-independent by construction.
     const bool tracing = obs_.tracing();
     const bool profiling = obs_.profiling();
     std::vector<obs::BufferTraceSink> buffers(jobs.size());
@@ -105,10 +109,8 @@ ScenarioRunner::run(const std::vector<ScenarioJob> &jobs) const
     });
 
     if (tracing) {
-        for (auto &buf : buffers) {
-            for (const auto &line : buf.lines())
-                obs_.sink->write(line);
-        }
+        for (auto &buf : buffers)
+            buf.flushTo(*obs_.sink);
     }
     return results;
 }

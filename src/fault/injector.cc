@@ -51,7 +51,8 @@ sameStructure(const RegionLayout &a, const RegionLayout &b)
 FaultInjector::FaultInjector(const FaultPlan &plan,
                              std::uint64_t seed, obs::Scope scope)
     : plan_(plan), rng_(stats::Rng(seed).split(kFaultStream)),
-      obs_(std::move(scope)), spikeOn_(plan.spikes().size(), false)
+      obs_(std::move(scope)), sink_(obs_.sink),
+      spikeOn_(plan.spikes().size(), false)
 {
 }
 

@@ -41,6 +41,19 @@ class FaultInjector
                   obs::Scope scope);
 
     /**
+     * Head-based trace sampling seam: mute (or restore) the
+     * injector's fault/recovery *events* for the current epoch.
+     * The simulator flips this at each epoch head so a sampled-out
+     * epoch emits nothing. Fault draws, outcomes and `fault.*`
+     * metrics counters are unaffected — sampling changes what is
+     * written, never what happens.
+     */
+    void setEventsEnabled(bool on)
+    {
+        obs_.sink = on ? sink_ : nullptr;
+    }
+
+    /**
      * Per-epoch bookkeeping: announce load-spike activation edges.
      * Call once at the top of every epoch, before the decision.
      */
@@ -92,6 +105,9 @@ class FaultInjector
     const FaultPlan &plan_;
     stats::Rng rng_;
     obs::Scope obs_;
+
+    /** The scope's original sink, for setEventsEnabled(true). */
+    obs::TraceSink *sink_ = nullptr;
 
     /** Consecutive dropped epochs per app, for recovery events. */
     std::map<int, int> dropStreak_;

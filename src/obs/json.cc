@@ -1,73 +1,13 @@
 /**
  * @file
- * JSON helper implementation.
+ * JSON helper implementation (the non-template convenience only;
+ * the buffer-generic appenders live in the header).
  */
 
 #include "obs/json.hh"
 
-#include <charconv>
-#include <cmath>
-#include <cstdio>
-
 namespace ahq::obs::json
 {
-
-void
-appendString(std::string &out, std::string_view s)
-{
-    out.push_back('"');
-    for (const char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\r':
-            out += "\\r";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(
-                                  static_cast<unsigned char>(c)));
-                out += buf;
-            } else {
-                out.push_back(c);
-            }
-        }
-    }
-    out.push_back('"');
-}
-
-void
-appendNumber(std::string &out, double v)
-{
-    if (!std::isfinite(v)) {
-        out += "null";
-        return;
-    }
-    char buf[32];
-    const auto res =
-        std::to_chars(buf, buf + sizeof(buf), v);
-    out.append(buf, res.ptr);
-}
-
-void
-appendNumber(std::string &out, long long v)
-{
-    char buf[24];
-    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
-    out.append(buf, res.ptr);
-}
 
 std::string
 quoted(std::string_view s)

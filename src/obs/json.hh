@@ -8,11 +8,20 @@
  * bytes — the property the serial==parallel trace-identity test
  * relies on). Non-finite doubles render as null, which keeps every
  * emitted line valid JSON.
+ *
+ * The helpers are templated over the output buffer so the hot
+ * trace-assembly path can write into an arena-backed obs::ArenaString
+ * while offline tools keep using std::string; both expose the same
+ * push_back / operator+= / append(first, last) slice of the string
+ * interface.
  */
 
 #ifndef AHQ_OBS_JSON_HH
 #define AHQ_OBS_JSON_HH
 
+#include <charconv>
+#include <cmath>
+#include <cstdio>
 #include <string>
 #include <string_view>
 
@@ -20,13 +29,67 @@ namespace ahq::obs::json
 {
 
 /** Append s as a quoted, escaped JSON string. */
-void appendString(std::string &out, std::string_view s);
+template <class Out>
+void
+appendString(Out &out, std::string_view s)
+{
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
 
 /** Append a double (shortest round-trip; null when non-finite). */
-void appendNumber(std::string &out, double v);
+template <class Out>
+void
+appendNumber(Out &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    char buf[32];
+    const auto res =
+        std::to_chars(buf, buf + sizeof(buf), v);
+    out.append(buf, res.ptr);
+}
 
 /** Append an integer. */
-void appendNumber(std::string &out, long long v);
+template <class Out>
+void
+appendNumber(Out &out, long long v)
+{
+    char buf[24];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out.append(buf, res.ptr);
+}
 
 /** Quoted, escaped JSON string (convenience). */
 std::string quoted(std::string_view s);

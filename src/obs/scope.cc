@@ -1,14 +1,38 @@
 /**
  * @file
- * Event rendering.
+ * Event rendering (arena-backed; see the Event doc in scope.hh for
+ * the stack discipline).
  */
 
 #include "obs/scope.hh"
+
+#include <cstring>
 
 #include "obs/json.hh"
 
 namespace ahq::obs
 {
+
+namespace
+{
+
+std::string_view
+copyToArena(Arena &arena, std::string_view s)
+{
+    if (s.empty())
+        return {};
+    char *p = arena.alloc(s.size());
+    std::memcpy(p, s.data(), s.size());
+    return {p, s.size()};
+}
+
+} // namespace
+
+Event::Event(std::string_view type)
+    : arena_(traceArena()), mark_(arena_.mark()),
+      type_(copyToArena(arena_, type)), payload_(arena_)
+{
+}
 
 void
 Event::key(std::string_view k)
@@ -85,10 +109,11 @@ Event::strs(std::string_view k, const std::vector<std::string> &v)
     return *this;
 }
 
-std::string
+std::string_view
 Event::render(std::string_view scenario, int epoch) const
 {
-    std::string line = "{\"v\":";
+    ArenaString line(arena_, payload_.size() + 96);
+    line += "{\"v\":";
     json::appendNumber(line,
                        static_cast<long long>(kSchemaVersion));
     line += ",\"type\":";
@@ -101,9 +126,9 @@ Event::render(std::string_view scenario, int epoch) const
         line += ",\"epoch\":";
         json::appendNumber(line, static_cast<long long>(epoch));
     }
-    line += payload_;
+    line += payload_.view();
     line.push_back('}');
-    return line;
+    return line.view();
 }
 
 } // namespace ahq::obs

@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/alloc.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_sink.hh"
 
@@ -27,6 +28,7 @@ namespace ahq::obs
 {
 
 class SpanProfiler;
+class TimeSeriesRegistry;
 
 /** Version stamped into every trace event as `"v"`. */
 inline constexpr int kSchemaVersion = 1;
@@ -35,14 +37,23 @@ inline constexpr int kSchemaVersion = 1;
  * One trace event under construction. Fields render in call order
  * after the standard header (v, type, scenario, epoch), so a given
  * emission site always produces the same byte layout.
+ *
+ * All scratch space — the type tag, the payload, and the rendered
+ * line — lives in the calling thread's trace arena and is rewound
+ * when the Event is destroyed, so a warm steady state assembles
+ * events without heap allocations. Consequence: Events follow stack
+ * discipline (build, render, write, destroy — in that order, most
+ * recent first), and the view render() returns is valid only while
+ * the Event is alive.
  */
 class Event
 {
   public:
-    explicit Event(std::string type)
-        : type_(std::move(type))
-    {
-    }
+    explicit Event(std::string_view type);
+    ~Event() { arena_.release(mark_); }
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
 
     Event &num(std::string_view key, double v);
     Event &integer(std::string_view key, long long v);
@@ -52,14 +63,18 @@ class Event
     Event &strs(std::string_view key,
                 const std::vector<std::string> &v);
 
-    /** The full JSONL line (no trailing newline). */
-    std::string render(std::string_view scenario, int epoch) const;
+    /** The full JSONL line (no trailing newline); arena-backed,
+        valid until this Event is destroyed. */
+    std::string_view render(std::string_view scenario,
+                            int epoch) const;
 
   private:
     void key(std::string_view k);
 
-    std::string type_;
-    std::string payload_;
+    Arena &arena_;
+    Arena::Mark mark_;
+    std::string_view type_;
+    ArenaString payload_;
 };
 
 /**
@@ -95,6 +110,14 @@ struct Scope
      * obs/span.hh for the aggregation and determinism rules.
      */
     SpanProfiler *prof = nullptr;
+
+    /**
+     * Time-series destination; null = no series recording. Rides
+     * along every derived-scope copy, so attaching a registry at
+     * the top level (CLI, Fleet) instruments every nested
+     * simulator without further plumbing. See obs/timeseries.hh.
+     */
+    TimeSeriesRegistry *series = nullptr;
 
     /** Whether events would actually be written. */
     bool tracing() const { return sink != nullptr; }

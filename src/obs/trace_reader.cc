@@ -5,10 +5,14 @@
 
 #include "obs/trace_reader.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <fstream>
+#include <iterator>
 #include <stdexcept>
+
+#include "obs/metrics.hh"
 
 namespace ahq::obs
 {
@@ -260,32 +264,67 @@ parseTraceLine(const std::string &line)
     return ev;
 }
 
+bool
+isKnownTraceType(std::string_view type)
+{
+    // The schema-v1 taxonomy (docs/TRACE_SCHEMA.md). Sorted so the
+    // lookup is a binary search; update alongside the doc table.
+    static constexpr std::string_view kKnown[] = {
+        "arq_decision",  "bench",          "clite_decision",
+        "epoch",         "fault",          "fleet_end",
+        "fleet_node",    "fleet_start",    "parties_decision",
+        "recovery",      "run_end",        "run_start",
+        "scenario_end",  "scenario_start", "series",
+        "span",          "violation",
+    };
+    return std::binary_search(std::begin(kKnown),
+                              std::end(kKnown), type);
+}
+
 void
-forEachTrace(std::istream &in, const TraceEventFn &fn)
+forEachTrace(std::istream &in, const TraceEventFn &fn,
+             TraceReadStats *stats)
 {
     std::string line;
     int n = 0;
+    std::uint64_t unknown = 0;
     while (std::getline(in, line)) {
         ++n;
         if (line.empty())
             continue;
         try {
-            fn(parseTraceLine(line), n);
+            const TraceEvent ev = parseTraceLine(line);
+            if (stats != nullptr) {
+                ++stats->events;
+                const std::string type = ev.type();
+                if (!isKnownTraceType(type)) {
+                    ++stats->unknownEvents;
+                    ++stats->unknownTypes[type];
+                    ++unknown;
+                }
+            }
+            fn(ev, n);
         } catch (const std::exception &e) {
             throw std::runtime_error("line " + std::to_string(n) +
                                      ": " + e.what());
         }
     }
+    // Unknown types must leave a trace even when the caller drops
+    // the stats struct on the floor.
+    if (unknown > 0)
+        globalMetrics().add("reader.unknown_events",
+                            static_cast<double>(unknown));
 }
 
 void
-forEachTraceFile(const std::string &path, const TraceEventFn &fn)
+forEachTraceFile(const std::string &path, const TraceEventFn &fn,
+                 TraceReadStats *stats)
 {
     std::ifstream in(path);
     if (!in.is_open())
         throw std::runtime_error("cannot open trace: " + path);
     try {
-        forEachTrace(in, fn);
+        forEachTrace(in, fn, stats);
     } catch (const std::exception &e) {
         throw std::runtime_error(path + ": " + e.what());
     }

@@ -13,10 +13,12 @@
 #ifndef AHQ_OBS_TRACE_READER_HH
 #define AHQ_OBS_TRACE_READER_HH
 
+#include <cstdint>
 #include <functional>
 #include <istream>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace ahq::obs
@@ -69,6 +71,28 @@ struct TraceEvent
 /** Parse one JSONL line. @throws std::runtime_error on bad input. */
 TraceEvent parseTraceLine(const std::string &line);
 
+/**
+ * Whether `type` belongs to the documented schema-v1 taxonomy
+ * (docs/TRACE_SCHEMA.md). Readers use this to count — rather than
+ * silently drop — event types they do not understand.
+ */
+bool isKnownTraceType(std::string_view type);
+
+/**
+ * Tally of one streaming read. Events whose type is outside the
+ * schema taxonomy are still delivered to the callback, but they
+ * are counted here and mirrored into the `reader.unknown_events`
+ * counter on globalMetrics(), so foreign or future-schema lines
+ * always leave a trace instead of vanishing.
+ */
+struct TraceReadStats
+{
+    std::uint64_t events = 0;
+    std::uint64_t unknownEvents = 0;
+    /** Distinct unknown types with occurrence counts. */
+    std::map<std::string, std::uint64_t> unknownTypes;
+};
+
 /** Callback receiving each event with its 1-based line number. */
 using TraceEventFn =
     std::function<void(const TraceEvent &, int line)>;
@@ -77,12 +101,14 @@ using TraceEventFn =
  * Stream a trace: parse one line at a time (blank lines skipped)
  * and hand each event to `fn` without materialising the file.
  * This is how `ahq trace`/`ahq profile` read multi-GB traces in
- * constant memory.
+ * constant memory. When `stats` is non-null it is filled with the
+ * event / unknown-type tally for the read.
  * @throws std::runtime_error with a "line N:" prefix on the first
  *         malformed line (nothing after it is delivered); anything
  *         `fn` throws propagates with the same line prefix.
  */
-void forEachTrace(std::istream &in, const TraceEventFn &fn);
+void forEachTrace(std::istream &in, const TraceEventFn &fn,
+                  TraceReadStats *stats = nullptr);
 
 /**
  * Stream a trace file.
@@ -90,7 +116,8 @@ void forEachTrace(std::istream &in, const TraceEventFn &fn);
  *         forEachTrace with the path prefixed.
  */
 void forEachTraceFile(const std::string &path,
-                      const TraceEventFn &fn);
+                      const TraceEventFn &fn,
+                      TraceReadStats *stats = nullptr);
 
 /** Parse a whole stream (blank lines skipped). */
 std::vector<TraceEvent> readTrace(std::istream &in);

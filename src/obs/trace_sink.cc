@@ -64,33 +64,58 @@ void
 BufferTraceSink::write(std::string_view line)
 {
     std::lock_guard<std::mutex> lk(m);
-    lines_.emplace_back(line);
+    data_.append(line.data(), line.size());
+    data_.push_back('\n');
+    ends_.push_back(data_.size());
 }
 
 std::string
 BufferTraceSink::str() const
 {
     std::lock_guard<std::mutex> lk(m);
-    std::string out;
-    for (const auto &l : lines_) {
-        out += l;
-        out += '\n';
-    }
-    return out;
+    return data_;
 }
 
 std::vector<std::string>
 BufferTraceSink::lines() const
 {
     std::lock_guard<std::mutex> lk(m);
-    return lines_;
+    std::vector<std::string> out;
+    out.reserve(ends_.size());
+    std::size_t start = 0;
+    for (const std::size_t end : ends_) {
+        // end - 1 strips the trailing newline appended by write().
+        out.emplace_back(data_, start, end - 1 - start);
+        start = end;
+    }
+    return out;
+}
+
+void
+BufferTraceSink::flushTo(TraceSink &out) const
+{
+    std::lock_guard<std::mutex> lk(m);
+    std::size_t start = 0;
+    for (const std::size_t end : ends_) {
+        out.write(std::string_view(data_)
+                      .substr(start, end - 1 - start));
+        start = end;
+    }
+}
+
+std::size_t
+BufferTraceSink::lineCount() const
+{
+    std::lock_guard<std::mutex> lk(m);
+    return ends_.size();
 }
 
 void
 BufferTraceSink::clear()
 {
     std::lock_guard<std::mutex> lk(m);
-    lines_.clear();
+    data_.clear();
+    ends_.clear();
 }
 
 } // namespace ahq::obs

@@ -65,7 +65,13 @@ class FileTraceSink : public TraceSink
     std::ofstream out;
 };
 
-/** Sink accumulating lines in memory (tests, batch buffering). */
+/**
+ * Sink accumulating lines in memory (tests, batch buffering).
+ * Stored as one flat byte buffer plus line-end offsets rather than
+ * a vector of strings: appends amortise to zero allocations once
+ * the buffer is warm (clear() keeps capacity), and flushTo() hands
+ * whole batches downstream without per-line copies.
+ */
 class BufferTraceSink : public TraceSink
 {
   public:
@@ -74,14 +80,21 @@ class BufferTraceSink : public TraceSink
     /** Everything written so far, newline-terminated lines. */
     std::string str() const;
 
-    /** The individual lines. */
+    /** The individual lines (copied; analysis/test convenience). */
     std::vector<std::string> lines() const;
 
+    /** Replay every buffered line, in order, into another sink. */
+    void flushTo(TraceSink &out) const;
+
+    std::size_t lineCount() const;
+
+    /** Drop content, keeping buffer capacity for reuse. */
     void clear();
 
   private:
     mutable std::mutex m;
-    std::vector<std::string> lines_;
+    std::string data_;
+    std::vector<std::size_t> ends_;
 };
 
 } // namespace ahq::obs

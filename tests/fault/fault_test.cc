@@ -473,6 +473,73 @@ TEST(ChaosFuzz, FaultedTracesByteIdenticalAtAnyThreadCount)
               std::string::npos);
 }
 
+TEST(ChaosFuzz, SampledFaultedTracesByteIdenticalAtAnyThreadCount)
+{
+    // The head-based sampler composes with fault injection: a
+    // sampled chaos trace (epochs kept by the seeded per-epoch
+    // draw, everything else muted) must still come out
+    // byte-identical at any thread count, and must be a strict
+    // subset of the unsampled run.
+    const auto plan = fault::FaultPlan::builtinChaos();
+    cluster::SimulationConfig cfg;
+    cfg.durationSeconds = 10.0;
+    cfg.warmupEpochs = 4;
+    cfg.seed = 5;
+    cfg.checkMode = check::Mode::Strict;
+    cfg.faults = &plan;
+
+    auto run_with = [&](int threads, double rate) {
+        cluster::SimulationConfig c = cfg;
+        c.traceSampleRate = rate;
+        std::vector<exec::ScenarioJob> jobs;
+        for (const auto &name : sched::allStrategyNames())
+            jobs.push_back({name, canonicalNode(), c, name});
+        exec::ThreadPool pool(threads);
+        exec::ScenarioRunner runner(&pool);
+        obs::BufferTraceSink sink;
+        obs::Scope scope;
+        scope.sink = &sink;
+        runner.setObsScope(scope);
+        runner.run(jobs);
+        return sink.str();
+    };
+
+    const std::string serial = run_with(1, 0.3);
+    const std::string wide = run_with(4, 0.3);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, wide);
+
+    auto count_of = [](const std::string &trace,
+                       const std::string &type) {
+        const std::string needle = "\"type\":\"" + type + "\"";
+        std::size_t n = 0;
+        for (auto pos = trace.find(needle);
+             pos != std::string::npos;
+             pos = trace.find(needle, pos + needle.size()))
+            ++n;
+        return n;
+    };
+    const std::string full = run_with(1, 1.0);
+    EXPECT_GT(count_of(serial, "epoch"), 0u);
+    EXPECT_LT(count_of(serial, "epoch"),
+              count_of(full, "epoch"));
+    // Fault events ride the same per-epoch gate.
+    EXPECT_LE(count_of(serial, "fault"),
+              count_of(full, "fault"));
+    // Every kept line also appears in the full trace: sampling
+    // only mutes, it never rewrites (run_start's trace_sample
+    // field is the single intended difference).
+    std::istringstream kept(serial);
+    std::string line;
+    while (std::getline(kept, line)) {
+        if (line.find("\"type\":\"run_start\"") !=
+            std::string::npos)
+            continue;
+        EXPECT_NE(full.find(line), std::string::npos)
+            << "sampled-only line: " << line;
+    }
+}
+
 TEST(FleetFaults, NodeCrashFailsOverToSurvivors)
 {
     fault::FaultPlan plan;

@@ -39,14 +39,17 @@ TEST(Scope, DisabledScopeIsANoOp)
 
 TEST(Scope, EventHeaderThenFieldsInCallOrder)
 {
-    const std::string line = Event("arq_decision")
-                                 .str("action", "move")
-                                 .num("e_s", 0.25)
-                                 .integer("victim", 2)
-                                 .nums("ret", {0.1, 0.2})
-                                 .ints("regions", {1, 3})
-                                 .strs("apps", {"a", "b"})
-                                 .render("s1", 7);
+    // render() returns a view into the event's arena: copy it
+    // out (direct-init — std::string's string_view ctor is
+    // explicit) before the Event is destroyed.
+    const std::string line(Event("arq_decision")
+                               .str("action", "move")
+                               .num("e_s", 0.25)
+                               .integer("victim", 2)
+                               .nums("ret", {0.1, 0.2})
+                               .ints("regions", {1, 3})
+                               .strs("apps", {"a", "b"})
+                               .render("s1", 7));
     EXPECT_EQ(line,
               "{\"v\":1,\"type\":\"arq_decision\","
               "\"scenario\":\"s1\",\"epoch\":7,"

@@ -332,6 +332,167 @@ TEST(BenchDiff, ReportsSpeedupsAndBaselineSelection)
     std::remove(newf.c_str());
 }
 
+TEST(CliParse, TraceSampleFlag)
+{
+    EXPECT_DOUBLE_EQ(parseSimulateArgs({"xapian=0.5", "stream"})
+                         .traceSampleRate,
+                     1.0);
+    EXPECT_DOUBLE_EQ(
+        parseSimulateArgs(
+            {"--trace-sample", "0.25", "xapian=0.5", "stream"})
+            .traceSampleRate,
+        0.25);
+    EXPECT_DOUBLE_EQ(parseSimulateArgs({"--trace-sample=0.5",
+                                        "xapian=0.5", "stream"})
+                         .traceSampleRate,
+                     0.5);
+    // The rate is a probability: out-of-range values are rejected
+    // at parse time, not clamped.
+    EXPECT_THROW((void)parseSimulateArgs({"--trace-sample", "1.5",
+                                          "xapian=0.5", "stream"}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)parseSimulateArgs({"--trace-sample", "-0.1",
+                                          "xapian=0.5", "stream"}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)parseSimulateArgs({"--trace-sample", "zz",
+                                          "xapian=0.5", "stream"}),
+                 std::invalid_argument);
+}
+
+TEST(Timeline, RendersSparklinesCsvAndJsonFromATracedRun)
+{
+    const std::string trace = tmpPath("timeline.jsonl");
+    const auto sim = run({"simulate", "--duration", "5",
+                          "--warmup", "0", "--trace", trace,
+                          "xapian=0.5", "stream"});
+    ASSERT_EQ(sim.code, 0) << sim.err;
+
+    // Text mode: per-(scenario, series) blocks with a stats line
+    // and an aligned sparkline between pipes.
+    const auto text = run({"timeline", trace});
+    ASSERT_EQ(text.code, 0) << text.err;
+    EXPECT_NE(text.out.find("ARQ :: e_s"), std::string::npos)
+        << text.out;
+    EXPECT_NE(text.out.find("p99="), std::string::npos);
+    EXPECT_NE(text.out.find("  |"), std::string::npos);
+
+    // --series filters down to the named series only.
+    const auto only =
+        run({"timeline", "--series", "e_s", trace});
+    ASSERT_EQ(only.code, 0) << only.err;
+    EXPECT_NE(only.out.find(":: e_s"), std::string::npos);
+    EXPECT_EQ(only.out.find(":: e_lc"), std::string::npos)
+        << only.out;
+
+    const auto csv = run({"timeline", "--format=csv", trace});
+    ASSERT_EQ(csv.code, 0) << csv.err;
+    EXPECT_EQ(csv.out.rfind("scenario,series,bucket,epoch_lo,"
+                            "stride,count,min,max,mean\n",
+                            0),
+              0u)
+        << csv.out;
+    EXPECT_NE(csv.out.find("ARQ,e_s,0,0,"), std::string::npos)
+        << csv.out;
+
+    const auto js = run({"timeline", "--format=json", trace});
+    ASSERT_EQ(js.code, 0) << js.err;
+    EXPECT_EQ(js.out.rfind("{\"v\":1,\"series\":[", 0), 0u)
+        << js.out;
+    EXPECT_NE(js.out.find("\"series\":\"e_s\""),
+              std::string::npos);
+    EXPECT_NE(js.out.find("\"markers\":["), std::string::npos);
+    std::remove(trace.c_str());
+}
+
+TEST(Timeline, ChaosTimelineByteIdenticalAcrossJobsUnderSampling)
+{
+    const std::string t1 = tmpPath("chaos_tl_j1.jsonl");
+    const std::string t8 = tmpPath("chaos_tl_j8.jsonl");
+    auto with = [&](const std::string &trace,
+                    const std::string &jobs) {
+        return run({"chaos", "--duration", "10", "--warmup", "2",
+                    "--seed", "5", "--trace-sample", "0.5",
+                    "--trace", trace, "--jobs", jobs});
+    };
+    const auto r1 = with(t1, "1");
+    ASSERT_EQ(r1.code, 0) << r1.err;
+    const auto r8 = with(t8, "8");
+    ASSERT_EQ(r8.code, 0) << r8.err;
+
+    std::ifstream f1(t1), f8(t8);
+    const std::string c1((std::istreambuf_iterator<char>(f1)),
+                         std::istreambuf_iterator<char>());
+    const std::string c8((std::istreambuf_iterator<char>(f8)),
+                         std::istreambuf_iterator<char>());
+    ASSERT_FALSE(c1.empty());
+    EXPECT_EQ(c1, c8);
+    // Sampling is advertised in the header and the folded series
+    // (recorded every epoch, never sampled) close the trace.
+    EXPECT_NE(c1.find("\"trace_sample\":0.5"), std::string::npos);
+    EXPECT_NE(c1.find("\"type\":\"series\""), std::string::npos);
+
+    // Rendering the two traces gives the same bytes, with the
+    // chaos plan's faults showing up in the marker row.
+    const auto tl1 = run({"timeline", t1});
+    const auto tl8 = run({"timeline", t8});
+    ASSERT_EQ(tl1.code, 0) << tl1.err;
+    // The first line names the input file; everything after it
+    // must match byte for byte.
+    const auto body = [](const std::string &s) {
+        return s.substr(s.find('\n'));
+    };
+    EXPECT_EQ(body(tl1.out), body(tl8.out));
+    EXPECT_NE(tl1.out.find("x=fault"), std::string::npos)
+        << tl1.out;
+    std::remove(t1.c_str());
+    std::remove(t8.c_str());
+}
+
+TEST(Timeline, UsageAndErrorPaths)
+{
+    EXPECT_EQ(run({"timeline"}).code, 2);
+    EXPECT_EQ(run({"timeline", "--format=xml", "x.jsonl"}).code,
+              2);
+    EXPECT_EQ(run({"timeline", "--width=4", "x.jsonl"}).code, 2);
+    EXPECT_EQ(run({"timeline", "/nonexistent/x.jsonl"}).code, 1);
+
+    // A trace without series events is a loud error with a hint,
+    // not an empty rendering.
+    const std::string trace = tmpPath("noseries.jsonl");
+    {
+        std::ofstream f(trace);
+        f << "{\"v\":1,\"type\":\"epoch\",\"scenario\":\"s\","
+             "\"e_s\":0.5}\n";
+    }
+    const auto res = run({"timeline", trace});
+    EXPECT_EQ(res.code, 1);
+    EXPECT_NE(res.err.find("no matching series"),
+              std::string::npos)
+        << res.err;
+    std::remove(trace.c_str());
+}
+
+TEST(Report, FoldsSeriesEventsIntoEsColumns)
+{
+    const std::string trace = tmpPath("report_series.jsonl");
+    const auto sim = run({"simulate", "--duration", "4",
+                          "--warmup", "0", "--trace", trace,
+                          "xapian=0.5", "stream"});
+    ASSERT_EQ(sim.code, 0) << sim.err;
+
+    const auto js = run({"report", trace});
+    ASSERT_EQ(js.code, 0) << js.err;
+    EXPECT_NE(js.out.find("\"es_min\":"), std::string::npos)
+        << js.out;
+    EXPECT_NE(js.out.find("\"es_max\":"), std::string::npos);
+    EXPECT_NE(js.out.find("\"es_p99\":"), std::string::npos);
+
+    const auto md = run({"report", "--format=md", trace});
+    ASSERT_EQ(md.code, 0) << md.err;
+    EXPECT_NE(md.out.find("E_S p99"), std::string::npos) << md.out;
+    std::remove(trace.c_str());
+}
+
 TEST(Usage, MentionsTheNewSubcommands)
 {
     const auto res = run({"help"});
@@ -341,6 +502,8 @@ TEST(Usage, MentionsTheNewSubcommands)
     EXPECT_NE(res.out.find("report [opts]"), std::string::npos);
     EXPECT_NE(res.out.find("bench-diff"), std::string::npos);
     EXPECT_NE(res.out.find("--profile"), std::string::npos);
+    EXPECT_NE(res.out.find("timeline [opts]"), std::string::npos);
+    EXPECT_NE(res.out.find("--trace-sample"), std::string::npos);
 }
 
 } // namespace

@@ -340,8 +340,20 @@ TEST(CliSimulate, TraceAndMetricsEndToEnd)
     const auto events = ahq::obs::readTraceFile(trace);
     ASSERT_FALSE(events.empty());
     EXPECT_EQ(events.front().type(), "run_start");
-    EXPECT_EQ(events.back().type(), "run_end");
     EXPECT_EQ(events.front().str("scenario"), "ARQ");
+    // The time-series registry flushes after the run, so the
+    // trace ends with the folded `series` summaries; run_end
+    // still closes the event stream proper.
+    EXPECT_EQ(events.back().type(), "series");
+    bool saw_run_end = false;
+    for (const auto &ev : events) {
+        if (ev.type() == "run_end") {
+            saw_run_end = true;
+        } else if (ev.type() == "series") {
+            EXPECT_TRUE(saw_run_end) << "series before run_end";
+        }
+    }
+    EXPECT_TRUE(saw_run_end);
     std::remove(trace.c_str());
 }
 

@@ -19,6 +19,7 @@
 #include "exec/scenario_runner.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace_sink.hh"
 #include "report/csv.hh"
 #include "report/table.hh"
@@ -181,6 +182,16 @@ parseSimulateArgs(const std::vector<std::string> &args,
             opt.csvPath = next("--csv");
         } else if (a == "--trace") {
             opt.tracePath = next("--trace");
+        } else if (a == "--trace-sample") {
+            opt.traceSampleRate = parseDouble(
+                next("--trace-sample"), "--trace-sample");
+            if (opt.traceSampleRate < 0.0 ||
+                opt.traceSampleRate > 1.0) {
+                throw std::invalid_argument(
+                    "--trace-sample must be within [0, 1] (the "
+                    "per-epoch keep probability), got " +
+                    std::to_string(opt.traceSampleRate));
+            }
         } else if (a == "--metrics") {
             if (has_inline) {
                 throw std::invalid_argument(
@@ -340,6 +351,7 @@ runSimulate(const std::vector<std::string> &args, std::ostream &out,
         cfg.tailPercentile = opt.percentile;
         cfg.ri = opt.ri;
         cfg.checkMode = opt.checkMode;
+        cfg.traceSampleRate = opt.traceSampleRate;
 
         // The plan must outlive the run: cfg holds a pointer.
         fault::FaultPlan plan;
@@ -351,11 +363,16 @@ runSimulate(const std::vector<std::string> &args, std::ostream &out,
         std::unique_ptr<obs::FileTraceSink> sink;
         obs::MetricsRegistry metrics;
         obs::SpanProfiler prof;
+        obs::TimeSeriesRegistry tseries;
         if (!opt.tracePath.empty()) {
             sink = std::make_unique<obs::FileTraceSink>(
                 opt.tracePath);
             cfg.obs.sink = sink.get();
             cfg.obs.scenario = opt.strategy;
+            // Time-series record every epoch regardless of
+            // --trace-sample, so `ahq timeline` sees the full run
+            // even from a heavily sampled trace.
+            cfg.obs.series = &tseries;
         }
         if (opt.dumpMetrics || sink || opt.profile)
             cfg.obs.metrics = &metrics;
@@ -419,6 +436,9 @@ runSimulate(const std::vector<std::string> &args, std::ostream &out,
             printSpanProfile(out, prof, /*wall_times=*/true);
         }
         if (sink) {
+            // Series events come last: the folded per-run
+            // summaries close the trace deterministically.
+            tseries.flush(cfg.obs);
             sink->flush();
             out << "trace written to " << sink->path() << "\n";
         }
@@ -539,11 +559,17 @@ runSweep(const std::vector<std::string> &args, std::ostream &out,
         std::unique_ptr<obs::FileTraceSink> sink;
         obs::MetricsRegistry metrics;
         obs::SpanProfiler prof;
+        obs::TimeSeriesRegistry tseries;
         obs::Scope scope;
         if (!opt.tracePath.empty()) {
             sink = std::make_unique<obs::FileTraceSink>(
                 opt.tracePath);
             scope.sink = sink.get();
+            // Per-job scenario tags keep concurrent jobs on
+            // disjoint series; the flush below walks the sorted
+            // key set, so the series block is byte-identical at
+            // any --jobs.
+            scope.series = &tseries;
         }
         if (opt.dumpMetrics || sink || opt.profile)
             scope.metrics = &metrics;
@@ -580,6 +606,7 @@ runSweep(const std::vector<std::string> &args, std::ostream &out,
             cfg.tailPercentile = opt.percentile;
             cfg.ri = opt.ri;
             cfg.checkMode = opt.checkMode;
+            cfg.traceSampleRate = opt.traceSampleRate;
             if (faulting)
                 cfg.faults = &plan;
 
@@ -618,6 +645,7 @@ runSweep(const std::vector<std::string> &args, std::ostream &out,
             printSpanProfile(out, prof, /*wall_times=*/true);
         }
         if (sink) {
+            tseries.flush(scope);
             sink->flush();
             out << "trace written to " << sink->path() << "\n";
         }
@@ -678,15 +706,21 @@ runChaos(const std::vector<std::string> &args, std::ostream &out,
         cfg.checkMode = opt.checkModeExplicit ? opt.checkMode
                                               : check::Mode::Strict;
         cfg.faults = &plan;
+        cfg.traceSampleRate = opt.traceSampleRate;
 
         std::unique_ptr<obs::FileTraceSink> sink;
         obs::MetricsRegistry metrics;
         obs::SpanProfiler prof;
+        obs::TimeSeriesRegistry tseries;
         obs::Scope scope;
         if (!opt.tracePath.empty()) {
             sink = std::make_unique<obs::FileTraceSink>(
                 opt.tracePath);
             scope.sink = sink.get();
+            // As in sweep: per-strategy tags keep the series
+            // disjoint and the sorted flush keeps them
+            // byte-identical at any --jobs.
+            scope.series = &tseries;
         }
         // Metrics are always on: the summary below reads them.
         scope.metrics = &metrics;
@@ -737,6 +771,7 @@ runChaos(const std::vector<std::string> &args, std::ostream &out,
             printSpanProfile(out, prof, /*wall_times=*/true);
         }
         if (sink) {
+            tseries.flush(scope);
             sink->flush();
             out << "trace written to " << sink->path() << "\n";
         }
@@ -806,6 +841,8 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
               "  oracle [opts] app=load..   best static partitions\n"
               "  trace <file.jsonl>         summarise a --trace "
               "run\n"
+              "  timeline [opts] <file.jsonl>  per-series "
+              "sparkline / csv / json timelines of a --trace run\n"
               "  profile <file.jsonl>       span tree of a "
               "--profile run\n"
               "  report [opts] <input>...   fold traces + "
@@ -825,6 +862,9 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
               "all cores)\n"
               "  --trace FILE (JSONL decision trace; env "
               "AHQ_TRACE) --metrics (dump counters)\n"
+              "  --trace-sample R (keep each epoch's trace events "
+              "with probability R in [0,1]; seeded, so sampled "
+              "traces stay byte-identical at any --jobs)\n"
               "  --profile (span profiler + tree; env AHQ_PROF; "
               "sweep/chaos keep traces byte-identical)\n"
               "  --check off|log|strict (invariant audit; env "
@@ -861,6 +901,8 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
         return runChaos(rest, out, err);
     if (cmd == "trace")
         return runTrace(rest, out, err);
+    if (cmd == "timeline")
+        return runTimeline(rest, out, err);
     if (cmd == "profile")
         return runProfile(rest, out, err);
     if (cmd == "report")

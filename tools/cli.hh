@@ -76,6 +76,17 @@ struct SimulateOptions
      */
     std::string tracePath;
 
+    /**
+     * Head-based trace sampling rate (--trace-sample, in [0, 1];
+     * default 1 = keep every epoch). Below 1, each epoch's trace
+     * events are kept iff a seeded draw on the epoch's own RNG
+     * split lands under the rate — a pure function of
+     * (seed, run, node, epoch), so sampled traces stay
+     * byte-identical at any --jobs while tracing a large fleet
+     * costs bounded IO. Time-series recording is never sampled.
+     */
+    double traceSampleRate = 1.0;
+
     /** Dump the metrics registry after the run (--metrics). */
     bool dumpMetrics = false;
 
@@ -172,6 +183,18 @@ int runSweep(const std::vector<std::string> &args, std::ostream &out,
  */
 int runTrace(const std::vector<std::string> &args, std::ostream &out,
              std::ostream &err);
+
+/**
+ * Run `ahq timeline [--series=LIST] [--scenario=TAG]
+ * [--format=text|csv|json] [--width=N] <file.jsonl>`: render the
+ * `series` events of a trace as aligned text sparklines (default),
+ * CSV rows or JSON — per-(scenario, series) bucket timelines with
+ * fault / recovery / violation markers, enough to reproduce the
+ * paper's Fig. 13 entropy timeline from any run, sweep or chaos
+ * invocation (implemented in timeline_cmd.cc).
+ */
+int runTimeline(const std::vector<std::string> &args,
+                std::ostream &out, std::ostream &err);
 
 /**
  * Run `ahq profile <file.jsonl>`: aggregate the `span` events of a

@@ -11,9 +11,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <fstream>
 #include <map>
 #include <stdexcept>
+#include <vector>
 
 #include "obs/json.hh"
 #include "obs/trace_reader.hh"
@@ -37,6 +39,18 @@ struct RunSummary
     long long decisions = 0;
     long long spans = 0;
     long long faults = 0;
+
+    /**
+     * Folded E_S summary from the run's `series` event (the
+     * TimeSeriesRegistry flush), when the trace carries one. p99
+     * is the count-weighted 99th percentile of per-bucket maxima
+     * — an upper estimate that survives downsampling, since
+     * folding preserves maxima exactly.
+     */
+    bool hasSeries = false;
+    double esMin = 0.0;
+    double esMax = 0.0;
+    double esP99 = 0.0;
 };
 
 /** One BENCH_*.json line. */
@@ -56,6 +70,49 @@ isDecisionType(const std::string &type)
 {
     return type.size() > 9 &&
         type.compare(type.size() - 9, 9, "_decision") == 0;
+}
+
+/** Fold an `e_s` series event's buckets into the run summary. */
+void
+foldEsSeries(RunSummary &s, const obs::TraceEvent &ev)
+{
+    const auto n = ev.nums("n");
+    const auto mins = ev.nums("min");
+    const auto maxs = ev.nums("max");
+    const std::size_t len =
+        std::min({n.size(), mins.size(), maxs.size()});
+    std::vector<std::pair<double, std::uint64_t>> maxima;
+    std::uint64_t total = 0;
+    bool any = false;
+    for (std::size_t i = 0; i < len; ++i) {
+        if (n[i] <= 0)
+            continue; // empty bucket (rendered as zeros)
+        const auto cnt = static_cast<std::uint64_t>(n[i]);
+        if (!any) {
+            s.esMin = mins[i];
+            s.esMax = maxs[i];
+            any = true;
+        } else {
+            s.esMin = std::min(s.esMin, mins[i]);
+            s.esMax = std::max(s.esMax, maxs[i]);
+        }
+        maxima.emplace_back(maxs[i], cnt);
+        total += cnt;
+    }
+    if (!any)
+        return;
+    s.hasSeries = true;
+    std::sort(maxima.begin(), maxima.end());
+    const double target = 0.99 * static_cast<double>(total);
+    std::uint64_t seen = 0;
+    s.esP99 = maxima.back().first;
+    for (const auto &[mx, cnt] : maxima) {
+        seen += cnt;
+        if (static_cast<double>(seen) >= target) {
+            s.esP99 = mx;
+            break;
+        }
+    }
 }
 
 /** Scan one input file into the run / bench aggregates. */
@@ -100,6 +157,9 @@ scanInput(const std::string &path,
                     static_cast<long long>(ev.num("count"));
             } else if (type == "fault") {
                 ++s.faults;
+            } else if (type == "series" &&
+                       ev.str("series") == "e_s") {
+                foldEsSeries(s, ev);
             } else if (isDecisionType(type)) {
                 ++s.decisions;
             }
@@ -131,6 +191,14 @@ emitJson(std::ostream &out, const std::vector<RunSummary> &runs,
         obs::json::appendNumber(b, s.finalEs);
         b += ",\"decisions\":";
         obs::json::appendNumber(b, s.decisions);
+        if (s.hasSeries) {
+            b += ",\"es_min\":";
+            obs::json::appendNumber(b, s.esMin);
+            b += ",\"es_max\":";
+            obs::json::appendNumber(b, s.esMax);
+            b += ",\"es_p99\":";
+            obs::json::appendNumber(b, s.esP99);
+        }
         b += ",\"spans\":";
         obs::json::appendNumber(b, s.spans);
         b += ",\"faults\":";
@@ -171,8 +239,10 @@ emitMarkdown(std::ostream &out,
     if (!runs.empty()) {
         out << "\n## Runs\n\n"
             << "| file | scenario | scheduler | epochs | mean E_S"
-               " | final E_S | decisions | spans | faults |\n"
-            << "|---|---|---|---|---|---|---|---|---|\n";
+               " | final E_S | E_S min | E_S max | E_S p99 | "
+               "decisions | spans | faults |\n"
+            << "|---|---|---|---|---|---|---|---|---|---|---|"
+               "---|\n";
         for (const RunSummary &s : runs) {
             out << "| " << s.file << " | "
                 << (s.scenario.empty() ? "(untagged)"
@@ -183,6 +253,15 @@ emitMarkdown(std::ostream &out,
                 << report::TextTable::num(
                        s.epochs > 0 ? s.sumEs / s.epochs : 0.0)
                 << " | " << report::TextTable::num(s.finalEs)
+                << " | "
+                << (s.hasSeries
+                        ? report::TextTable::num(s.esMin) : "-")
+                << " | "
+                << (s.hasSeries
+                        ? report::TextTable::num(s.esMax) : "-")
+                << " | "
+                << (s.hasSeries
+                        ? report::TextTable::num(s.esP99) : "-")
                 << " | " << s.decisions << " | " << s.spans
                 << " | " << s.faults << " |\n";
         }

@@ -39,6 +39,13 @@ struct ScenarioSummary
     int bans = 0;
     int holds = 0;
 
+    // Event families the summary previously skipped silently.
+    int faults = 0;
+    int recoveries = 0;
+    int violations = 0;
+    int spans = 0;
+    int series = 0;
+
     /** Per-app ReT statistics from arq_decision events. */
     struct AppRet
     {
@@ -83,6 +90,7 @@ runTrace(const std::vector<std::string> &args, std::ostream &out,
     };
 
     std::size_t num_events = 0;
+    obs::TraceReadStats stats;
     try {
         obs::forEachTraceFile(args[0], [&](
                                            const obs::TraceEvent
@@ -139,8 +147,18 @@ runTrace(const std::vector<std::string> &args, std::ostream &out,
                 else if (action == "revert" ||
                          action == "re_explore")
                     ++s.rollbacks;
+            } else if (type == "fault") {
+                ++summary(ev).faults;
+            } else if (type == "recovery") {
+                ++summary(ev).recoveries;
+            } else if (type == "violation") {
+                ++summary(ev).violations;
+            } else if (type == "span") {
+                ++summary(ev).spans;
+            } else if (type == "series") {
+                ++summary(ev).series;
             }
-        });
+        }, &stats);
     } catch (const std::exception &e) {
         err << "error: " << e.what() << "\n";
         return 1;
@@ -156,6 +174,16 @@ runTrace(const std::vector<std::string> &args, std::ostream &out,
     out << args[0] << ": " << num_events << " events, "
         << scenarios.size() << " scenario(s), " << total_epochs
         << " epochs (schema v" << obs::kSchemaVersion << ")\n";
+    if (stats.unknownEvents > 0) {
+        // Foreign / future-schema event types must never vanish
+        // silently — name them (the reader also bumps the
+        // reader.unknown_events metric).
+        out << "unknown event types (" << stats.unknownEvents
+            << " event(s) outside the schema taxonomy):";
+        for (const auto &[type, count] : stats.unknownTypes)
+            out << " " << type << " x" << count;
+        out << "\n";
+    }
 
     // Per-scenario run summary and decision totals.
     report::TextTable t({"scenario", "scheduler", "epochs",
@@ -176,6 +204,30 @@ runTrace(const std::vector<std::string> &args, std::ostream &out,
                   std::to_string(s.bans)});
     }
     t.print(out);
+
+    // Telemetry events beyond the decision stream (previously
+    // read but never surfaced).
+    bool any_telemetry = false;
+    for (const auto &[tag, s] : scenarios) {
+        any_telemetry = any_telemetry || s.faults > 0 ||
+            s.recoveries > 0 || s.violations > 0 || s.spans > 0 ||
+            s.series > 0;
+    }
+    if (any_telemetry) {
+        report::TextTable tt({"scenario", "faults", "recoveries",
+                              "violations", "spans", "series"});
+        for (const auto &tag : order) {
+            const auto &s = scenarios[tag];
+            tt.addRow({tag.empty() ? "(untagged)" : tag,
+                       std::to_string(s.faults),
+                       std::to_string(s.recoveries),
+                       std::to_string(s.violations),
+                       std::to_string(s.spans),
+                       std::to_string(s.series)});
+        }
+        out << "telemetry events:\n";
+        tt.print(out);
+    }
 
     // E_S timeline (the first few scenarios with epoch events keep
     // the chart readable; the table above covers the rest).
