@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Cluster scheduler implementation.
+ */
+
+#include "cluster/cluster_sched.hh"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "apps/catalog.hh"
+#include "exec/jobs.hh"
+#include "exec/parallel.hh"
+#include "sched/registry.hh"
+
+namespace ahq::cluster
+{
+
+namespace
+{
+
+/** Seed salt decorrelating the RNG streams of rebalance rounds. */
+constexpr std::uint64_t kRoundSeedSalt = 0xc1a5;
+
+} // namespace
+
+ClusterScheduler::ClusterScheduler(ClusterConfig config,
+                                   std::string strategy)
+    : cfg(config), strategy_(std::move(strategy))
+{
+    assert(cfg.rounds >= 1);
+    assert(cfg.roundEpochs > cfg.roundWarmupEpochs);
+}
+
+void
+ClusterScheduler::addNode(machine::MachineConfig config,
+                          std::vector<ColocatedApp> apps)
+{
+    configs_.push_back(std::move(config));
+    apps_.push_back(std::move(apps));
+}
+
+ClusterResult
+ClusterScheduler::run(const SimulationConfig &base,
+                      exec::ThreadPool *pool)
+{
+    assert(numNodes() > 0);
+    ClusterResult out;
+    const obs::Scope &scope = base.obs;
+    const bool tracing = scope.tracing();
+    exec::ThreadPool &p = pool ? *pool : exec::globalPool();
+    const std::size_t nn = configs_.size();
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+
+    if (tracing) {
+        obs::Event ev("cluster_start");
+        ev.integer("nodes", numNodes())
+            .integer("rounds", cfg.rounds)
+            .num("spread_threshold", cfg.spreadThreshold)
+            .integer("seed", static_cast<long long>(base.seed));
+        scope.emit(ev);
+    }
+
+    // Short, unaudited, untraced trial runs drive every migration
+    // decision; one fixed seed keeps candidates comparable and the
+    // whole search deterministic per (nodes, config, seed).
+    SimulationConfig trial = base;
+    trial.obs = {};
+    trial.checkMode = check::Mode::Off;
+    trial.faults = nullptr;
+    trial.durationSeconds = cfg.trialSeconds;
+    trial.warmupEpochs = cfg.trialWarmupEpochs;
+    trial.keepEpochs = false;
+
+    auto node_es = [&](std::size_t n,
+                       const std::vector<ColocatedApp> &set) {
+        if (set.empty())
+            return 0.0;
+        Node node(configs_[n], set);
+        EpochSimulator sim(node, trial);
+        const auto sched = sched::makeScheduler(strategy_);
+        return sim.run(*sched).meanES;
+    };
+
+    // Per-node mean E_S estimate: measured each round, patched
+    // from trial values between migrations within a rebalance.
+    std::vector<double> node_mean(nn, 0.0);
+    auto spread_of = [&] {
+        double lo = kInf, hi = -kInf;
+        for (std::size_t n = 0; n < nn; ++n) {
+            if (apps_[n].empty())
+                continue;
+            lo = std::min(lo, node_mean[n]);
+            hi = std::max(hi, node_mean[n]);
+        }
+        return hi >= lo ? hi - lo : 0.0;
+    };
+
+    FleetAccumulator pooled;
+    for (int r = 0; r < cfg.rounds; ++r) {
+        // ---- measurement round: every node in parallel ----------
+        std::vector<obs::BufferTraceSink> buffers(tracing ? nn : 0);
+        std::vector<SimulationResult> results(nn);
+        std::vector<FleetAccumulator> accums(nn);
+        exec::parallelFor(p, nn, [&](std::size_t n) {
+            SimulationConfig per_node = base;
+            per_node.durationSeconds =
+                cfg.roundEpochs * base.epochSeconds;
+            per_node.warmupEpochs = cfg.roundWarmupEpochs;
+            per_node.keepEpochs = false;
+            per_node.seed = base.seed + 0x9e37 * (n + 1) +
+                kRoundSeedSalt * static_cast<std::uint64_t>(r + 1);
+            if (tracing || scope.series != nullptr) {
+                per_node.obs = scope.tagged(
+                    (scope.scenario.empty()
+                         ? ""
+                         : scope.scenario + "/") +
+                    "round" + std::to_string(r) + "/node" +
+                    std::to_string(n));
+                if (tracing)
+                    per_node.obs.sink = &buffers[n];
+            }
+            Node node(configs_[n], apps_[n]);
+            EpochSimulator sim(node, per_node);
+            const auto sched = sched::makeScheduler(strategy_);
+            results[n] = sim.run(*sched);
+            accums[n].add(node, results[n]);
+        });
+        if (tracing) {
+            for (std::size_t n = 0; n < nn; ++n)
+                buffers[n].flushTo(*scope.sink);
+        }
+
+        FleetAccumulator round_pool;
+        for (const auto &acc : accums)
+            round_pool.merge(acc);
+        const auto rep = round_pool.entropy(base.ri);
+        for (std::size_t n = 0; n < nn; ++n)
+            node_mean[n] = results[n].meanES;
+        const double spread = spread_of();
+        out.roundES.push_back(rep.eS);
+        out.roundSpread.push_back(spread);
+        out.violations += round_pool.violations;
+        pooled.merge(round_pool);
+        scope.count("cluster.rounds");
+        if (tracing) {
+            obs::Event ev("cluster_round");
+            ev.integer("round", r)
+                .num("e_lc", rep.eLc)
+                .num("e_be", rep.eBe)
+                .num("e_s", rep.eS)
+                .num("spread", spread)
+                .integer("violations", round_pool.violations);
+            scope.emit(ev);
+        }
+
+        // ---- rebalance: migrate off the hottest node ------------
+        if (r == cfg.rounds - 1)
+            break;
+        int done = 0;
+        while (spread_of() > cfg.spreadThreshold &&
+               done < cfg.maxMigrationsPerRound) {
+            // Hottest node that can give an app up (>= 2 apps, so
+            // a migration rebalances instead of just relocating a
+            // whole node's workload).
+            int hot = -1;
+            double hot_es = -kInf;
+            for (std::size_t n = 0; n < nn; ++n) {
+                if (apps_[n].size() >= 2 && node_mean[n] > hot_es) {
+                    hot_es = node_mean[n];
+                    hot = static_cast<int>(n);
+                }
+            }
+            if (hot < 0)
+                break;
+            const auto uh = static_cast<std::size_t>(hot);
+
+            // Victim: the app whose removal lowers the hot node's
+            // entropy the most (argmin residual E_S, app order).
+            std::vector<double> residual(apps_[uh].size());
+            exec::parallelFor(
+                p, apps_[uh].size(), [&](std::size_t i) {
+                    auto rest = apps_[uh];
+                    rest.erase(rest.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+                    residual[i] = node_es(uh, rest);
+                });
+            std::size_t victim = 0;
+            double victim_es = kInf;
+            for (std::size_t i = 0; i < residual.size(); ++i) {
+                if (residual[i] < victim_es) {
+                    victim_es = residual[i];
+                    victim = i;
+                }
+            }
+
+            // Destination: where the victim disturbs least.
+            std::vector<double> dest_es(nn, kInf);
+            exec::parallelFor(p, nn, [&](std::size_t d) {
+                if (d == uh)
+                    return;
+                auto set = apps_[d];
+                set.push_back(apps_[uh][victim]);
+                dest_es[d] = node_es(d, set);
+            });
+            int dest = -1;
+            double best = kInf;
+            for (std::size_t d = 0; d < nn; ++d) {
+                if (d != uh && dest_es[d] < best) {
+                    best = dest_es[d];
+                    dest = static_cast<int>(d);
+                }
+            }
+            if (dest < 0)
+                break;
+            const auto ud = static_cast<std::size_t>(dest);
+
+            ColocatedApp moved = apps_[uh][victim];
+            apps_[uh].erase(apps_[uh].begin() +
+                            static_cast<std::ptrdiff_t>(victim));
+            apps_[ud].push_back(std::move(moved));
+            node_mean[uh] = victim_es;
+            node_mean[ud] = dest_es[ud];
+            out.migrations.push_back(
+                {r, hot, dest, apps_[ud].back().profile.name});
+            scope.count("cluster.migrations");
+            if (tracing) {
+                obs::Event ev("cluster_migrate");
+                ev.integer("round", r)
+                    .str("app", apps_[ud].back().profile.name)
+                    .integer("from", hot)
+                    .integer("to", dest);
+                scope.emit(ev);
+            }
+            ++done;
+        }
+    }
+
+    const auto rep = pooled.entropy(base.ri);
+    out.eLc = rep.eLc;
+    out.eBe = rep.eBe;
+    out.eS = rep.eS;
+    out.yieldValue = rep.yieldValue;
+    out.finalNodeES = node_mean;
+    for (std::size_t n = 0; n < nn; ++n)
+        out.finalAppsPerNode.push_back(
+            static_cast<int>(apps_[n].size()));
+
+    if (tracing) {
+        obs::Event ev("cluster_end");
+        ev.num("e_lc", out.eLc)
+            .num("e_be", out.eBe)
+            .num("e_s", out.eS)
+            .num("yield", out.yieldValue)
+            .integer("violations", out.violations)
+            .integer("migrations",
+                     static_cast<long long>(out.migrations.size()));
+        scope.emit(ev);
+    }
+    scope.count("cluster.runs");
+    return out;
+}
+
+std::vector<ColocatedApp>
+fleetNodeApps(const trace::FleetLoadGenerator &gen, int node)
+{
+    const auto &fc = gen.config();
+    using Maker = apps::AppProfile (*)();
+    // Tenant rank picks the LC profile, so every replica of a
+    // tenant runs the same application; BE fillers just cycle.
+    static constexpr Maker kLc[] = {apps::xapian,   apps::moses,
+                                    apps::imgDnn,   apps::sphinx,
+                                    apps::masstree, apps::silo};
+    static constexpr Maker kBe[] = {apps::stream, apps::fluidanimate,
+                                    apps::streamcluster};
+    std::vector<ColocatedApp> out;
+    out.reserve(static_cast<std::size_t>(fc.lcPerNode) +
+                static_cast<std::size_t>(fc.bePerNode));
+    for (int s = 0; s < fc.lcPerNode; ++s) {
+        const std::uint64_t rank = gen.tenant(node, s);
+        auto prof = kLc[(rank - 1) % std::size(kLc)]();
+        prof.name += "#t" + std::to_string(rank);
+        out.push_back(
+            lcWith(std::move(prof), gen.tenantTrace(rank)));
+    }
+    for (int s = 0; s < fc.bePerNode; ++s) {
+        out.push_back(be(kBe[static_cast<std::size_t>(node + s) %
+                            std::size(kBe)]()));
+    }
+    return out;
+}
+
+} // namespace ahq::cluster

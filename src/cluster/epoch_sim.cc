@@ -202,7 +202,12 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
 
     SimulationResult result;
     result.warmupEpochs = std::min(cfg.warmupEpochs, epochs);
-    result.epochs.reserve(static_cast<std::size_t>(epochs));
+    if (cfg.keepEpochs)
+        result.epochs.reserve(static_cast<std::size_t>(epochs));
+    result.meanP95Ms.assign(static_cast<std::size_t>(n), 0.0);
+    result.meanIpc.assign(static_cast<std::size_t>(n), 0.0);
+    result.steadyMeanLoad.assign(static_cast<std::size_t>(n), 0.0);
+    int steady = 0;
 
     for (int e = 0; e < epochs; ++e) {
         const double t = e * dt;
@@ -495,35 +500,38 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
         }
         cfg.obs.count("sim.epochs");
 
+        // ---- steady-state aggregation (incremental) --------------
+        // Summed here, in epoch order, rather than in a post-run
+        // scan over result.epochs: the sums visit the same values
+        // in the same order, so aggregates are bitwise identical —
+        // and a keepEpochs=false run never needs the record vector
+        // at all (O(1) resident state instead of O(epochs)).
+        if (e >= result.warmupEpochs) {
+            result.meanELc += rec.entropy.eLc;
+            result.meanEBe += rec.entropy.eBe;
+            result.meanES += rec.entropy.eS;
+            for (AppId i = 0; i < n; ++i) {
+                const auto ui = static_cast<std::size_t>(i);
+                const auto &o = rec.obs[ui];
+                if (o.latencyCritical) {
+                    result.meanP95Ms[ui] += o.p95Ms;
+                    result.steadyMeanLoad[ui] += o.loadFraction;
+                    if (o.p95Ms > o.thresholdMs *
+                            (1.0 + core::kThresholdElasticity)) {
+                        ++result.violations;
+                    }
+                } else {
+                    result.meanIpc[ui] += o.ipc;
+                }
+            }
+            ++steady;
+        }
+
         last_obs = rec.obs;
-        result.epochs.push_back(std::move(rec));
+        if (cfg.keepEpochs)
+            result.epochs.push_back(std::move(rec));
     }
 
-    // ---- steady-state aggregation --------------------------------
-    result.meanP95Ms.assign(static_cast<std::size_t>(n), 0.0);
-    result.meanIpc.assign(static_cast<std::size_t>(n), 0.0);
-    int steady = 0;
-    for (int e = result.warmupEpochs; e < epochs; ++e) {
-        const auto &rec =
-            result.epochs[static_cast<std::size_t>(e)];
-        result.meanELc += rec.entropy.eLc;
-        result.meanEBe += rec.entropy.eBe;
-        result.meanES += rec.entropy.eS;
-        for (AppId i = 0; i < n; ++i) {
-            const auto &o = rec.obs[static_cast<std::size_t>(i)];
-            if (o.latencyCritical) {
-                result.meanP95Ms[static_cast<std::size_t>(i)] +=
-                    o.p95Ms;
-                if (o.p95Ms > o.thresholdMs *
-                        (1.0 + core::kThresholdElasticity)) {
-                    ++result.violations;
-                }
-            } else {
-                result.meanIpc[static_cast<std::size_t>(i)] += o.ipc;
-            }
-        }
-        ++steady;
-    }
     if (steady > 0) {
         result.meanELc /= steady;
         result.meanEBe /= steady;
@@ -531,6 +539,8 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
         for (auto &v : result.meanP95Ms)
             v /= steady;
         for (auto &v : result.meanIpc)
+            v /= steady;
+        for (auto &v : result.steadyMeanLoad)
             v /= steady;
     }
 

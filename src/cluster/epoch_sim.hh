@@ -120,6 +120,20 @@ struct SimulationConfig
      * deterministic per (seed, plan). The plan must outlive the run.
      */
     const fault::FaultPlan *faults = nullptr;
+
+    /**
+     * Retain the per-epoch records in SimulationResult::epochs. On
+     * (the default) a run keeps its full timeline — what the paper
+     * figures, CSV dumps and timeline tooling consume. Off, the
+     * simulator aggregates incrementally and returns an empty
+     * epochs vector, so a fleet of N nodes costs O(N) resident
+     * memory instead of O(N x epochs). Every steady-state
+     * aggregate (meanES, meanP95Ms, steadyMeanLoad, violations,
+     * yield) and every trace byte is identical either way: the
+     * incremental sums visit the same values in the same epoch
+     * order the post-run scan used to.
+     */
+    bool keepEpochs = true;
 };
 
 /** Everything recorded about one epoch. */
@@ -165,6 +179,16 @@ struct SimulationResult
 
     /** Steady-state mean IPC per app (0 for LC). */
     std::vector<double> meanIpc;
+
+    /**
+     * Steady-state mean offered load per app (post-warmup mean of
+     * the per-epoch loadFraction; 0 for BE). The fleet aggregation
+     * evaluates each LC app's solo-tail reference at this load —
+     * it must match the regime meanP95Ms was averaged over, so
+     * warmup epochs (where a trace may still be ramping) are
+     * excluded exactly like they are from meanP95Ms.
+     */
+    std::vector<double> steadyMeanLoad;
 };
 
 /**

@@ -33,37 +33,69 @@ Fleet::addNode(Node node, std::unique_ptr<sched::Scheduler> scheduler)
     nodes_.push_back({std::move(node), std::move(scheduler)});
 }
 
+void
+FleetAccumulator::add(const Node &node, const SimulationResult &res)
+{
+    violations += res.violations;
+    for (machine::AppId i = 0; i < node.numApps(); ++i) {
+        const auto &p = node.profile(i);
+        const auto ui = static_cast<std::size_t>(i);
+        if (p.latencyCritical) {
+            // Pool against the app's *steady-state* mean load:
+            // meanP95Ms is a post-warmup aggregate, so its solo
+            // reference must be too (a trace still ramping during
+            // warmup would otherwise drag the reference below the
+            // regime the steady tail was measured in).
+            double mean_load = 0.0;
+            if (ui < res.steadyMeanLoad.size()) {
+                mean_load = res.steadyMeanLoad[ui];
+            } else if (!res.epochs.empty()) {
+                // Hand-built result without steadyMeanLoad: derive
+                // it from the retained epochs, post-warmup only.
+                double load_sum = 0.0;
+                int steady = 0;
+                for (std::size_t e = static_cast<std::size_t>(
+                         std::max(res.warmupEpochs, 0));
+                     e < res.epochs.size(); ++e) {
+                    load_sum += res.epochs[e].obs[ui].loadFraction;
+                    ++steady;
+                }
+                if (steady > 0)
+                    mean_load =
+                        load_sum / static_cast<double>(steady);
+            }
+            lc.push_back({p.soloTailP95Ms(mean_load),
+                          res.meanP95Ms[ui], p.tailThresholdMs});
+        } else {
+            be.push_back({p.ipcSolo, res.meanIpc[ui]});
+        }
+    }
+}
+
+void
+FleetAccumulator::merge(const FleetAccumulator &other)
+{
+    lc.insert(lc.end(), other.lc.begin(), other.lc.end());
+    be.insert(be.end(), other.be.begin(), other.be.end());
+    violations += other.violations;
+}
+
+core::EntropyReport
+FleetAccumulator::entropy(double ri) const
+{
+    return core::computeEntropy(lc, be, ri);
+}
+
 core::EntropyReport
 fleetEntropy(const std::vector<const Node *> &nodes,
              const std::vector<const SimulationResult *> &results,
              double ri)
 {
     assert(nodes.size() == results.size());
-    std::vector<core::LcObservation> lc;
-    std::vector<core::BeObservation> be;
-    for (std::size_t n = 0; n < nodes.size(); ++n) {
-        const Node &node = *nodes[n];
-        const SimulationResult &res = *results[n];
-        for (machine::AppId i = 0; i < node.numApps(); ++i) {
-            const auto &p = node.profile(i);
-            const auto ui = static_cast<std::size_t>(i);
-            if (p.latencyCritical) {
-                // Pool against the app's mean load over the run.
-                double load_sum = 0.0;
-                for (const auto &rec : res.epochs)
-                    load_sum += rec.obs[ui].loadFraction;
-                const double mean_load = res.epochs.empty() ? 0.0 :
-                    load_sum / static_cast<double>(
-                                   res.epochs.size());
-                lc.push_back({p.soloTailP95Ms(mean_load),
-                              res.meanP95Ms[ui],
-                              p.tailThresholdMs});
-            } else {
-                be.push_back({p.ipcSolo, res.meanIpc[ui]});
-            }
-        }
-    }
-    return core::computeEntropy(lc, be, ri);
+    FleetAccumulator acc;
+    for (std::size_t n = 0; n < nodes.size(); ++n)
+        acc.add(*nodes[n], *results[n]);
+    return acc.entropy(ri);
 }
 
 void
@@ -74,11 +106,13 @@ Fleet::runEntries(std::vector<Entry> &entries,
                   const std::vector<int> *ids,
                   std::vector<obs::BufferTraceSink> &buffers,
                   std::vector<SimulationResult> &out,
+                  std::vector<FleetAccumulator> &accums,
                   exec::ThreadPool &p)
 {
     out.resize(entries.size());
+    accums.assign(entries.size(), {});
     // Each task touches only its own node entry (its scheduler
-    // instance included), buffer and result slot.
+    // instance included), buffer, result and accumulator slot.
     exec::parallelFor(p, entries.size(), [&](std::size_t n) {
         const std::size_t id = ids != nullptr
             ? static_cast<std::size_t>((*ids)[n])
@@ -101,6 +135,7 @@ Fleet::runEntries(std::vector<Entry> &entries,
         }
         EpochSimulator sim(entries[n].node, per_node);
         out[n] = sim.run(*entries[n].scheduler);
+        accums[n].add(entries[n].node, out[n]);
     });
 }
 
@@ -154,20 +189,23 @@ Fleet::run(const SimulationConfig &config, exec::ThreadPool *pool)
         // fleet traces byte-identical at any thread count.
         std::vector<obs::BufferTraceSink> buffers(
             tracing ? nodes_.size() : 0);
+        std::vector<FleetAccumulator> accums;
         runEntries(nodes_, config, scope, tracing, 0, "", nullptr,
-                   buffers, out.nodes, p);
+                   buffers, out.nodes, accums, p);
         for (const auto &res : out.nodes)
             out.violations += res.violations;
 
-        std::vector<const Node *> node_ptrs;
-        std::vector<const SimulationResult *> result_ptrs;
-        for (std::size_t n = 0; n < nodes_.size(); ++n) {
-            node_ptrs.push_back(&nodes_[n].node);
-            result_ptrs.push_back(&out.nodes[n]);
-        }
+        // Streaming reduce: the per-node accumulators built on the
+        // pool merge in node order, so the pooled observation
+        // sequence — and therefore the E_S bits — match the old
+        // collect-then-reduce path at any thread count, without
+        // the per-epoch records ever being required.
         const auto rep = [&] {
             obs::Span span(scope, "fleet.entropy");
-            return fleetEntropy(node_ptrs, result_ptrs, config.ri);
+            FleetAccumulator pooled;
+            for (const auto &acc : accums)
+                pooled.merge(acc);
+            return pooled.entropy(config.ri);
         }();
         out.eLc = rep.eLc;
         out.eBe = rep.eBe;
@@ -217,8 +255,9 @@ Fleet::run(const SimulationConfig &config, exec::ThreadPool *pool)
     std::vector<obs::BufferTraceSink> buf_a(
         tracing ? nodes_.size() : 0);
     std::vector<SimulationResult> res_a;
+    std::vector<FleetAccumulator> acc_a;
     runEntries(nodes_, cfg_a, scope, tracing, 0, "", nullptr, buf_a,
-               res_a, p);
+               res_a, acc_a, p);
 
     // ---- failover: re-place crashed apps onto the survivors ------
     std::vector<int> survivors;
@@ -246,6 +285,7 @@ Fleet::run(const SimulationConfig &config, exec::ThreadPool *pool)
     trial.faults = nullptr;
     trial.durationSeconds = 8.0 * config.epochSeconds;
     trial.warmupEpochs = 2;
+    trial.keepEpochs = false;
 
     const auto &first =
         nodes_[static_cast<std::size_t>(survivors.front())];
@@ -295,32 +335,39 @@ Fleet::run(const SimulationConfig &config, exec::ThreadPool *pool)
     std::vector<obs::BufferTraceSink> buf_b(
         tracing ? phase_b.size() : 0);
     std::vector<SimulationResult> res_b;
+    std::vector<FleetAccumulator> acc_b;
     runEntries(phase_b, cfg_b, scope, tracing, kRecoverySeedSalt,
-               "/recovered", &survivors, buf_b, res_b, p);
+               "/recovered", &survivors, buf_b, res_b, acc_b, p);
 
     // Crashed slots report their phase A segment; survivors report
-    // the recovered segment they actually finished with.
+    // the recovered segment they finished with — but their QoS
+    // violations cover the whole run: a violation a survivor
+    // incurred *before* the crash happened and must not vanish
+    // from the fleet totals just because its slot was overwritten
+    // with the phase B segment.
     out.nodes.resize(nodes_.size());
     for (int n : crashed)
         out.nodes[static_cast<std::size_t>(n)] = std::move(
             res_a[static_cast<std::size_t>(n)]);
     for (std::size_t s = 0; s < survivors.size(); ++s) {
-        out.nodes[static_cast<std::size_t>(survivors[s])] =
-            res_b[s];
+        auto &slot =
+            out.nodes[static_cast<std::size_t>(survivors[s])];
+        slot = std::move(res_b[s]);
+        slot.violations +=
+            res_a[static_cast<std::size_t>(survivors[s])]
+                .violations;
     }
     for (const auto &res : out.nodes)
         out.violations += res.violations;
 
-    // The datacenter entropy describes the post-recovery fleet.
-    std::vector<const Node *> node_ptrs;
-    std::vector<const SimulationResult *> result_ptrs;
-    for (std::size_t s = 0; s < phase_b.size(); ++s) {
-        node_ptrs.push_back(&phase_b[s].node);
-        result_ptrs.push_back(&res_b[s]);
-    }
+    // The datacenter entropy describes the post-recovery fleet:
+    // merge the phase B accumulators in node order.
     const auto rep = [&] {
         obs::Span span(scope, "fleet.entropy");
-        return fleetEntropy(node_ptrs, result_ptrs, config.ri);
+        FleetAccumulator pooled;
+        for (const auto &acc : acc_b)
+            pooled.merge(acc);
+        return pooled.entropy(config.ri);
     }();
     out.eLc = rep.eLc;
     out.eBe = rep.eBe;
@@ -453,9 +500,16 @@ PlacementAdvisor::place(
         per_node[static_cast<std::size_t>(best_node)].push_back(
             apps[oi]);
         placement.assignment[oi] = best_node;
-        placement.nodeEntropy[static_cast<std::size_t>(best_node)] =
-            best_es;
     }
+
+    // Report the entropy of the *final* colocation on every node —
+    // including nodes that won no assignment but carry `initial`
+    // apps, and winners whose mid-greedy trial value went stale as
+    // later apps joined them. Empty nodes report 0.
+    exec::parallelFor(
+        p, static_cast<std::size_t>(numNodes_), [&](std::size_t n) {
+            placement.nodeEntropy[n] = node_entropy(per_node[n]);
+        });
 
     double sum = 0.0;
     for (double e : placement.nodeEntropy)

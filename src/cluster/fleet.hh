@@ -27,6 +27,45 @@ namespace ahq::cluster
 {
 
 /**
+ * Merge-commutative accumulator of pooled fleet observations.
+ *
+ * One accumulator holds the steady-state LC/BE observations (and
+ * the violation count) of any subset of nodes; accumulators built
+ * per node on pool workers merge into the datacenter pool without
+ * ever materialising per-epoch records. Merging is commutative in
+ * the entropy sense (E_LC / E_BE are means over the pooled
+ * observation multiset); the fleet merges in node order anyway so
+ * the floating-point sums — and thus the pooled E_S bits — are
+ * identical to the serial collect-then-reduce path.
+ */
+struct FleetAccumulator
+{
+    std::vector<core::LcObservation> lc;
+    std::vector<core::BeObservation> be;
+    long long violations = 0;
+
+    /**
+     * Fold one node's steady-state result in. Each LC app's
+     * solo-tail reference is evaluated at its *steady-state* mean
+     * load (SimulationResult::steadyMeanLoad): meanP95Ms is a
+     * post-warmup aggregate, so pooling it against a load average
+     * that included warmup epochs (where a trace may still be
+     * ramping) would compare the steady tail against a reference
+     * the steady state never saw. Results lacking steadyMeanLoad
+     * (hand-built) fall back to scanning res.epochs from
+     * res.warmupEpochs on — the identical sum.
+     */
+    void add(const Node &node, const SimulationResult &res);
+
+    /** Append another accumulator's observations (in call order). */
+    void merge(const FleetAccumulator &other);
+
+    /** Pooled entropy over everything accumulated so far. */
+    core::EntropyReport entropy(
+        double ri = core::kDefaultRelativeImportance) const;
+};
+
+/**
  * A fleet of independently scheduled nodes sharing one entropy
  * accounting.
  */
@@ -45,7 +84,14 @@ class Fleet
     /** Result of one fleet run. */
     struct FleetResult
     {
-        /** Per-node simulation results, in node order. */
+        /**
+         * Per-node simulation results, in node order. With
+         * config.keepEpochs=false each entry carries only the O(1)
+         * steady-state aggregates (its epochs vector is empty), so
+         * a 10k-node fleet costs O(nodes) resident memory; the
+         * default keeps full per-epoch records for small fleets
+         * and tests.
+         */
         std::vector<SimulationResult> nodes;
 
         /** Datacenter-wide entropy over all apps of all nodes. */
@@ -103,7 +149,10 @@ class Fleet
      * Run one phase over a set of entries in parallel. `ids` maps
      * entry index to the original node id for tags and seeds
      * (nullptr = identity); `tag_suffix` distinguishes recovered
-     * segments; `seed_salt` decorrelates phase RNG streams.
+     * segments; `seed_salt` decorrelates phase RNG streams. Each
+     * worker also folds its node's steady-state observations into
+     * its own accums slot — the streaming half of the aggregation;
+     * the caller merges the slots in node order.
      */
     static void runEntries(std::vector<Entry> &entries,
                            const SimulationConfig &config,
@@ -113,6 +162,7 @@ class Fleet
                            const std::vector<int> *ids,
                            std::vector<obs::BufferTraceSink> &buffers,
                            std::vector<SimulationResult> &out,
+                           std::vector<FleetAccumulator> &accums,
                            exec::ThreadPool &p);
 };
 
@@ -157,10 +207,15 @@ class PlacementAdvisor
         /** apps[i] was placed on node assignment[i]. */
         std::vector<int> assignment;
 
-        /** Predicted E_S per node after placement. */
+        /**
+         * Predicted E_S per node after the *complete* placement —
+         * every node is trial-evaluated once more at the end, so
+         * nodes that won no assignment but carry `initial` apps
+         * report their real entropy, not 0.0.
+         */
         std::vector<double> nodeEntropy;
 
-        /** Mean predicted node E_S. */
+        /** Mean predicted node E_S (over all nodes). */
         double meanEntropy = 0.0;
     };
 

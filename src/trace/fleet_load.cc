@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Fleet load generator implementation.
+ */
+
+#include "trace/fleet_load.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/rng.hh"
+
+namespace ahq::trace
+{
+
+namespace
+{
+
+/** RNG stream ids (cf. fault::kFaultStream's discipline). */
+constexpr std::uint64_t kAssignStream = 0xa5516;
+constexpr std::uint64_t kTenantStream = 0x7e9a9;
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/**
+ * One tenant's load: a phase-shifted diurnal sinusoid scaled to the
+ * tenant's popularity peak, plus an optional periodic flash-crowd
+ * overlay, clamped to the configured cap.
+ */
+class TenantTrace final : public LoadTrace
+{
+  public:
+    TenantTrace(double peak, double low_fraction, double period_s,
+                double phase_s, bool flashes, double flash_amp,
+                double flash_period_s, double flash_phase_s,
+                double flash_duration_s, double cap)
+        : peak_(peak), lowFraction(low_fraction), period(period_s),
+          phase(phase_s), flashes_(flashes), flashAmp(flash_amp),
+          flashPeriod(flash_period_s), flashPhase(flash_phase_s),
+          flashDuration(flash_duration_s), cap_(cap)
+    {
+    }
+
+    double at(double time_s) const override
+    {
+        // Diurnal: lowFraction of peak at "night", full peak at
+        // midday, sinusoidal in between.
+        const double day = 0.5 *
+            (1.0 - std::cos(kTwoPi * (time_s + phase) / period));
+        double load = peak_ *
+            (lowFraction + (1.0 - lowFraction) * day);
+        if (flashes_) {
+            const double t = time_s + flashPhase;
+            const double in_period =
+                t - std::floor(t / flashPeriod) * flashPeriod;
+            if (in_period < flashDuration)
+                load += flashAmp;
+        }
+        return std::clamp(load, 0.0, cap_);
+    }
+
+  private:
+    double peak_, lowFraction, period, phase;
+    bool flashes_;
+    double flashAmp, flashPeriod, flashPhase, flashDuration;
+    double cap_;
+};
+
+} // namespace
+
+FleetLoadGenerator::FleetLoadGenerator(FleetLoadConfig config)
+    : cfg(config),
+      zipf(static_cast<std::uint64_t>(
+               std::max(config.numTenants, 1)),
+           config.zipfSkew)
+{
+    assert(cfg.numTenants >= 1);
+    assert(cfg.peakLoad >= cfg.baseLoad);
+    const auto m = static_cast<std::uint64_t>(cfg.numTenants);
+    traces.reserve(m);
+    peaks.reserve(m);
+    flashes.reserve(m);
+    const stats::Rng root(cfg.seed);
+    const double pmf1 = zipf.pmf(1);
+    for (std::uint64_t r = 1; r <= m; ++r) {
+        // Per-tenant stream: the draw order below is part of the
+        // determinism contract (phase, flash gate, flash phase).
+        stats::Rng rng = root.split(kTenantStream).split(r);
+        const double peak = cfg.baseLoad +
+            (cfg.peakLoad - cfg.baseLoad) * (zipf.pmf(r) / pmf1);
+        const double phase = rng.uniform(0.0, cfg.diurnalPeriodS);
+        const bool flash = rng.bernoulli(cfg.flashFraction);
+        const double flash_phase =
+            rng.uniform(0.0, cfg.flashPeriodS);
+        peaks.push_back(peak);
+        flashes.push_back(flash);
+        traces.push_back(std::make_shared<TenantTrace>(
+            peak, cfg.diurnalLowFraction, cfg.diurnalPeriodS,
+            phase, flash, cfg.flashAmplitude, cfg.flashPeriodS,
+            flash_phase, cfg.flashDurationS, cfg.loadCap));
+    }
+}
+
+std::uint64_t
+FleetLoadGenerator::tenant(int node, int slot) const
+{
+    // One uniform draw on a split keyed by (node, slot): stateless,
+    // so materializing any node is independent of every other.
+    stats::Rng rng = stats::Rng(cfg.seed)
+                         .split(kAssignStream)
+                         .split(static_cast<std::uint64_t>(node) + 1)
+                         .split(static_cast<std::uint64_t>(slot) + 1);
+    return zipf.sampleAt(rng.uniform());
+}
+
+std::shared_ptr<LoadTrace>
+FleetLoadGenerator::tenantTrace(std::uint64_t rank) const
+{
+    assert(rank >= 1 && rank <= traces.size());
+    return traces[rank - 1];
+}
+
+double
+FleetLoadGenerator::tenantPeakLoad(std::uint64_t rank) const
+{
+    assert(rank >= 1 && rank <= peaks.size());
+    return peaks[rank - 1];
+}
+
+bool
+FleetLoadGenerator::tenantFlashes(std::uint64_t rank) const
+{
+    assert(rank >= 1 && rank <= flashes.size());
+    return flashes[rank - 1];
+}
+
+} // namespace ahq::trace

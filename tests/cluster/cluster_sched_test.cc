@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the cluster-level control plane: deterministic
+ * measurement/rebalance rounds, migration off the hottest node,
+ * and threshold gating.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/catalog.hh"
+#include "cluster/cluster_sched.hh"
+#include "exec/thread_pool.hh"
+
+namespace
+{
+
+using namespace ahq;
+using namespace ahq::cluster;
+
+SimulationConfig
+base()
+{
+    SimulationConfig c;
+    c.durationSeconds = 1.0; // overridden per round
+    return c;
+}
+
+/** One clearly hot node (overloaded mix) among cool peers. */
+ClusterScheduler
+imbalanced(ClusterConfig cc)
+{
+    ClusterScheduler cs(std::move(cc), "ARQ");
+    const auto mc = machine::MachineConfig::xeonE52630v4()
+                        .withAvailable(6, 10, 6);
+    cs.addNode(mc, {lcAt(apps::xapian(), 0.85),
+                    lcAt(apps::moses(), 0.6), be(apps::stream()),
+                    be(apps::fluidanimate())});
+    cs.addNode(mc, {lcAt(apps::sphinx(), 0.15)});
+    cs.addNode(mc, {lcAt(apps::imgDnn(), 0.15)});
+    return cs;
+}
+
+TEST(ClusterSched, DeterministicForSeed)
+{
+    ClusterConfig cc;
+    cc.rounds = 2;
+    cc.spreadThreshold = 0.01;
+
+    exec::ThreadPool p1(1);
+    exec::ThreadPool p8(8);
+    auto cs1 = imbalanced(cc);
+    auto cs2 = imbalanced(cc);
+    const auto r1 = cs1.run(base(), &p1);
+    const auto r2 = cs2.run(base(), &p8);
+
+    EXPECT_EQ(r1.eS, r2.eS);
+    EXPECT_EQ(r1.roundES, r2.roundES);
+    EXPECT_EQ(r1.roundSpread, r2.roundSpread);
+    EXPECT_EQ(r1.violations, r2.violations);
+    ASSERT_EQ(r1.migrations.size(), r2.migrations.size());
+    for (std::size_t m = 0; m < r1.migrations.size(); ++m) {
+        EXPECT_EQ(r1.migrations[m].round, r2.migrations[m].round);
+        EXPECT_EQ(r1.migrations[m].fromNode,
+                  r2.migrations[m].fromNode);
+        EXPECT_EQ(r1.migrations[m].toNode, r2.migrations[m].toNode);
+        EXPECT_EQ(r1.migrations[m].app, r2.migrations[m].app);
+    }
+    EXPECT_EQ(r1.finalNodeES, r2.finalNodeES);
+}
+
+TEST(ClusterSched, MigratesOffHotNode)
+{
+    ClusterConfig cc;
+    cc.rounds = 3;
+    cc.spreadThreshold = 0.01; // force rebalancing
+    auto cs = imbalanced(cc);
+    const int total_before = 4 + 1 + 1;
+
+    const auto res = cs.run(base());
+
+    ASSERT_FALSE(res.migrations.empty());
+    // The first migration must come off node 0, the only node that
+    // is both hot and eligible (>= 2 apps).
+    EXPECT_EQ(res.migrations.front().fromNode, 0);
+    EXPECT_NE(res.migrations.front().toNode, 0);
+
+    // Apps are conserved: moved, never dropped or duplicated.
+    int total_after = 0;
+    for (int n = 0; n < cs.numNodes(); ++n)
+        total_after += static_cast<int>(cs.apps(n).size());
+    EXPECT_EQ(total_after, total_before);
+    ASSERT_EQ(res.finalAppsPerNode.size(), 3u);
+    EXPECT_EQ(res.finalAppsPerNode[0] + res.finalAppsPerNode[1] +
+                  res.finalAppsPerNode[2],
+              total_before);
+
+    ASSERT_EQ(res.roundES.size(), 3u);
+    ASSERT_EQ(res.roundSpread.size(), 3u);
+    ASSERT_EQ(res.finalNodeES.size(), 3u);
+}
+
+TEST(ClusterSched, NoMigrationsWhenThresholdHigh)
+{
+    ClusterConfig cc;
+    cc.rounds = 2;
+    cc.spreadThreshold = 1.0; // spread can never exceed this
+    auto cs = imbalanced(cc);
+    const auto res = cs.run(base());
+    EXPECT_TRUE(res.migrations.empty());
+    EXPECT_EQ(res.roundES.size(), 2u);
+}
+
+TEST(ClusterSched, FleetNodeAppsIsPureAndTagged)
+{
+    trace::FleetLoadConfig lc;
+    lc.numNodes = 32;
+    const trace::FleetLoadGenerator gen(lc);
+
+    const auto a = fleetNodeApps(gen, 7);
+    const auto b = fleetNodeApps(gen, 7);
+    ASSERT_EQ(a.size(),
+              static_cast<std::size_t>(lc.lcPerNode + lc.bePerNode));
+    for (std::size_t s = 0; s < a.size(); ++s) {
+        EXPECT_EQ(a[s].profile.name, b[s].profile.name);
+        EXPECT_EQ(a[s].profile.latencyCritical,
+                  b[s].profile.latencyCritical);
+    }
+    // LC slots carry the tenant tag and the tenant's shared trace.
+    for (int s = 0; s < lc.lcPerNode; ++s) {
+        const auto &app = a[static_cast<std::size_t>(s)];
+        EXPECT_TRUE(app.profile.latencyCritical);
+        EXPECT_NE(app.profile.name.find("#t"), std::string::npos);
+        const auto rank = gen.tenant(7, s);
+        EXPECT_EQ(app.load, gen.tenantTrace(rank));
+    }
+    for (int s = lc.lcPerNode; s < lc.lcPerNode + lc.bePerNode; ++s)
+        EXPECT_FALSE(
+            a[static_cast<std::size_t>(s)].profile.latencyCritical);
+}
+
+} // namespace

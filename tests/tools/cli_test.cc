@@ -572,6 +572,44 @@ TEST(CliChaos, AcceptsExplicitAppsAndPlan)
     std::remove(plan.c_str());
 }
 
+TEST(CliFleet, EndToEnd)
+{
+    std::ostringstream out, err;
+    const int rc = dispatch({"fleet", "--nodes", "4", "--duration",
+                             "6", "--warmup", "4"},
+                            out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find("fleet: 4 nodes"), std::string::npos)
+        << out.str();
+    EXPECT_NE(out.str().find("peak demand"), std::string::npos);
+    EXPECT_NE(out.str().find("E_S ="), std::string::npos);
+    EXPECT_NE(out.str().find("nodes/s"), std::string::npos);
+}
+
+TEST(CliFleet, RejectsAppSpecs)
+{
+    std::ostringstream out, err;
+    const int rc =
+        dispatch({"fleet", "xapian=0.5", "stream"}, out, err);
+    EXPECT_EQ(rc, 2);
+    EXPECT_NE(err.str().find("load generator"), std::string::npos)
+        << err.str();
+}
+
+TEST(CliFleet, RebalancePrintsRoundsAndMigrations)
+{
+    std::ostringstream out, err;
+    const int rc = dispatch(
+        {"fleet", "--nodes", "4", "--duration", "12", "--warmup",
+         "2", "--rebalance-every", "6", "--spread", "0.0001"},
+        out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find("round"), std::string::npos)
+        << out.str();
+    EXPECT_NE(out.str().find("spread"), std::string::npos);
+    EXPECT_NE(out.str().find("migrations ="), std::string::npos);
+}
+
 TEST(CliDispatch, ListsAndUsage)
 {
     std::ostringstream out, err;

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the global load generator: determinism, Zipf tenant
+ * skew, diurnal shape, flash gating and bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "trace/fleet_load.hh"
+
+namespace
+{
+
+using namespace ahq::trace;
+
+TEST(FleetLoad, DeterministicAcrossInstances)
+{
+    FleetLoadConfig cfg;
+    cfg.numNodes = 64;
+    const FleetLoadGenerator g1(cfg);
+    const FleetLoadGenerator g2(cfg);
+    for (int n = 0; n < cfg.numNodes; ++n) {
+        for (int s = 0; s < cfg.lcPerNode; ++s)
+            EXPECT_EQ(g1.tenant(n, s), g2.tenant(n, s));
+    }
+    const auto t1 = g1.tenantTrace(1);
+    const auto t2 = g2.tenantTrace(1);
+    for (double t = 0.0; t < cfg.diurnalPeriodS; t += 7.3)
+        EXPECT_EQ(t1->at(t), t2->at(t));
+}
+
+TEST(FleetLoad, ZipfSkewFavorsLowRanks)
+{
+    FleetLoadConfig cfg;
+    cfg.numNodes = 512;
+    cfg.numTenants = 64;
+    const FleetLoadGenerator gen(cfg);
+    std::map<std::uint64_t, int> hits;
+    for (int n = 0; n < cfg.numNodes; ++n) {
+        for (int s = 0; s < cfg.lcPerNode; ++s) {
+            const auto r = gen.tenant(n, s);
+            ASSERT_GE(r, 1u);
+            ASSERT_LE(r, static_cast<std::uint64_t>(cfg.numTenants));
+            ++hits[r];
+        }
+    }
+    // Rank 1 dominates the tail of the popularity distribution.
+    EXPECT_GT(hits[1], hits[static_cast<std::uint64_t>(
+                           cfg.numTenants)]);
+    EXPECT_GT(hits[1], cfg.numNodes * cfg.lcPerNode / cfg.numTenants);
+}
+
+TEST(FleetLoad, TracesStayWithinBounds)
+{
+    FleetLoadConfig cfg;
+    cfg.flashFraction = 1.0; // worst case: everyone flashes
+    const FleetLoadGenerator gen(cfg);
+    for (std::uint64_t r = 1;
+         r <= static_cast<std::uint64_t>(cfg.numTenants); ++r) {
+        const auto trace = gen.tenantTrace(r);
+        for (double t = 0.0; t < 2.0 * cfg.diurnalPeriodS;
+             t += 1.7) {
+            const double v = trace->at(t);
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, cfg.loadCap);
+        }
+    }
+}
+
+TEST(FleetLoad, DiurnalVariationIsVisible)
+{
+    const FleetLoadGenerator gen;
+    const auto trace = gen.tenantTrace(1);
+    double lo = 1e300, hi = -1e300;
+    for (double t = 0.0; t < gen.config().diurnalPeriodS;
+         t += 0.5) {
+        lo = std::min(lo, trace->at(t));
+        hi = std::max(hi, trace->at(t));
+    }
+    // Night vs day must differ by a meaningful margin.
+    EXPECT_GT(hi - lo, 0.1);
+}
+
+TEST(FleetLoad, FlashFractionGatesFlashes)
+{
+    FleetLoadConfig none;
+    none.flashFraction = 0.0;
+    const FleetLoadGenerator g_none(none);
+    FleetLoadConfig all;
+    all.flashFraction = 1.0;
+    const FleetLoadGenerator g_all(all);
+    for (std::uint64_t r = 1;
+         r <= static_cast<std::uint64_t>(none.numTenants); ++r) {
+        EXPECT_FALSE(g_none.tenantFlashes(r));
+        EXPECT_TRUE(g_all.tenantFlashes(r));
+    }
+}
+
+TEST(FleetLoad, PeakLoadInterpolatesByPopularity)
+{
+    const FleetLoadGenerator gen;
+    const auto &cfg = gen.config();
+    EXPECT_NEAR(gen.tenantPeakLoad(1), cfg.peakLoad, 1e-12);
+    // Peaks decrease with rank and never fall below baseLoad.
+    double prev = gen.tenantPeakLoad(1);
+    for (std::uint64_t r = 2;
+         r <= static_cast<std::uint64_t>(cfg.numTenants); ++r) {
+        const double p = gen.tenantPeakLoad(r);
+        EXPECT_LE(p, prev + 1e-12);
+        EXPECT_GE(p, cfg.baseLoad - 1e-12);
+        prev = p;
+    }
+}
+
+} // namespace

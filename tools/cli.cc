@@ -838,6 +838,10 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
               "  sweep [opts] app=load..    Fig.8-style E_S table\n"
               "  chaos [opts] [app=load..]  all strategies under "
               "an injected fault plan\n"
+              "  fleet [opts]               datacenter-scale fleet "
+              "under the global load generator (--nodes N --lc N "
+              "--be N --tenants M --zipf S --rebalance-every E "
+              "--spread T --keep-epochs)\n"
               "  oracle [opts] app=load..   best static partitions\n"
               "  trace <file.jsonl>         summarise a --trace "
               "run\n"
@@ -897,6 +901,8 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
         return runOracle(rest, out, err);
     if (cmd == "sweep")
         return runSweep(rest, out, err);
+    if (cmd == "fleet")
+        return runFleet(rest, out, err);
     if (cmd == "chaos")
         return runChaos(rest, out, err);
     if (cmd == "trace")

@@ -168,6 +168,22 @@ int runChaos(const std::vector<std::string> &args, std::ostream &out,
              std::ostream &err);
 
 /**
+ * Run `ahq fleet`: simulate a datacenter-scale fleet whose
+ * workload comes from the global load generator (diurnal curves,
+ * Zipf tenant skew, flash crowds over --nodes x --tenants),
+ * aggregated through the streaming fleet accumulators. With
+ * --rebalance-every E the entropy-driven ClusterScheduler
+ * migrates apps off the hottest node between E-epoch rounds
+ * (--spread sets the trigger); without it one plain Fleet::run.
+ * Accepts simulate's option grammar (no app specs — the generator
+ * synthesizes the workload) plus --nodes --lc --be --tenants
+ * --zipf --rebalance-every --spread --keep-epochs
+ * (implemented in fleet_cmd.cc).
+ */
+int runFleet(const std::vector<std::string> &args, std::ostream &out,
+             std::ostream &err);
+
+/**
  * Run `ahq sweep`: sweep the FIRST LC app's load from 10% to 90%
  * (its given load is ignored) under every strategy, printing the
  * E_S table — a command-line Fig. 8. Accepts simulate's grammar.
