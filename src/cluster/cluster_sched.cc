@@ -98,6 +98,14 @@ ClusterScheduler::run(const SimulationConfig &base,
         return hi >= lo ? hi - lo : 0.0;
     };
 
+    // Round after which each app instance last migrated, parallel
+    // to apps_ (slot-for-slot), driving the per-app cooldown. The
+    // sentinel keeps round 0 eligible for any cooldown length.
+    constexpr int kNeverMoved = -(1 << 20);
+    std::vector<std::vector<int>> last_moved(nn);
+    for (std::size_t n = 0; n < nn; ++n)
+        last_moved[n].assign(apps_[n].size(), kNeverMoved);
+
     FleetAccumulator pooled;
     for (int r = 0; r < cfg.rounds; ++r) {
         // ---- measurement round: every node in parallel ----------
@@ -131,6 +139,15 @@ ClusterScheduler::run(const SimulationConfig &base,
         if (tracing) {
             for (std::size_t n = 0; n < nn; ++n)
                 buffers[n].flushTo(*scope.sink);
+        }
+        // Cold windows are consumed by the round that just ran
+        // (roundEpochs >= the window): every app is warm again
+        // until the next migration marks one cold.
+        for (auto &node_apps : apps_) {
+            for (auto &app : node_apps) {
+                app.coldEpochs = 0;
+                app.coldPenalty = 0.0;
+            }
         }
 
         FleetAccumulator round_pool;
@@ -178,10 +195,16 @@ ClusterScheduler::run(const SimulationConfig &base,
             const auto uh = static_cast<std::size_t>(hot);
 
             // Victim: the app whose removal lowers the hot node's
-            // entropy the most (argmin residual E_S, app order).
-            std::vector<double> residual(apps_[uh].size());
+            // entropy the most (argmin residual E_S, app order),
+            // skipping apps still in their migration cooldown —
+            // an app bounced last rebalance must settle before it
+            // may move again.
+            std::vector<double> residual(apps_[uh].size(), kInf);
             exec::parallelFor(
                 p, apps_[uh].size(), [&](std::size_t i) {
+                    if (r - last_moved[uh][i] <
+                        cfg.migrationCooldownRounds)
+                        return;
                     auto rest = apps_[uh];
                     rest.erase(rest.begin() +
                                static_cast<std::ptrdiff_t>(i));
@@ -195,14 +218,21 @@ ClusterScheduler::run(const SimulationConfig &base,
                     victim = i;
                 }
             }
+            if (!std::isfinite(victim_es))
+                break; // every app on the hot node is cooling down
 
-            // Destination: where the victim disturbs least.
+            // Destination: where the victim disturbs least. The
+            // trial colocation charges the migration cost — the
+            // candidate arrives cold — so a move that only pays
+            // off ignoring its own disruption is not taken.
             std::vector<double> dest_es(nn, kInf);
             exec::parallelFor(p, nn, [&](std::size_t d) {
                 if (d == uh)
                     return;
                 auto set = apps_[d];
                 set.push_back(apps_[uh][victim]);
+                set.back().coldEpochs = cfg.migrationCostEpochs;
+                set.back().coldPenalty = cfg.migrationPenalty;
                 dest_es[d] = node_es(d, set);
             });
             int dest = -1;
@@ -217,21 +247,45 @@ ClusterScheduler::run(const SimulationConfig &base,
                 break;
             const auto ud = static_cast<std::size_t>(dest);
 
-            ColocatedApp moved = apps_[uh][victim];
-            apps_[uh].erase(apps_[uh].begin() +
-                            static_cast<std::ptrdiff_t>(victim));
-            apps_[ud].push_back(std::move(moved));
+            // Hysteresis: apply only if the trial-projected spread
+            // improves by at least the configured margin. Without
+            // it, two near-equal nodes trade the same app forever
+            // on trial noise alone.
+            const double spread_now = spread_of();
+            const double mean_h = node_mean[uh];
+            const double mean_d = node_mean[ud];
             node_mean[uh] = victim_es;
             node_mean[ud] = dest_es[ud];
+            const double spread_next = spread_of();
+            if (cfg.migrationEpsilon > 0.0 &&
+                spread_now - spread_next < cfg.migrationEpsilon) {
+                node_mean[uh] = mean_h;
+                node_mean[ud] = mean_d;
+                break; // best available move is not worth taking
+            }
+
+            ColocatedApp moved = apps_[uh][victim];
+            moved.coldEpochs = cfg.migrationCostEpochs;
+            moved.coldPenalty = cfg.migrationPenalty;
+            apps_[uh].erase(apps_[uh].begin() +
+                            static_cast<std::ptrdiff_t>(victim));
+            last_moved[uh].erase(
+                last_moved[uh].begin() +
+                static_cast<std::ptrdiff_t>(victim));
+            apps_[ud].push_back(std::move(moved));
+            last_moved[ud].push_back(r);
             out.migrations.push_back(
                 {r, hot, dest, apps_[ud].back().profile.name});
             scope.count("cluster.migrations");
+            scope.count("cluster.migration_cost_epochs",
+                        cfg.migrationCostEpochs);
             if (tracing) {
                 obs::Event ev("cluster_migrate");
                 ev.integer("round", r)
                     .str("app", apps_[ud].back().profile.name)
                     .integer("from", hot)
-                    .integer("to", dest);
+                    .integer("to", dest)
+                    .integer("cost_epochs", cfg.migrationCostEpochs);
                 scope.emit(ev);
             }
             ++done;

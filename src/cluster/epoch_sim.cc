@@ -63,6 +63,32 @@ EpochSimulator::EpochSimulator(Node node, SimulationConfig config)
 SimulationResult
 EpochSimulator::run(sched::Scheduler &scheduler) const
 {
+    sched::Scheduler *arm = &scheduler;
+    return runImpl(&arm, 1, nullptr);
+}
+
+SimulationResult
+EpochSimulator::runSwitched(
+    const std::vector<sched::Scheduler *> &arms,
+    const PolicySchedule &schedule) const
+{
+    assert(!arms.empty());
+#ifndef NDEBUG
+    for (const auto *a : arms)
+        assert(a != nullptr);
+    for (const int a : schedule.blockArm)
+        assert(a >= 0 &&
+               static_cast<std::size_t>(a) < arms.size());
+#endif
+    return runImpl(arms.data(), arms.size(), &schedule);
+}
+
+SimulationResult
+EpochSimulator::runImpl(sched::Scheduler *const *arms,
+                        std::size_t num_arms,
+                        const PolicySchedule *schedule) const
+{
+    (void)num_arms;
     const int n = node_.numApps();
     const int epochs = static_cast<int>(
         std::round(cfg.durationSeconds / cfg.epochSeconds));
@@ -75,10 +101,14 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
     stats::Rng rng(cfg.seed);
     perf::ContentionModel contention(node_.config(), cfg.contention);
 
-    scheduler.reset();
+    // The arm in force; a null schedule pins arm 0 for the whole
+    // run (the classic single-scheduler path).
+    int cur_arm = schedule != nullptr ? schedule->armAt(0) : 0;
+    sched::Scheduler *cur = arms[static_cast<std::size_t>(cur_arm)];
+    cur->reset();
     // Always (re)attach the run's scope: a scheduler reused across
     // runs must not keep reporting into the previous run's sinks.
-    scheduler.setObsScope(cfg.obs);
+    cur->setObsScope(cfg.obs);
     const bool tracing = cfg.obs.tracing();
     const double sample_rate = cfg.traceSampleRate;
     // Head-based sampling: the keep/drop decision is made once at
@@ -90,7 +120,7 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
     const bool sampling = tracing && sample_rate < 1.0;
     if (tracing) {
         obs::Event ev("run_start");
-        ev.str("scheduler", scheduler.name())
+        ev.str("scheduler", cur->name())
             .str("node", node_.describe())
             .integer("epochs", epochs)
             .num("epoch_seconds", dt)
@@ -115,7 +145,7 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
 
     auto static_obs = node_.staticObservations();
     machine::RegionLayout layout =
-        scheduler.initialLayout(node_.config(), static_obs);
+        cur->initialLayout(node_.config(), static_obs);
     assert(layout.valid());
 
     // Opt-in invariant auditing (AHQ_CHECK / cfg.checkMode). The
@@ -147,6 +177,25 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
     std::vector<double> backlog(static_cast<std::size_t>(n), 0.0);
     std::vector<int> prev_ways(static_cast<std::size_t>(n), -1);
     std::vector<int> prev_cores(static_cast<std::size_t>(n), -1);
+
+    // Post-migration cold-start windows (ColocatedApp::coldEpochs):
+    // a freshly migrated app re-warms its caches over the first
+    // cold_epochs[i] epochs, with service times stretched by a
+    // linearly decaying factor. All-warm runs (the common case)
+    // reduce to one `any_cold` branch per app per epoch.
+    std::vector<int> cold_epochs(static_cast<std::size_t>(n), 0);
+    std::vector<double> cold_penalty(static_cast<std::size_t>(n),
+                                     0.0);
+    bool any_cold = false;
+    for (AppId i = 0; i < n; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        const auto &app = node_.apps()[ui];
+        if (app.coldEpochs > 0 && app.coldPenalty > 0.0) {
+            cold_epochs[ui] = app.coldEpochs;
+            cold_penalty[ui] = app.coldPenalty;
+            any_cold = true;
+        }
+    }
     std::vector<sched::AppObservation> last_obs;
     std::vector<perf::AppDemand> demands;
     std::vector<core::LcObservation> lc_obs;
@@ -218,17 +267,48 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
             (!sampling ||
              sample_base.split(static_cast<std::uint64_t>(e) + 1)
                      .uniform() < sample_rate);
+
+        // Policy-swap seam: at a block boundary where the arm
+        // changes, the incoming scheduler takes over the *system*
+        // state (queue backlog carries; its predecessor's internal
+        // state does not) and re-initialises the layout — the
+        // repartition is charged through the overhead model below.
+        bool swapped = false;
+        if (schedule != nullptr) {
+            const int a = schedule->armAt(e);
+            if (a != cur_arm) {
+                cur_arm = a;
+                cur = arms[static_cast<std::size_t>(a)];
+                cur->reset();
+                cur->setObsScope(tracing && !epoch_traced
+                                     ? muted_scope
+                                     : cfg.obs.atEpoch(e));
+                layout =
+                    cur->initialLayout(node_.config(), static_obs);
+                assert(layout.valid());
+                swapped = true;
+                cfg.obs.count("sim.policy_swaps");
+                if (epoch_traced) {
+                    obs::Event ev("policy_swap");
+                    ev.str("scheduler", cur->name())
+                        .integer("arm", cur_arm);
+                    cfg.obs.atEpoch(e).emit(ev);
+                }
+            }
+        }
+
         if (tracing) {
             if (epoch_traced) {
-                scheduler.setObsScope(cfg.obs.atEpoch(e));
+                cur->setObsScope(cfg.obs.atEpoch(e));
                 if (faulting)
                     injector->setEventsEnabled(true);
-            } else if (prev_traced) {
-                // First rejected epoch after a kept one: mute the
-                // scheduler/injector sinks once. Later rejected
-                // epochs skip even the scope copy, keeping the
-                // rejected steady state allocation-free.
-                scheduler.setObsScope(muted_scope);
+            } else if (prev_traced || swapped) {
+                // First rejected epoch after a kept one (or a swap,
+                // whose fresh arm must not inherit a stale sink):
+                // mute the scheduler/injector sinks once. Later
+                // rejected epochs skip even the scope copy, keeping
+                // the rejected steady state allocation-free.
+                cur->setObsScope(muted_scope);
                 if (faulting)
                     injector->setEventsEnabled(false);
             }
@@ -236,7 +316,10 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
         }
         if (faulting)
             injector->beginEpoch(e, t);
-        if (e > 0) {
+        // A swap epoch skips adjust(): the incoming scheduler just
+        // built its initial layout and has observed nothing yet
+        // (the same contract as epoch 0 of a plain run).
+        if (e > 0 && !swapped) {
             if (faulting && last_all_dropped) {
                 // Every input sample was dropped: no scheduler can
                 // act on pure staleness, so the interval is skipped
@@ -247,18 +330,18 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
                 machine::RegionLayout intent = layout;
                 {
                     obs::Span span(cfg.obs, "decide");
-                    scheduler.adjust(intent, last_obs, t);
+                    cur->adjust(intent, last_obs, t);
                 }
                 if (auditing) {
                     obs::Span span(cfg.obs, "audit");
-                    auditor.afterDecision(scheduler, layout, intent,
+                    auditor.afterDecision(*cur, layout, intent,
                                           e, t, last_degraded);
                 }
                 fault::FaultInjector::Actuation act;
                 {
                     obs::Span span(cfg.obs, "actuate");
                     act = injector->actuate(layout, intent, e, t);
-                    scheduler.onActuation(act.ok);
+                    cur->onActuation(act.ok);
                 }
                 if (auditing) {
                     obs::Span span(cfg.obs, "audit");
@@ -270,14 +353,14 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
                 const machine::RegionLayout before = layout;
                 {
                     obs::Span span(cfg.obs, "decide");
-                    scheduler.adjust(layout, last_obs, t);
+                    cur->adjust(layout, last_obs, t);
                 }
                 obs::Span span(cfg.obs, "audit");
-                auditor.afterDecision(scheduler, before, layout,
+                auditor.afterDecision(*cur, before, layout,
                                       e, t);
             } else {
                 obs::Span span(cfg.obs, "decide");
-                scheduler.adjust(layout, last_obs, t);
+                cur->adjust(layout, last_obs, t);
             }
             assert(layout.valid());
         }
@@ -299,7 +382,7 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
         {
             obs::Span span(cfg.obs, "model");
             contention.evaluateInto(layout, demands,
-                                    scheduler.corePolicy(),
+                                    cur->corePolicy(),
                                     rec.outcomes);
         }
         const auto &outcomes = rec.outcomes;
@@ -343,7 +426,18 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
                     }
                 }
                 const double lambda = prof.arrivalRate(load);
-                const double cap = out.serviceRate;
+                // Cold-start stretch: a recently migrated app's
+                // effective service rates shrink while its caches
+                // re-warm (linear decay over the cold window).
+                double cold = 1.0;
+                if (any_cold && e < cold_epochs[ui]) {
+                    cold = 1.0 + cold_penalty[ui] *
+                        static_cast<double>(cold_epochs[ui] - e) /
+                        static_cast<double>(cold_epochs[ui]);
+                }
+                const double cap = out.serviceRate / cold;
+                const double per_server =
+                    out.perServerRate / cold;
 
                 // Explicit backlog dynamics with a generator-side
                 // cap on outstanding work.
@@ -364,10 +458,10 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
                     prof.svcMultAt(cfg.tailPercentile) *
                     out.serviceStretch;
                 double t95 = perf::sojournPercentileApprox(
-                    out.coreEquivalents, lam_eff, out.perServerRate,
+                    out.coreEquivalents, lam_eff, per_server,
                     svc_tail, cfg.tailPercentile);
                 if (!std::isfinite(t95)) {
-                    t95 = svc_tail / out.perServerRate;
+                    t95 = svc_tail / per_server;
                 }
                 t95 += b_mid / std::max(cap, 1e-9);
 
@@ -410,6 +504,13 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
                 // Repartitioning costs BE throughput too (cold ways
                 // and thread migrations), at half the latency rate.
                 ipc /= 1.0 + 0.5 * (overhead - 1.0);
+                // Post-migration cold window slows BE apps the
+                // same way it stretches LC service times.
+                if (any_cold && e < cold_epochs[ui]) {
+                    ipc /= 1.0 + cold_penalty[ui] *
+                        static_cast<double>(cold_epochs[ui] - e) /
+                        static_cast<double>(cold_epochs[ui]);
+                }
                 ipc *= rng.lognormalNoise(cfg.noiseSigma);
 
                 double extra = 1.0;
@@ -528,8 +629,12 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
         }
 
         last_obs = rec.obs;
-        if (cfg.keepEpochs)
+        if (cfg.keepEpochs) {
+            rec.queueBacklog.assign(backlog.begin(),
+                                    backlog.end());
+            rec.policyArm = cur_arm;
             result.epochs.push_back(std::move(rec));
+        }
     }
 
     if (steady > 0) {
@@ -561,7 +666,7 @@ EpochSimulator::run(sched::Scheduler &scheduler) const
 
     if (tracing) {
         obs::Event ev("run_end");
-        ev.str("scheduler", scheduler.name())
+        ev.str("scheduler", cur->name())
             .num("mean_e_lc", result.meanELc)
             .num("mean_e_be", result.meanEBe)
             .num("mean_e_s", result.meanES)

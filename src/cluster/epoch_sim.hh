@@ -136,6 +136,33 @@ struct SimulationConfig
     bool keepEpochs = true;
 };
 
+/**
+ * Epoch→arm mapping driving the policy-swap seam: epoch e runs
+ * under arms[blockArm[e / blockEpochs]] (the last block absorbs
+ * any trailing epochs). A null schedule — the single-scheduler
+ * run() — costs exactly one branch per epoch, the same contract as
+ * the fault and audit seams.
+ */
+struct PolicySchedule
+{
+    /** Epochs per block (> 0 when the schedule is active). */
+    int blockEpochs = 0;
+
+    /** Arm index per block (values < the arm count of the run). */
+    std::vector<int> blockArm;
+
+    /** Arm in force at the given epoch. */
+    int armAt(int epoch) const
+    {
+        if (blockEpochs <= 0 || blockArm.empty())
+            return 0;
+        auto b = static_cast<std::size_t>(epoch / blockEpochs);
+        if (b >= blockArm.size())
+            b = blockArm.size() - 1;
+        return blockArm[b];
+    }
+};
+
 /** Everything recorded about one epoch. */
 struct EpochRecord
 {
@@ -143,6 +170,17 @@ struct EpochRecord
 
     /** Observations with measurements filled (indexed by AppId). */
     std::vector<sched::AppObservation> obs;
+
+    /**
+     * Queue backlog (outstanding requests) per app at the end of
+     * the epoch (0 for BE apps) — the per-epoch queue-length
+     * series Little's-law DQ estimators consume. Only filled when
+     * SimulationConfig::keepEpochs retains records at all.
+     */
+    std::vector<double> queueBacklog;
+
+    /** Policy arm in force during the epoch (0 without a schedule). */
+    int policyArm = 0;
 
     /** Contention-model outcomes (indexed by AppId). */
     std::vector<perf::PerfOutcome> outcomes;
@@ -220,12 +258,35 @@ class EpochSimulator
      */
     SimulationResult run(sched::Scheduler &scheduler) const;
 
+    /**
+     * Policy-swap run: simulate under schedule.armAt(e)'s scheduler
+     * each epoch. At a block boundary where the arm changes, the
+     * incoming scheduler is reset() and re-initialises the layout
+     * (a real policy rollout hands the controller the *system*
+     * state, not its predecessor's internal state), so queue
+     * backlog carries across the swap — exactly the carryover that
+     * makes naive A/B estimates lie — while repartitioning costs
+     * are charged through the usual overhead model. Swapping to
+     * the already-active arm is a no-op. With a single arm and an
+     * empty schedule this is identical to run(scheduler).
+     *
+     * @param arms Candidate schedulers (non-null, outlive the run).
+     * @param schedule Epoch→arm mapping (see PolicySchedule).
+     */
+    SimulationResult
+    runSwitched(const std::vector<sched::Scheduler *> &arms,
+                const PolicySchedule &schedule) const;
+
     const Node &node() const { return node_; }
     const SimulationConfig &config() const { return cfg; }
 
   private:
     Node node_;
     SimulationConfig cfg;
+
+    SimulationResult
+    runImpl(sched::Scheduler *const *arms, std::size_t num_arms,
+            const PolicySchedule *schedule) const;
 };
 
 } // namespace ahq::cluster

@@ -27,6 +27,22 @@ struct ColocatedApp
 
     /** Load trace (LC apps only; BE apps always run flat out). */
     std::shared_ptr<trace::LoadTrace> load;
+
+    /**
+     * Post-migration cold-start window: for the first coldEpochs
+     * epochs of a run this app's service is degraded (its caches
+     * drained with the move and must re-warm), so a migration is
+     * never free. 0 (the default) is the exact warm path.
+     */
+    int coldEpochs = 0;
+
+    /**
+     * Fractional service degradation at epoch 0 of the cold
+     * window, decaying linearly to 0 over coldEpochs: effective
+     * service times are stretched by 1 + coldPenalty * remaining /
+     * coldEpochs (LC), and BE IPC divided by the same factor.
+     */
+    double coldPenalty = 0.0;
 };
 
 /** Convenience: colocate an LC app at a constant load fraction. */

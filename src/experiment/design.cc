@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Experiment design implementation.
+ */
+
+#include "experiment/design.hh"
+
+#include <stdexcept>
+
+#include "stats/rng.hh"
+
+namespace ahq::experiment
+{
+
+namespace
+{
+
+/**
+ * Balanced arm vector of length n (ceil(n/2) zeros first), then a
+ * seeded Fisher-Yates shuffle. Deterministic per rng state.
+ */
+std::vector<int>
+balancedShuffle(std::size_t n, stats::Rng rng)
+{
+    std::vector<int> arms(n);
+    for (std::size_t i = 0; i < n; ++i)
+        arms[i] = i < (n + 1) / 2 ? 0 : 1;
+    for (std::size_t i = n; i > 1; --i) {
+        const auto j =
+            static_cast<std::size_t>(rng.uniformInt(i));
+        std::swap(arms[i - 1], arms[j]);
+    }
+    return arms;
+}
+
+} // namespace
+
+DesignKind
+designKindFromName(const std::string &name)
+{
+    if (name == "switchback")
+        return DesignKind::Switchback;
+    if (name == "interleaved")
+        return DesignKind::Interleaved;
+    throw std::invalid_argument("unknown design: " + name);
+}
+
+const char *
+designKindName(DesignKind kind)
+{
+    return kind == DesignKind::Switchback ? "switchback"
+                                          : "interleaved";
+}
+
+std::vector<int>
+nodeBlockArms(const ExperimentDesign &design, int node)
+{
+    validateDesign(design);
+    if (node < 0 || node >= design.numNodes)
+        throw std::invalid_argument("node out of range");
+    const auto blocks =
+        static_cast<std::size_t>(design.blocksPerNode);
+    const stats::Rng base =
+        stats::Rng(design.seed).split(kDesignStream);
+
+    if (design.kind == DesignKind::Switchback) {
+        // Per-node stream: node k's block order is independent of
+        // every other node's and of the node count.
+        return balancedShuffle(
+            blocks,
+            base.split(static_cast<std::uint64_t>(node) + 1));
+    }
+
+    // Interleaved: one balanced shuffle over the node set; the
+    // node's arm repeats across all its blocks.
+    const auto partition = balancedShuffle(
+        static_cast<std::size_t>(design.numNodes), base);
+    return std::vector<int>(
+        blocks, partition[static_cast<std::size_t>(node)]);
+}
+
+cluster::PolicySchedule
+nodeSchedule(const ExperimentDesign &design, int node)
+{
+    cluster::PolicySchedule s;
+    s.blockEpochs = design.blockEpochs;
+    s.blockArm = nodeBlockArms(design, node);
+    return s;
+}
+
+void
+validateDesign(const ExperimentDesign &design)
+{
+    if (design.blockEpochs < 1)
+        throw std::invalid_argument("blockEpochs must be >= 1");
+    if (design.blocksPerNode < 2)
+        throw std::invalid_argument("blocksPerNode must be >= 2");
+    if (design.numNodes < 1)
+        throw std::invalid_argument("numNodes must be >= 1");
+    if (design.kind == DesignKind::Switchback &&
+        design.blocksPerNode % 2 != 0)
+        throw std::invalid_argument(
+            "switchback needs an even blocksPerNode");
+    if (design.kind == DesignKind::Interleaved &&
+        design.numNodes < 2)
+        throw std::invalid_argument(
+            "interleaved needs >= 2 nodes");
+}
+
+} // namespace ahq::experiment

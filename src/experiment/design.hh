@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Experiment designs for online policy A/B tests on a live fleet.
+ *
+ * Two designs from the switchback-testing literature, adapted to
+ * the epoch simulator's policy-swap seam:
+ *
+ *  - Switchback: every node alternates between the two candidate
+ *    schedulers in time blocks of blockEpochs epochs, with the
+ *    block order randomized per node (a balanced permutation, so
+ *    each arm gets the same number of blocks). Queue backlog
+ *    carries across block boundaries — the carryover interference
+ *    that biases naive estimates and motivates the
+ *    Differences-in-Q estimator.
+ *
+ *  - Interleaved: the node set is partitioned between the arms (a
+ *    balanced shuffled split); each node runs one scheduler for the
+ *    whole experiment. No within-node carryover, but any between-
+ *    node load imbalance lands directly in the contrast.
+ *
+ * Both assignments are pure functions of (design, node): any node's
+ * schedule materializes independently, in any order, at any thread
+ * count — the same discipline as fleetNodeApps and the fault
+ * injector.
+ */
+
+#ifndef AHQ_EXPERIMENT_DESIGN_HH
+#define AHQ_EXPERIMENT_DESIGN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/epoch_sim.hh"
+
+namespace ahq::experiment
+{
+
+enum class DesignKind
+{
+    Switchback,
+    Interleaved,
+};
+
+/** Parse "switchback" / "interleaved" (throws on anything else). */
+DesignKind designKindFromName(const std::string &name);
+
+const char *designKindName(DesignKind kind);
+
+/** A two-arm experiment design. Arm 0 is A, arm 1 is B. */
+struct ExperimentDesign
+{
+    DesignKind kind = DesignKind::Switchback;
+
+    /** Candidate schedulers (sched::allStrategyNames()). */
+    std::string armA = "ARQ";
+    std::string armB = "Unmanaged";
+
+    /** Epochs per block (the estimator's resampling unit). */
+    int blockEpochs = 20;
+
+    /** Blocks per node (even, so the within-node split balances). */
+    int blocksPerNode = 8;
+
+    /** Fleet size. */
+    int numNodes = 4;
+
+    /** Randomization seed (block order / node partition). */
+    std::uint64_t seed = 42;
+
+    /** Total epochs each node simulates. */
+    int epochsPerNode() const { return blockEpochs * blocksPerNode; }
+};
+
+/**
+ * RNG stream id for design randomization, split off the experiment
+ * seed (cf. cluster::kTraceSampleStream): assignment draws never
+ * touch the simulation noise streams, so changing the design seed
+ * re-randomizes the assignment without perturbing the per-node
+ * measurement noise and vice versa.
+ */
+inline constexpr std::uint64_t kDesignStream = 0xab7e5;
+
+/**
+ * The arm of every block of one node, in block order. Switchback:
+ * a balanced per-node permutation (seeded Fisher-Yates on
+ * split(seed, kDesignStream, node+1)). Interleaved: every block of
+ * a node carries the node's single arm from the balanced node
+ * partition (seeded on split(seed, kDesignStream)). Pure function
+ * of (design, node).
+ */
+std::vector<int> nodeBlockArms(const ExperimentDesign &design,
+                               int node);
+
+/** The same assignment as a PolicySchedule for runSwitched(). */
+cluster::PolicySchedule nodeSchedule(const ExperimentDesign &design,
+                                     int node);
+
+/**
+ * Validate a design (throws std::invalid_argument): positive block
+ * geometry, at least one node, an even within-node block count for
+ * switchback, and at least two nodes for interleaved (a one-node
+ * partition has an empty arm).
+ */
+void validateDesign(const ExperimentDesign &design);
+
+} // namespace ahq::experiment
+
+#endif // AHQ_EXPERIMENT_DESIGN_HH

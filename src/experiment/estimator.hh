@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Treatment-effect estimators for policy experiments on queueing
+ * systems.
+ *
+ * The naive estimator (difference of within-arm block means) is
+ * biased under switchback designs: queue backlog built by one arm
+ * drains during the other arm's blocks, so each arm is measured
+ * partly under its rival's congestion. Differences-in-Q corrects
+ * for that carryover using the queue-length series itself — via
+ * Little's law for the latency contrast, and via a start-of-block
+ * queue regression adjustment for the entropy / violation
+ * contrasts. The mixed estimator blends the two by inverse
+ * bootstrap variance: it leans on naive when carryover is
+ * negligible (interleaved designs, light load) and on DQ when the
+ * queues say otherwise.
+ *
+ * All uncertainty is quantified with a seeded within-arm block
+ * bootstrap (percentile CIs), the block being the resampling unit
+ * precisely because epochs within a block share one policy regime.
+ */
+
+#ifndef AHQ_EXPERIMENT_ESTIMATOR_HH
+#define AHQ_EXPERIMENT_ESTIMATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/bootstrap.hh"
+
+namespace ahq::experiment
+{
+
+/** Per-(node, block) aggregates the estimators consume. */
+struct BlockStat
+{
+    int node = 0;
+    int block = 0;
+
+    /** Arm in force during the block (0 = A, 1 = B). */
+    int arm = 0;
+
+    /** Epochs aggregated into this block. */
+    int epochs = 0;
+
+    /** Mean system entropy over the block's epochs. */
+    double meanES = 0.0;
+
+    /** Pooled mean LC p95 over (app, epoch), ms. */
+    double meanP95Ms = 0.0;
+
+    /** Mean total LC queue backlog (outstanding requests). */
+    double meanQueue = 0.0;
+
+    /** Mean total LC arrival rate, requests/s. */
+    double meanArrivalRate = 0.0;
+
+    /**
+     * Total LC backlog at the instant the block started (the last
+     * epoch of the previous block; 0 for a node's first block) —
+     * the inherited congestion the DQ regression adjusts out.
+     */
+    double startQueue = 0.0;
+
+    /** QoS-violation rate over the block's (LC app, epoch) pairs. */
+    double violRate = 0.0;
+};
+
+/** Estimator tunables. */
+struct EstimatorConfig
+{
+    /** CI coverage. */
+    double confidence = 0.95;
+
+    /** Bootstrap resamples. */
+    int resamples = 800;
+
+    /** Bootstrap seed (independent of simulation seeds). */
+    std::uint64_t seed = 42;
+};
+
+/** Naive / DQ / mixed interval estimates of one metric's A-B. */
+struct MetricEstimate
+{
+    stats::ConfidenceInterval naive;
+    stats::ConfidenceInterval dq;
+    stats::ConfidenceInterval mixed;
+
+    /** Mixed blend weight on naive (1 - alpha goes to DQ). */
+    double alpha = 0.5;
+};
+
+/** The experiment's three headline contrasts (all A minus B). */
+struct ExperimentEstimates
+{
+    /** Delta system entropy E_S. */
+    MetricEstimate es;
+
+    /** Delta pooled LC p95, ms. */
+    MetricEstimate p95Ms;
+
+    /** Delta QoS-violation rate. */
+    MetricEstimate violations;
+
+    int blocksA = 0;
+    int blocksB = 0;
+};
+
+/**
+ * Point estimates + bootstrap CIs for all three contrasts.
+ * Deterministic per (blocks, config): the bootstrap draws on its
+ * own seeded Rng and every pass scans blocks in input order.
+ */
+ExperimentEstimates estimate(const std::vector<BlockStat> &blocks,
+                             const EstimatorConfig &config = {});
+
+/** Experiment outcome, decided on the mixed E_S interval. */
+enum class Verdict
+{
+    ArmABetter,
+    ArmBBetter,
+    Inconclusive,
+};
+
+/**
+ * Verdict from the mixed Delta-E_S CI: entirely below zero means A
+ * achieves lower entropy (A better); entirely above zero, B;
+ * anything straddling zero is inconclusive.
+ */
+Verdict verdictOf(const ExperimentEstimates &est);
+
+const char *verdictName(Verdict v);
+
+} // namespace ahq::experiment
+
+#endif // AHQ_EXPERIMENT_ESTIMATOR_HH

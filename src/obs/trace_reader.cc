@@ -270,12 +270,19 @@ isKnownTraceType(std::string_view type)
     // The schema-v1 taxonomy (docs/TRACE_SCHEMA.md). Sorted so the
     // lookup is a binary search; update alongside the doc table.
     static constexpr std::string_view kKnown[] = {
-        "arq_decision",  "bench",          "clite_decision",
-        "epoch",         "fault",          "fleet_end",
-        "fleet_node",    "fleet_start",    "parties_decision",
-        "recovery",      "run_end",        "run_start",
-        "scenario_end",  "scenario_start", "series",
-        "span",          "violation",
+        "arq_decision",     "bench",
+        "clite_decision",   "cluster_end",
+        "cluster_migrate",  "cluster_round",
+        "cluster_start",    "epoch",
+        "experiment_block",
+        "experiment_end",   "experiment_start",
+        "fault",            "fleet_end",
+        "fleet_node",       "fleet_start",
+        "parties_decision", "policy_swap",
+        "recovery",         "run_end",
+        "run_start",        "scenario_end",
+        "scenario_start",   "series",
+        "span",             "violation",
     };
     return std::binary_search(std::begin(kKnown),
                               std::end(kKnown), type);

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Design-layer tests: the (node x block) arm assignment is a pure,
+ * balanced, seeded function of the design — the property every
+ * downstream determinism guarantee leans on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "experiment/design.hh"
+
+namespace
+{
+
+using namespace ahq;
+using experiment::DesignKind;
+using experiment::ExperimentDesign;
+
+ExperimentDesign
+switchback()
+{
+    ExperimentDesign d;
+    d.kind = DesignKind::Switchback;
+    d.blocksPerNode = 8;
+    d.blockEpochs = 10;
+    d.numNodes = 4;
+    d.seed = 42;
+    return d;
+}
+
+ExperimentDesign
+interleaved()
+{
+    ExperimentDesign d = switchback();
+    d.kind = DesignKind::Interleaved;
+    return d;
+}
+
+TEST(ExperimentDesign, AssignmentIsPureAndDeterministic)
+{
+    const auto d = switchback();
+    for (int n = 0; n < d.numNodes; ++n) {
+        const auto first = experiment::nodeBlockArms(d, n);
+        // Re-evaluating (any number of times, any order) yields the
+        // same assignment: no hidden state between calls.
+        EXPECT_EQ(experiment::nodeBlockArms(d, n), first);
+    }
+    // Node order must not matter either: querying node 3 first
+    // changes nothing about node 0's blocks.
+    const auto n0 = experiment::nodeBlockArms(d, 0);
+    (void)experiment::nodeBlockArms(d, 3);
+    EXPECT_EQ(experiment::nodeBlockArms(d, 0), n0);
+}
+
+TEST(ExperimentDesign, SwitchbackBalancesWithinEveryNode)
+{
+    const auto d = switchback();
+    for (int n = 0; n < d.numNodes; ++n) {
+        const auto arms = experiment::nodeBlockArms(d, n);
+        ASSERT_EQ(static_cast<int>(arms.size()), d.blocksPerNode);
+        int a = 0;
+        for (const auto arm : arms) {
+            ASSERT_TRUE(arm == 0 || arm == 1);
+            a += arm == 0 ? 1 : 0;
+        }
+        EXPECT_EQ(a, d.blocksPerNode / 2) << "node " << n;
+    }
+}
+
+TEST(ExperimentDesign, SwitchbackOrdersDifferAcrossNodes)
+{
+    // Per-node randomization: with 4 nodes x 8 blocks the odds of
+    // all nodes drawing the same permutation are negligible, and
+    // for this fixed seed they must not (otherwise block position
+    // would be perfectly confounded with arm across the fleet).
+    const auto d = switchback();
+    std::set<std::vector<int>> orders;
+    for (int n = 0; n < d.numNodes; ++n)
+        orders.insert(experiment::nodeBlockArms(d, n));
+    EXPECT_GT(orders.size(), 1u);
+}
+
+TEST(ExperimentDesign, SeedReshufflesTheAssignment)
+{
+    auto d = switchback();
+    const auto before = experiment::nodeBlockArms(d, 0);
+    bool changed = false;
+    for (std::uint64_t s = 43; s < 48 && !changed; ++s) {
+        d.seed = s;
+        changed = experiment::nodeBlockArms(d, 0) != before;
+    }
+    EXPECT_TRUE(changed);
+}
+
+TEST(ExperimentDesign, InterleavedPartitionsNodesEvenly)
+{
+    const auto d = interleaved();
+    int a = 0;
+    for (int n = 0; n < d.numNodes; ++n) {
+        const auto arms = experiment::nodeBlockArms(d, n);
+        ASSERT_EQ(static_cast<int>(arms.size()), d.blocksPerNode);
+        // A node runs one arm for the whole experiment.
+        for (const auto arm : arms)
+            EXPECT_EQ(arm, arms.front());
+        a += arms.front() == 0 ? 1 : 0;
+    }
+    EXPECT_EQ(a, d.numNodes / 2);
+}
+
+TEST(ExperimentDesign, ScheduleMatchesBlockArms)
+{
+    const auto d = switchback();
+    for (int n = 0; n < d.numNodes; ++n) {
+        const auto sched = experiment::nodeSchedule(d, n);
+        const auto arms = experiment::nodeBlockArms(d, n);
+        EXPECT_EQ(sched.blockEpochs, d.blockEpochs);
+        for (int b = 0; b < d.blocksPerNode; ++b)
+            for (int e = 0; e < d.blockEpochs; ++e)
+                EXPECT_EQ(sched.armAt(b * d.blockEpochs + e),
+                          arms[b]);
+    }
+}
+
+TEST(ExperimentDesign, ValidateRejectsBadGeometry)
+{
+    auto odd = switchback();
+    odd.blocksPerNode = 7; // switchback needs an even split
+    EXPECT_THROW(experiment::validateDesign(odd),
+                 std::invalid_argument);
+
+    auto tiny = switchback();
+    tiny.blocksPerNode = 1;
+    EXPECT_THROW(experiment::validateDesign(tiny),
+                 std::invalid_argument);
+
+    auto zero_epochs = switchback();
+    zero_epochs.blockEpochs = 0;
+    EXPECT_THROW(experiment::validateDesign(zero_epochs),
+                 std::invalid_argument);
+
+    auto no_nodes = switchback();
+    no_nodes.numNodes = 0;
+    EXPECT_THROW(experiment::validateDesign(no_nodes),
+                 std::invalid_argument);
+
+    auto lone = interleaved();
+    lone.numNodes = 1; // a one-node partition has an empty arm
+    EXPECT_THROW(experiment::validateDesign(lone),
+                 std::invalid_argument);
+
+    EXPECT_NO_THROW(experiment::validateDesign(switchback()));
+    EXPECT_NO_THROW(experiment::validateDesign(interleaved()));
+}
+
+TEST(ExperimentDesign, KindNamesRoundTrip)
+{
+    EXPECT_EQ(experiment::designKindFromName("switchback"),
+              DesignKind::Switchback);
+    EXPECT_EQ(experiment::designKindFromName("interleaved"),
+              DesignKind::Interleaved);
+    EXPECT_STREQ(
+        experiment::designKindName(DesignKind::Switchback),
+        "switchback");
+    EXPECT_STREQ(
+        experiment::designKindName(DesignKind::Interleaved),
+        "interleaved");
+    EXPECT_THROW(experiment::designKindFromName("crossover"),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Estimator tests on synthetic runs where the truth is known in
+ * closed form. The workhorse is an M/M/1 switchback: each arm's
+ * clean sojourn time is 1/(mu - lambda), blocks inherit the queue
+ * the previous block left behind (Little's law, Q = lambda * W),
+ * and the inherited queue drains into the measured metric — the
+ * carryover channel that biases the naive contrast and that
+ * Differences-in-Q prices out.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "experiment/design.hh"
+#include "experiment/estimator.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using namespace ahq;
+using experiment::BlockStat;
+using experiment::EstimatorConfig;
+using experiment::ExperimentDesign;
+
+/** M/M/1 parameters for the synthetic switchback. */
+struct Mm1
+{
+    double lambda = 80.0; // arrivals per second (both arms)
+    double muA = 100.0;   // arm A service rate
+    double muB = 92.0;    // arm B service rate
+
+    /** Drain cost per inherited request, seconds of extra sojourn. */
+    double gamma = 0.01;
+
+    /** Measurement noise sigma, seconds. */
+    double sigma = 0.002;
+
+    double waitA() const { return 1.0 / (muA - lambda); }
+    double waitB() const { return 1.0 / (muB - lambda); }
+    double truth() const { return waitA() - waitB(); }
+};
+
+/**
+ * Materialize the switchback as BlockStats: block b's metric is the
+ * arm's closed-form W plus gamma times the queue inherited from
+ * block b-1 (lambda * W of the previous arm — what an M/M/1 in
+ * steady state leaves behind) plus seeded noise.
+ */
+std::vector<BlockStat>
+mm1Blocks(const ExperimentDesign &design, const Mm1 &m)
+{
+    std::vector<BlockStat> blocks;
+    stats::Rng rng = stats::Rng(design.seed).split(0x3317);
+    for (int n = 0; n < design.numNodes; ++n) {
+        const auto arms = experiment::nodeBlockArms(design, n);
+        double carried = 0.0; // queue left by the previous block
+        for (int b = 0; b < design.blocksPerNode; ++b) {
+            const double w =
+                arms[b] == 0 ? m.waitA() : m.waitB();
+            BlockStat s;
+            s.node = n;
+            s.block = b;
+            s.arm = arms[b];
+            s.epochs = design.blockEpochs;
+            s.startQueue = carried;
+            s.meanES = w + m.gamma * carried +
+                       rng.normal(0.0, m.sigma);
+            s.meanP95Ms = 1000.0 * s.meanES;
+            s.meanQueue = m.lambda * w + 0.5 * carried;
+            s.meanArrivalRate = m.lambda;
+            s.violRate = 0.0;
+            blocks.push_back(s);
+            carried = m.lambda * w;
+        }
+    }
+    return blocks;
+}
+
+ExperimentDesign
+mm1Design()
+{
+    ExperimentDesign d;
+    d.kind = experiment::DesignKind::Switchback;
+    d.blocksPerNode = 12;
+    d.blockEpochs = 10;
+    d.numNodes = 4;
+    d.seed = 7;
+    return d;
+}
+
+TEST(DQEstimator, Mm1ClosedFormBiasOrdering)
+{
+    const Mm1 m;
+    const auto design = mm1Design();
+    const auto blocks = mm1Blocks(design, m);
+
+    EstimatorConfig cfg;
+    cfg.seed = design.seed;
+    const auto est = experiment::estimate(blocks, cfg);
+
+    const double truth = m.truth();
+    const double naive_err =
+        std::abs(est.es.naive.estimate - truth);
+    const double dq_err = std::abs(est.es.dq.estimate - truth);
+    const double mixed_err =
+        std::abs(est.es.mixed.estimate - truth);
+
+    // The carryover drain biases the naive contrast; the
+    // regression adjustment prices it out. DQ must land closer to
+    // the closed form, and materially so (not a coin flip).
+    EXPECT_LT(dq_err, 0.5 * naive_err)
+        << "naive " << est.es.naive.estimate << " dq "
+        << est.es.dq.estimate << " truth " << truth;
+
+    // The inverse-variance blend can only interpolate, so it never
+    // does worse than the worse component.
+    EXPECT_LE(mixed_err, naive_err + 1e-12);
+
+    // DQ's interval covers the closed form.
+    EXPECT_LE(est.es.dq.lo, truth);
+    EXPECT_GE(est.es.dq.hi, truth);
+}
+
+TEST(DQEstimator, Mm1RecoversCarryoverSlope)
+{
+    // With noise off, the regression adjustment is exact: the
+    // within-arm spread of startQueue identifies gamma, so DQ hits
+    // the closed form to float precision while naive misses by
+    // gamma times the arms' inherited-queue imbalance.
+    Mm1 m;
+    m.sigma = 0.0;
+    const auto design = mm1Design();
+    const auto blocks = mm1Blocks(design, m);
+
+    EstimatorConfig cfg;
+    cfg.resamples = 0; // point estimates only
+    const auto est = experiment::estimate(blocks, cfg);
+
+    EXPECT_NEAR(est.es.dq.estimate, m.truth(), 1e-9);
+    EXPECT_GT(std::abs(est.es.naive.estimate - m.truth()), 1e-4);
+}
+
+TEST(DQEstimator, EstimatesAreDeterministic)
+{
+    const Mm1 m;
+    const auto blocks = mm1Blocks(mm1Design(), m);
+    EstimatorConfig cfg;
+    const auto a = experiment::estimate(blocks, cfg);
+    const auto b = experiment::estimate(blocks, cfg);
+    EXPECT_EQ(a.es.mixed.lo, b.es.mixed.lo);
+    EXPECT_EQ(a.es.mixed.hi, b.es.mixed.hi);
+    EXPECT_EQ(a.p95Ms.dq.lo, b.p95Ms.dq.lo);
+    EXPECT_EQ(a.violations.naive.hi, b.violations.naive.hi);
+    EXPECT_EQ(a.es.alpha, b.es.alpha);
+}
+
+TEST(DQEstimator, DegenerateBootstrapForfeitsWeight)
+{
+    // All queues zero: Little's law has no signal, every DQ-p95
+    // replicate is identical. The zero-variance estimator must
+    // forfeit its weight (alpha -> 1, all naive), not absorb it.
+    std::vector<BlockStat> blocks;
+    stats::Rng rng(11);
+    for (int b = 0; b < 16; ++b) {
+        BlockStat s;
+        s.node = 0;
+        s.block = b;
+        s.arm = b % 2;
+        s.epochs = 5;
+        s.meanP95Ms = (s.arm == 0 ? 40.0 : 45.0) + rng.normal();
+        s.meanES = 0.1 * s.meanP95Ms;
+        s.meanQueue = 0.0;
+        s.meanArrivalRate = 100.0;
+        s.startQueue = 0.0;
+        s.violRate = 0.0;
+        blocks.push_back(s);
+    }
+    const auto est =
+        experiment::estimate(blocks, EstimatorConfig{});
+    EXPECT_EQ(est.p95Ms.alpha, 1.0);
+    EXPECT_EQ(est.p95Ms.mixed.estimate, est.p95Ms.naive.estimate);
+    // The violation series is constant in BOTH estimators: the
+    // blend has nothing to choose between and splits evenly.
+    EXPECT_EQ(est.violations.alpha, 0.5);
+}
+
+TEST(DQEstimator, SingleArmIsInconclusive)
+{
+    std::vector<BlockStat> blocks(4);
+    for (int b = 0; b < 4; ++b) {
+        blocks[b].arm = 0;
+        blocks[b].block = b;
+        blocks[b].meanES = 0.5;
+    }
+    const auto est =
+        experiment::estimate(blocks, EstimatorConfig{});
+    EXPECT_EQ(est.blocksA, 4);
+    EXPECT_EQ(est.blocksB, 0);
+    EXPECT_EQ(experiment::verdictOf(est),
+              experiment::Verdict::Inconclusive);
+}
+
+TEST(DQEstimator, VerdictNamesAreStable)
+{
+    using experiment::Verdict;
+    EXPECT_STREQ(experiment::verdictName(Verdict::ArmABetter),
+                 "arm_a_better");
+    EXPECT_STREQ(experiment::verdictName(Verdict::ArmBBetter),
+                 "arm_b_better");
+    EXPECT_STREQ(experiment::verdictName(Verdict::Inconclusive),
+                 "inconclusive");
+}
+
+} // namespace

@@ -842,6 +842,11 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
               "under the global load generator (--nodes N --lc N "
               "--be N --tenants M --zipf S --rebalance-every E "
               "--spread T --keep-epochs)\n"
+              "  experiment <verb> [opts]   online A/B policy "
+              "experiment on the fleet: design | run | analyze | "
+              "verdict (--design switchback|interleaved --arm-a S "
+              "--arm-b S --nodes N --blocks N --block-epochs N "
+              "--resamples N --confidence C)\n"
               "  oracle [opts] app=load..   best static partitions\n"
               "  trace <file.jsonl>         summarise a --trace "
               "run\n"
@@ -905,6 +910,8 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
         return runFleet(rest, out, err);
     if (cmd == "chaos")
         return runChaos(rest, out, err);
+    if (cmd == "experiment")
+        return runExperiment(rest, out, err);
     if (cmd == "trace")
         return runTrace(rest, out, err);
     if (cmd == "timeline")

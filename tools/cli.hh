@@ -184,6 +184,23 @@ int runFleet(const std::vector<std::string> &args, std::ostream &out,
              std::ostream &err);
 
 /**
+ * Run `ahq experiment <design|run|analyze|verdict>`: online
+ * two-arm policy experiments over the fleet's policy-swap seam
+ * (src/experiment/). `design` prints the randomized (node x block)
+ * arm assignment — a pure function of (seed, design) — `run`
+ * executes it and prints the naive / Differences-in-Q / mixed
+ * contrast estimates with bootstrap CIs and the verdict, `analyze`
+ * re-estimates from a run's trace (experiment_block events), and
+ * `verdict` prints just the one-line outcome. Flags: --design
+ * switchback|interleaved --arm-a S --arm-b S --nodes N --blocks N
+ * --block-epochs N --resamples N --confidence C plus the fleet
+ * workload shape (--lc --be --tenants --zipf) and simulate's
+ * option grammar (implemented in experiment_cmd.cc).
+ */
+int runExperiment(const std::vector<std::string> &args,
+                  std::ostream &out, std::ostream &err);
+
+/**
  * Run `ahq sweep`: sweep the FIRST LC app's load from 10% to 90%
  * (its given load is ignored) under every strategy, printing the
  * E_S table — a command-line Fig. 8. Accepts simulate's grammar.

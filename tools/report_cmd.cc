@@ -53,6 +53,22 @@ struct RunSummary
     double esP99 = 0.0;
 };
 
+/** One experiment_end event (an `ahq experiment run` outcome). */
+struct ExperimentEntry
+{
+    std::string file;
+    std::string scenario;
+    std::string verdict;
+    long long blocksA = 0;
+    long long blocksB = 0;
+    long long policySwaps = 0;
+    double esMixedEst = 0.0;
+    double esMixedLo = 0.0;
+    double esMixedHi = 0.0;
+    double p95MixedEst = 0.0;
+    double violMixedEst = 0.0;
+};
+
 /** One BENCH_*.json line. */
 struct BenchEntry
 {
@@ -119,7 +135,8 @@ foldEsSeries(RunSummary &s, const obs::TraceEvent &ev)
 void
 scanInput(const std::string &path,
           std::vector<RunSummary> &runs,
-          std::vector<BenchEntry> &bench)
+          std::vector<BenchEntry> &bench,
+          std::vector<ExperimentEntry> &experiments)
 {
     // (file, scenario) -> index into runs, keeping file order.
     std::map<std::string, std::size_t> index;
@@ -136,6 +153,25 @@ scanInput(const std::string &path,
                 e.config = ev.str("config");
                 e.gitRev = ev.str("git_rev");
                 bench.push_back(std::move(e));
+                return;
+            }
+            if (type == "experiment_end") {
+                ExperimentEntry e;
+                e.file = path;
+                e.scenario = ev.str("scenario");
+                e.verdict = ev.str("verdict");
+                e.blocksA =
+                    static_cast<long long>(ev.num("blocks_a"));
+                e.blocksB =
+                    static_cast<long long>(ev.num("blocks_b"));
+                e.policySwaps = static_cast<long long>(
+                    ev.num("policy_swaps"));
+                e.esMixedEst = ev.num("es_mixed_est");
+                e.esMixedLo = ev.num("es_mixed_lo");
+                e.esMixedHi = ev.num("es_mixed_hi");
+                e.p95MixedEst = ev.num("p95_mixed_est");
+                e.violMixedEst = ev.num("viol_mixed_est");
+                experiments.push_back(std::move(e));
                 return;
             }
             const std::string tag = ev.str("scenario");
@@ -168,7 +204,8 @@ scanInput(const std::string &path,
 
 void
 emitJson(std::ostream &out, const std::vector<RunSummary> &runs,
-         const std::vector<BenchEntry> &bench)
+         const std::vector<BenchEntry> &bench,
+         const std::vector<ExperimentEntry> &experiments)
 {
     std::string b;
     b += "{\"tool\":\"ahq report\",\"runs\":[";
@@ -205,6 +242,35 @@ emitJson(std::ostream &out, const std::vector<RunSummary> &runs,
         obs::json::appendNumber(b, s.faults);
         b += '}';
     }
+    b += "],\"experiments\":[";
+    for (std::size_t i = 0; i < experiments.size(); ++i) {
+        const ExperimentEntry &e = experiments[i];
+        if (i > 0)
+            b += ',';
+        b += "{\"file\":";
+        obs::json::appendString(b, e.file);
+        b += ",\"scenario\":";
+        obs::json::appendString(b, e.scenario);
+        b += ",\"verdict\":";
+        obs::json::appendString(b, e.verdict);
+        b += ",\"blocks_a\":";
+        obs::json::appendNumber(b, e.blocksA);
+        b += ",\"blocks_b\":";
+        obs::json::appendNumber(b, e.blocksB);
+        b += ",\"policy_swaps\":";
+        obs::json::appendNumber(b, e.policySwaps);
+        b += ",\"es_mixed_est\":";
+        obs::json::appendNumber(b, e.esMixedEst);
+        b += ",\"es_mixed_lo\":";
+        obs::json::appendNumber(b, e.esMixedLo);
+        b += ",\"es_mixed_hi\":";
+        obs::json::appendNumber(b, e.esMixedHi);
+        b += ",\"p95_mixed_est\":";
+        obs::json::appendNumber(b, e.p95MixedEst);
+        b += ",\"viol_mixed_est\":";
+        obs::json::appendNumber(b, e.violMixedEst);
+        b += '}';
+    }
     b += "],\"bench\":[";
     for (std::size_t i = 0; i < bench.size(); ++i) {
         const BenchEntry &e = bench[i];
@@ -233,7 +299,8 @@ emitJson(std::ostream &out, const std::vector<RunSummary> &runs,
 void
 emitMarkdown(std::ostream &out,
              const std::vector<RunSummary> &runs,
-             const std::vector<BenchEntry> &bench)
+             const std::vector<BenchEntry> &bench,
+             const std::vector<ExperimentEntry> &experiments)
 {
     out << "# ahq report\n";
     if (!runs.empty()) {
@@ -266,6 +333,27 @@ emitMarkdown(std::ostream &out,
                 << " | " << s.faults << " |\n";
         }
     }
+    if (!experiments.empty()) {
+        out << "\n## Experiments\n\n"
+            << "| file | scenario | verdict | dE_S mixed "
+               "[95% CI] | dp95 (ms) | dviol rate | blocks | "
+               "swaps |\n"
+            << "|---|---|---|---|---|---|---|---|\n";
+        for (const ExperimentEntry &e : experiments) {
+            out << "| " << e.file << " | "
+                << (e.scenario.empty() ? "(untagged)"
+                                       : e.scenario)
+                << " | " << e.verdict << " | "
+                << report::TextTable::num(e.esMixedEst) << " ["
+                << report::TextTable::num(e.esMixedLo) << ", "
+                << report::TextTable::num(e.esMixedHi) << "] | "
+                << report::TextTable::num(e.p95MixedEst)
+                << " | "
+                << report::TextTable::num(e.violMixedEst)
+                << " | " << e.blocksA << "+" << e.blocksB
+                << " | " << e.policySwaps << " |\n";
+        }
+    }
     if (!bench.empty()) {
         out << "\n## Benchmarks\n\n"
             << "| file | benchmark | wall (ms) | throughput | "
@@ -282,7 +370,7 @@ emitMarkdown(std::ostream &out,
                 << " |\n";
         }
     }
-    if (runs.empty() && bench.empty())
+    if (runs.empty() && bench.empty() && experiments.empty())
         out << "\n(no runs or benchmarks in the inputs)\n";
 }
 
@@ -353,9 +441,10 @@ runReport(const std::vector<std::string> &args, std::ostream &out,
 
     std::vector<RunSummary> runs;
     std::vector<BenchEntry> bench;
+    std::vector<ExperimentEntry> experiments;
     try {
         for (const auto &path : inputs)
-            scanInput(path, runs, bench);
+            scanInput(path, runs, bench, experiments);
     } catch (const std::exception &e) {
         err << "error: " << e.what() << "\n";
         return 1;
@@ -371,9 +460,9 @@ runReport(const std::vector<std::string> &args, std::ostream &out,
     }
     std::ostream &dst = outPath.empty() ? out : file;
     if (format == "json")
-        emitJson(dst, runs, bench);
+        emitJson(dst, runs, bench, experiments);
     else
-        emitMarkdown(dst, runs, bench);
+        emitMarkdown(dst, runs, bench, experiments);
     if (!outPath.empty())
         out << "report written to " << outPath << "\n";
     return 0;
