@@ -161,6 +161,12 @@ ClusterScheduler::run(const SimulationConfig &base,
         out.roundSpread.push_back(spread);
         out.violations += round_pool.violations;
         pooled.merge(round_pool);
+        // (round, node)-ordered merges keep the pooled ledger bits
+        // independent of which worker ran which node.
+        for (std::size_t n = 0; n < nn; ++n) {
+            out.attribution.merge(results[n].attribution);
+            out.slo.merge(results[n].slo);
+        }
         scope.count("cluster.rounds");
         if (tracing) {
             obs::Event ev("cluster_round");
@@ -286,6 +292,13 @@ ClusterScheduler::run(const SimulationConfig &base,
                     .integer("from", hot)
                     .integer("to", dest)
                     .integer("cost_epochs", cfg.migrationCostEpochs);
+                // With attribution on, the migration cites who was
+                // hurting the moved app on the node it is leaving
+                // ("" for BE apps — the ledger only has LC victims).
+                if (base.attribute)
+                    ev.str("blame",
+                           results[uh].attribution.topBlame(
+                               apps_[ud].back().profile.name));
                 scope.emit(ev);
             }
             ++done;

@@ -120,6 +120,17 @@ struct ClusterResult
 
     /** Apps per node after the final round. */
     std::vector<int> finalAppsPerNode;
+
+    /**
+     * Attribution ledger pooled over every measurement round in
+     * (round, node) order; empty unless the base SimulationConfig
+     * sets `attribute`. The same ledger backs the `blame` field
+     * migrations cite in `cluster_migrate` trace events.
+     */
+    obs::AttributionLedger attribution;
+
+    /** Summed alert accounting (zeros unless base config slo). */
+    obs::SloSummary slo;
 };
 
 /**

@@ -166,6 +166,33 @@ EpochSimulator::runImpl(sched::Scheduler *const *arms,
         injector.emplace(*cfg.faults, cfg.seed, cfg.obs);
     const bool faulting = injector.has_value();
 
+    // Opt-in counterfactual interference attribution
+    // (cfg.attribute). The attributor owns its own contention
+    // model — the simulator's instance keeps mutable scratch, so
+    // sharing it would be unsafe — and is per-run local state like
+    // the auditor and the injector. Off ⇒ one branch per epoch.
+    std::optional<obs::InterferenceAttributor> attributor;
+    if (cfg.attribute)
+        attributor.emplace(node_.config(), cfg.contention);
+    const bool attributing = attributor.has_value();
+    std::vector<obs::AttributionShare> attr_shares;
+    // Victim AppId → index into entropy.lcDetail (LC push order).
+    std::vector<int> lc_index;
+    if (attributing) {
+        lc_index.assign(static_cast<std::size_t>(n), -1);
+        for (std::size_t v = 0; v < node_.lcApps().size(); ++v)
+            lc_index[static_cast<std::size_t>(
+                node_.lcApps()[v])] = static_cast<int>(v);
+    }
+
+    // Opt-in online SLO burn-rate monitoring (cfg.slo). Pure
+    // function of the violation bit stream, so alert events stay
+    // inside the byte-identity contract. Off ⇒ one branch.
+    std::optional<obs::SloMonitor> slo_monitor;
+    if (cfg.slo)
+        slo_monitor.emplace(n, cfg.sloTraits);
+    const bool slo_on = slo_monitor.has_value();
+
     // Degradation carried into the next epoch's decision: whether
     // any (resp. every) app's sample was dropped last epoch.
     bool last_degraded = false;
@@ -537,6 +564,74 @@ EpochSimulator::runImpl(sched::Scheduler *const *arms,
         rec.entropy = core::computeEntropy(lc_obs, be_obs, cfg.ri);
         } // measure phase
 
+        // Counterfactual attribution of this epoch's measured
+        // interference. Post-warmup epochs only, matching the
+        // violation counter and the steady-state means the ledger
+        // is read next to; `demands` still holds exactly what the
+        // model evaluated above.
+        if (attributing && e >= result.warmupEpochs) {
+            obs::Span span(cfg.obs, "attribute");
+            attributor->attribute(layout, demands,
+                                  cur->corePolicy(), rec.outcomes,
+                                  node_.lcApps(),
+                                  rec.entropy.lcDetail,
+                                  attr_shares);
+            std::size_t s = 0;
+            while (s < attr_shares.size()) {
+                const machine::AppId victim = attr_shares[s].victim;
+                std::size_t end = s;
+                while (end < attr_shares.size() &&
+                       attr_shares[end].victim == victim)
+                    ++end;
+                const std::string &vname =
+                    node_.profile(victim).name;
+                for (std::size_t k = s; k < end; ++k) {
+                    const obs::AttributionShare &sh =
+                        attr_shares[k];
+                    result.attribution.add(
+                        vname,
+                        sh.culprit == obs::kNoiseCulprit
+                            ? obs::kNoiseCulpritName
+                            : node_.profile(sh.culprit).name,
+                        obs::interferenceResourceName(sh.resource),
+                        sh.share);
+                }
+                if (epoch_traced) {
+                    std::vector<std::string> culprits, resources;
+                    std::vector<double> shares;
+                    culprits.reserve(end - s);
+                    resources.reserve(end - s);
+                    shares.reserve(end - s);
+                    for (std::size_t k = s; k < end; ++k) {
+                        const obs::AttributionShare &sh =
+                            attr_shares[k];
+                        culprits.push_back(
+                            sh.culprit == obs::kNoiseCulprit
+                                ? obs::kNoiseCulpritName
+                                : node_.profile(sh.culprit).name);
+                        resources.push_back(
+                            obs::interferenceResourceName(
+                                sh.resource));
+                        shares.push_back(sh.share);
+                    }
+                    obs::Event ev("attribution");
+                    ev.str("app", vname)
+                        .num("r_i",
+                             rec.entropy
+                                 .lcDetail[static_cast<std::size_t>(
+                                     lc_index[static_cast<
+                                         std::size_t>(victim)])]
+                                 .interference)
+                        .strs("culprits", culprits)
+                        .strs("resources", resources)
+                        .nums("shares", shares);
+                    cfg.obs.atEpoch(e).emit(ev);
+                }
+                s = end;
+            }
+            cfg.obs.count("attr.epochs");
+        }
+
         if (auditing) {
             obs::Span span(cfg.obs, "audit");
             auditor.afterEpoch(rec.entropy, cfg.ri, !lc_obs.empty(),
@@ -598,6 +693,47 @@ EpochSimulator::runImpl(sched::Scheduler *const *arms,
                 .nums("p95_ms", p95)
                 .nums("ipc", ipc);
             cfg.obs.atEpoch(e).emit(ev);
+        }
+
+        // SLO burn-rate monitoring: every LC app's violation bit
+        // (the elastic QoS predicate the violation counters use)
+        // feeds the dual-window detector. Alert transitions emit
+        // unconditionally of trace sampling, like `violation` —
+        // alerts are the signal sampling must not drop.
+        if (slo_on) {
+            for (AppId i = 0; i < n; ++i) {
+                const auto ui = static_cast<std::size_t>(i);
+                const auto &o = rec.obs[ui];
+                if (!o.latencyCritical)
+                    continue;
+                const bool viol = o.p95Ms >
+                    o.thresholdMs *
+                        (1.0 + core::kThresholdElasticity);
+                const obs::SloAlertTransition tr =
+                    slo_monitor->observe(i, e, viol);
+                if (tr.kind ==
+                    obs::SloAlertTransition::Kind::Raise) {
+                    cfg.obs.count("slo.alert_raised");
+                    if (tracing) {
+                        obs::Event ev("alert_raise");
+                        ev.str("app", node_.profile(i).name)
+                            .num("burn_fast", tr.burnFast)
+                            .num("burn_slow", tr.burnSlow);
+                        cfg.obs.atEpoch(e).emit(ev);
+                    }
+                } else if (tr.kind ==
+                           obs::SloAlertTransition::Kind::Clear) {
+                    cfg.obs.count("slo.alert_cleared");
+                    if (tracing) {
+                        obs::Event ev("alert_clear");
+                        ev.str("app", node_.profile(i).name)
+                            .integer("duration", tr.durationEpochs)
+                            .num("burn_fast", tr.burnFast)
+                            .num("burn_slow", tr.burnSlow);
+                        cfg.obs.atEpoch(e).emit(ev);
+                    }
+                }
+            }
         }
         cfg.obs.count("sim.epochs");
 
@@ -663,6 +799,16 @@ EpochSimulator::runImpl(sched::Scheduler *const *arms,
     }
     result.yieldValue = lc_total > 0 ?
         static_cast<double>(lc_ok) / lc_total : 1.0;
+
+    if (slo_on) {
+        result.slo = slo_monitor->summary();
+        cfg.obs.count("slo.alert_epochs",
+                      static_cast<double>(result.slo.alertEpochs));
+    }
+    if (attributing)
+        cfg.obs.count("attr.evals",
+                      static_cast<double>(
+                          attributor->evaluations()));
 
     if (tracing) {
         obs::Event ev("run_end");

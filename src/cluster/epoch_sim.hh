@@ -23,7 +23,9 @@
 #include "core/entropy.hh"
 #include "fault/plan.hh"
 #include "machine/layout.hh"
+#include "obs/attribution.hh"
 #include "obs/scope.hh"
+#include "obs/slo.hh"
 #include "perf/contention.hh"
 #include "sched/scheduler.hh"
 
@@ -134,6 +136,32 @@ struct SimulationConfig
      * order the post-run scan used to.
      */
     bool keepEpochs = true;
+
+    /**
+     * Opt-in counterfactual interference attribution (see
+     * obs/attribution.hh). On, every post-warmup epoch with a
+     * suffering LC app costs n extra contention-model evaluations
+     * (one per co-runner removed); the per-(victim, culprit,
+     * resource) shares accumulate into SimulationResult::
+     * attribution and, when the epoch's trace events are kept,
+     * emit one `attribution` event per suffering victim. Off (the
+     * default) the hook is a single branch per epoch and the run
+     * is byte-identical to a build without the seam.
+     */
+    bool attribute = false;
+
+    /**
+     * Opt-in online SLO burn-rate monitoring (see obs/slo.hh). On,
+     * every LC app's per-epoch violation bit feeds a multi-window
+     * burn-rate detector; alert transitions emit `alert_raise` /
+     * `alert_clear` trace events (never trace-sampled, like
+     * `violation`) and bump the slo.* counters, with the run's
+     * totals in SimulationResult::slo. Off: one branch per epoch.
+     */
+    bool slo = false;
+
+    /** Burn-rate windows/thresholds when slo is on. */
+    obs::SloTraits sloTraits;
 };
 
 /**
@@ -227,6 +255,17 @@ struct SimulationResult
      * excluded exactly like they are from meanP95Ms.
      */
     std::vector<double> steadyMeanLoad;
+
+    /**
+     * Accumulated interference attribution over the post-warmup
+     * epochs (empty unless SimulationConfig::attribute). Keys are
+     * app names; per-victim totals equal the sum of the victim's
+     * per-epoch R_i over the attributed epochs.
+     */
+    obs::AttributionLedger attribution;
+
+    /** Alert accounting (zeros unless SimulationConfig::slo). */
+    obs::SloSummary slo;
 };
 
 /**

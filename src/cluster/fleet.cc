@@ -192,8 +192,11 @@ Fleet::run(const SimulationConfig &config, exec::ThreadPool *pool)
         std::vector<FleetAccumulator> accums;
         runEntries(nodes_, config, scope, tracing, 0, "", nullptr,
                    buffers, out.nodes, accums, p);
-        for (const auto &res : out.nodes)
+        for (const auto &res : out.nodes) {
             out.violations += res.violations;
+            out.attribution.merge(res.attribution);
+            out.slo.merge(res.slo);
+        }
 
         // Streaming reduce: the per-node accumulators built on the
         // pool merge in node order, so the pooled observation
@@ -353,12 +356,20 @@ Fleet::run(const SimulationConfig &config, exec::ThreadPool *pool)
         auto &slot =
             out.nodes[static_cast<std::size_t>(survivors[s])];
         slot = std::move(res_b[s]);
-        slot.violations +=
-            res_a[static_cast<std::size_t>(survivors[s])]
-                .violations;
+        const auto &before =
+            res_a[static_cast<std::size_t>(survivors[s])];
+        slot.violations += before.violations;
+        // Same whole-run accounting for the blame ledger and the
+        // alert tallies: attribution a survivor accumulated before
+        // the crash stays in the fleet totals.
+        slot.attribution.merge(before.attribution);
+        slot.slo.merge(before.slo);
     }
-    for (const auto &res : out.nodes)
+    for (const auto &res : out.nodes) {
         out.violations += res.violations;
+        out.attribution.merge(res.attribution);
+        out.slo.merge(res.slo);
+    }
 
     // The datacenter entropy describes the post-recovery fleet:
     // merge the phase B accumulators in node order.

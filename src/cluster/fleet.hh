@@ -113,6 +113,17 @@ class Fleet
 
         /** Nodes that crashed mid-run, in node order. */
         std::vector<int> crashedNodes;
+
+        /**
+         * Fleet-wide attribution ledger: the per-node ledgers
+         * merged in node order (crash runs fold both phases), so
+         * the merged rows are bitwise identical at any --jobs.
+         * Empty unless the shared config sets `attribute`.
+         */
+        obs::AttributionLedger attribution;
+
+        /** Summed alert accounting (zeros unless config.slo). */
+        obs::SloSummary slo;
     };
 
     /**

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Multi-window SLO burn-rate monitor implementation.
+ */
+
+#include "obs/slo.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ahq::obs
+{
+
+SloMonitor::SloMonitor(int num_apps, SloTraits traits)
+    : traits_(traits),
+      budget_(std::max(1e-9, 1.0 - traits.targetAvailability)),
+      apps_(static_cast<std::size_t>(std::max(0, num_apps)))
+{
+    assert(traits_.fastWindowEpochs > 0);
+    assert(traits_.slowWindowEpochs > traits_.fastWindowEpochs);
+    assert(traits_.burnThreshold > 0.0);
+    assert(traits_.clearRatio > 0.0 && traits_.clearRatio <= 1.0);
+    for (AppState &s : apps_) {
+        s.bits.assign(
+            static_cast<std::size_t>(traits_.slowWindowEpochs), 0);
+    }
+}
+
+SloAlertTransition
+SloMonitor::observe(int app, int epoch, bool violated)
+{
+    AppState &s = apps_[static_cast<std::size_t>(app)];
+    const int fast = traits_.fastWindowEpochs;
+    const int slow = traits_.slowWindowEpochs;
+
+    // Ring update: retire the bits leaving each window before the
+    // new one lands. fast < slow guarantees the fast retiree has
+    // not been overwritten yet.
+    const std::size_t pos =
+        static_cast<std::size_t>(s.seen % slow);
+    if (s.seen >= slow)
+        s.slowCount -= s.bits[pos];
+    if (s.seen >= fast)
+        s.fastCount -= s.bits[static_cast<std::size_t>(
+            (s.seen - fast) % slow)];
+    const unsigned char bit = violated ? 1 : 0;
+    s.bits[pos] = bit;
+    s.fastCount += bit;
+    s.slowCount += bit;
+    ++s.seen;
+
+    SloAlertTransition tr;
+    const int in_fast = std::min(s.seen, fast);
+    const int in_slow = std::min(s.seen, slow);
+    tr.burnFast =
+        (static_cast<double>(s.fastCount) / in_fast) / budget_;
+    tr.burnSlow =
+        (static_cast<double>(s.slowCount) / in_slow) / budget_;
+    summary_.worstBurn = std::max(summary_.worstBurn, tr.burnFast);
+
+    if (!s.active) {
+        // Raising needs a full fast window of evidence; both
+        // windows must agree the budget is burning too fast.
+        if (s.seen >= fast && tr.burnFast >= traits_.burnThreshold &&
+            tr.burnSlow >= traits_.burnThreshold) {
+            s.active = true;
+            s.raisedEpoch = epoch;
+            ++summary_.raises;
+            ++summary_.activeAtEnd;
+            ++summary_.alertEpochs;
+            tr.kind = SloAlertTransition::Kind::Raise;
+        }
+    } else {
+        const double clear_at =
+            traits_.burnThreshold * traits_.clearRatio;
+        if (tr.burnFast < clear_at && tr.burnSlow < clear_at) {
+            s.active = false;
+            ++summary_.clears;
+            --summary_.activeAtEnd;
+            tr.kind = SloAlertTransition::Kind::Clear;
+            tr.durationEpochs = epoch - s.raisedEpoch;
+            s.raisedEpoch = -1;
+        } else {
+            ++summary_.alertEpochs;
+        }
+    }
+    return tr;
+}
+
+bool
+SloMonitor::active(int app) const
+{
+    return apps_[static_cast<std::size_t>(app)].active;
+}
+
+SloSummary
+SloMonitor::summary() const
+{
+    return summary_;
+}
+
+} // namespace ahq::obs

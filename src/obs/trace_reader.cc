@@ -270,11 +270,12 @@ isKnownTraceType(std::string_view type)
     // The schema-v1 taxonomy (docs/TRACE_SCHEMA.md). Sorted so the
     // lookup is a binary search; update alongside the doc table.
     static constexpr std::string_view kKnown[] = {
-        "arq_decision",     "bench",
-        "clite_decision",   "cluster_end",
-        "cluster_migrate",  "cluster_round",
-        "cluster_start",    "epoch",
-        "experiment_block",
+        "alert_clear",      "alert_raise",
+        "arq_decision",     "attribution",
+        "bench",            "clite_decision",
+        "cluster_end",      "cluster_migrate",
+        "cluster_round",    "cluster_start",
+        "epoch",            "experiment_block",
         "experiment_end",   "experiment_start",
         "fault",            "fleet_end",
         "fleet_node",       "fleet_start",
@@ -297,8 +298,11 @@ forEachTrace(std::istream &in, const TraceEventFn &fn,
     std::uint64_t unknown = 0;
     while (std::getline(in, line)) {
         ++n;
-        if (line.empty())
+        if (line.empty()) {
+            if (stats != nullptr)
+                ++stats->skippedLines;
             continue;
+        }
         try {
             const TraceEvent ev = parseTraceLine(line);
             if (stats != nullptr) {

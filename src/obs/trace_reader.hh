@@ -89,6 +89,8 @@ struct TraceReadStats
 {
     std::uint64_t events = 0;
     std::uint64_t unknownEvents = 0;
+    /** Blank lines skipped without being parsed. */
+    std::uint64_t skippedLines = 0;
     /** Distinct unknown types with occurrence counts. */
     std::map<std::string, std::uint64_t> unknownTypes;
 };

@@ -5,6 +5,7 @@
 
 #include "cli.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
@@ -102,6 +103,46 @@ parseIntAtLeast(const std::string &s, const std::string &flag,
 
 } // namespace
 
+/**
+ * Print a run's blame ledger, largest attributed share first (ties
+ * broken by key order, so the table is deterministic). `top` = 0
+ * prints every row.
+ */
+void
+printBlameTable(std::ostream &out,
+                const obs::AttributionLedger &ledger,
+                std::size_t top)
+{
+    auto rows = ledger.rows();
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const obs::AttributionRow &a,
+                        const obs::AttributionRow &b) {
+                         return a.share > b.share;
+                     });
+    if (top > 0 && rows.size() > top)
+        rows.resize(top);
+    report::TextTable t({"victim", "culprit", "resource",
+                         "sum R_i share", "epochs"});
+    for (const auto &r : rows) {
+        t.addRow({r.victim, r.culprit, r.resource,
+                  report::TextTable::num(r.share),
+                  std::to_string(r.epochs)});
+    }
+    t.print(out);
+}
+
+/** One-line alert accounting for a run with --slo. */
+void
+printSloSummary(std::ostream &out, const obs::SloSummary &slo)
+{
+    out << "slo: raises = " << slo.raises
+        << ", clears = " << slo.clears
+        << ", active at end = " << slo.activeAtEnd
+        << ", alert epochs = " << slo.alertEpochs
+        << ", worst burn = "
+        << report::TextTable::num(slo.worstBurn) << "\n";
+}
+
 SimulateOptions
 parseSimulateArgs(const std::vector<std::string> &args,
                   bool require_apps)
@@ -198,6 +239,18 @@ parseSimulateArgs(const std::vector<std::string> &args,
                     "--metrics does not take a value");
             }
             opt.dumpMetrics = true;
+        } else if (a == "--attribute") {
+            if (has_inline) {
+                throw std::invalid_argument(
+                    "--attribute does not take a value");
+            }
+            opt.attribute = true;
+        } else if (a == "--slo") {
+            if (has_inline) {
+                throw std::invalid_argument(
+                    "--slo does not take a value");
+            }
+            opt.slo = true;
         } else if (a == "--profile") {
             if (has_inline) {
                 throw std::invalid_argument(
@@ -352,6 +405,8 @@ runSimulate(const std::vector<std::string> &args, std::ostream &out,
         cfg.ri = opt.ri;
         cfg.checkMode = opt.checkMode;
         cfg.traceSampleRate = opt.traceSampleRate;
+        cfg.attribute = opt.attribute;
+        cfg.slo = opt.slo;
 
         // The plan must outlive the run: cfg holds a pointer.
         fault::FaultPlan plan;
@@ -418,6 +473,17 @@ runSimulate(const std::vector<std::string> &args, std::ostream &out,
             << ", E_S = " << res.meanES
             << ", yield = " << res.yieldValue
             << ", violations = " << res.violations << "\n";
+
+        if (opt.attribute && !res.attribution.empty()) {
+            out << "interference attribution (post-warmup sum of "
+                   "per-epoch R_i shares):\n";
+            printBlameTable(out, res.attribution, 12);
+        } else if (opt.attribute) {
+            out << "interference attribution: no LC app suffered "
+                   "interference after warmup\n";
+        }
+        if (opt.slo)
+            printSloSummary(out, res.slo);
 
         if (!opt.csvPath.empty()) {
             report::CsvWriter csv(
@@ -607,6 +673,8 @@ runSweep(const std::vector<std::string> &args, std::ostream &out,
             cfg.ri = opt.ri;
             cfg.checkMode = opt.checkMode;
             cfg.traceSampleRate = opt.traceSampleRate;
+            cfg.attribute = opt.attribute;
+            cfg.slo = opt.slo;
             if (faulting)
                 cfg.faults = &plan;
 
@@ -707,6 +775,8 @@ runChaos(const std::vector<std::string> &args, std::ostream &out,
                                               : check::Mode::Strict;
         cfg.faults = &plan;
         cfg.traceSampleRate = opt.traceSampleRate;
+        cfg.attribute = opt.attribute;
+        cfg.slo = opt.slo;
 
         std::unique_ptr<obs::FileTraceSink> sink;
         obs::MetricsRegistry metrics;
@@ -850,6 +920,13 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
               "  oracle [opts] app=load..   best static partitions\n"
               "  trace <file.jsonl>         summarise a --trace "
               "run\n"
+              "  why [opts] <file.jsonl>    blame table from a "
+              "--trace --attribute run: who hurts each LC app, "
+              "through which resource (--scenario TAG --app NAME "
+              "--top N --format text|csv|json)\n"
+              "  alerts [opts] <file.jsonl> SLO alert timeline of "
+              "a --trace --slo run (--scenario TAG --app NAME "
+              "--format text|csv|json)\n"
               "  timeline [opts] <file.jsonl>  per-series "
               "sparkline / csv / json timelines of a --trace run\n"
               "  profile <file.jsonl>       span tree of a "
@@ -876,6 +953,9 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
               "traces stay byte-identical at any --jobs)\n"
               "  --profile (span profiler + tree; env AHQ_PROF; "
               "sweep/chaos keep traces byte-identical)\n"
+              "  --attribute (counterfactual interference "
+              "attribution: blame ledger + attribution trace "
+              "events) --slo (burn-rate SLO alerts)\n"
               "  --check off|log|strict (invariant audit; env "
               "AHQ_CHECK)\n"
               "  --faults FILE (JSONL fault plan; env AHQ_FAULTS; "
@@ -914,6 +994,10 @@ dispatch(const std::vector<std::string> &argv, std::ostream &out,
         return runExperiment(rest, out, err);
     if (cmd == "trace")
         return runTrace(rest, out, err);
+    if (cmd == "why")
+        return runWhy(rest, out, err);
+    if (cmd == "alerts")
+        return runAlerts(rest, out, err);
     if (cmd == "timeline")
         return runTimeline(rest, out, err);
     if (cmd == "profile")

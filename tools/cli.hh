@@ -91,6 +91,23 @@ struct SimulateOptions
     bool dumpMetrics = false;
 
     /**
+     * Counterfactual interference attribution (--attribute): build
+     * the per-(victim, culprit, resource) blame ledger during the
+     * run, print it afterwards and emit `attribution` trace events
+     * when tracing. Off by default — the dormant seam is one branch
+     * per epoch.
+     */
+    bool attribute = false;
+
+    /**
+     * Online SLO burn-rate monitoring (--slo): feed each LC app's
+     * per-epoch violation bit to the multi-window burn-rate
+     * detector, print the alert totals and emit `alert_raise` /
+     * `alert_clear` trace events when tracing. Off by default.
+     */
+    bool slo = false;
+
+    /**
      * Self-profile the run (--profile, or the AHQ_PROF environment
      * variable): attach a SpanProfiler to the hot paths and print
      * the span tree afterwards. simulate turns wall-clock fields on
@@ -230,6 +247,29 @@ int runTimeline(const std::vector<std::string> &args,
                 std::ostream &out, std::ostream &err);
 
 /**
+ * Run `ahq why [--scenario=TAG] [--app=NAME] [--top=N]
+ * [--format=text|csv|json] <file.jsonl>`: fold the `attribution`
+ * events of a --trace --attribute run into the per-(victim,
+ * culprit, resource) blame table — "who is hurting my LC app, and
+ * through which resource" — sorted by attributed interference
+ * share (implemented in why_cmd.cc). Exits 1 on malformed input or
+ * when the trace carries no attribution events.
+ */
+int runWhy(const std::vector<std::string> &args, std::ostream &out,
+           std::ostream &err);
+
+/**
+ * Run `ahq alerts [--scenario=TAG] [--app=NAME]
+ * [--format=text|csv|json] <file.jsonl>`: list the `alert_raise` /
+ * `alert_clear` events of a --trace --slo run as a timeline plus
+ * per-(scenario, app) totals — raises, clears, alerts still active
+ * at the end of the run (implemented in alerts_cmd.cc). Exits 1 on
+ * malformed input or when the trace carries no alert events.
+ */
+int runAlerts(const std::vector<std::string> &args,
+              std::ostream &out, std::ostream &err);
+
+/**
  * Run `ahq profile <file.jsonl>`: aggregate the `span` events of a
  * profiled trace into a flame-style indented tree per scenario —
  * count, total/mean/p99 wall time (when the trace carries timing)
@@ -251,6 +291,21 @@ int runProfile(const std::vector<std::string> &args,
 void printSpanProfile(std::ostream &out,
                       const obs::SpanProfiler &prof,
                       bool wall_times);
+
+/**
+ * Print a blame ledger as a text table, largest attributed share
+ * first (ties broken by ledger key order, so the output is
+ * deterministic) — the console rendering simulate/fleet use for
+ * --attribute and `ahq why` uses for its text format.
+ *
+ * @param top Keep only the `top` largest rows; 0 = all.
+ */
+void printBlameTable(std::ostream &out,
+                     const obs::AttributionLedger &ledger,
+                     std::size_t top);
+
+/** Print one run's alert accounting (the --slo console line). */
+void printSloSummary(std::ostream &out, const obs::SloSummary &slo);
 
 /**
  * Run `ahq report [--format=json|md] [-o FILE] <input>...`: fold

@@ -206,6 +206,8 @@ runFleet(const std::vector<std::string> &args, std::ostream &out,
         cfg.checkMode = opt.checkMode;
         cfg.traceSampleRate = opt.traceSampleRate;
         cfg.keepEpochs = ff.keepEpochs;
+        cfg.attribute = opt.attribute;
+        cfg.slo = opt.slo;
 
         std::unique_ptr<obs::FileTraceSink> sink;
         obs::MetricsRegistry metrics;
@@ -251,6 +253,8 @@ runFleet(const std::vector<std::string> &args, std::ostream &out,
 
         double e_lc = 0.0, e_be = 0.0, e_s = 0.0, yield = 1.0;
         long long violations = 0, migrations = 0;
+        obs::AttributionLedger blame;
+        obs::SloSummary slo_totals;
         if (ff.rebalanceEvery > 0) {
             cluster::ClusterConfig cc;
             cc.roundEpochs = ff.rebalanceEvery;
@@ -290,6 +294,8 @@ runFleet(const std::vector<std::string> &args, std::ostream &out,
             violations = res.violations;
             migrations =
                 static_cast<long long>(res.migrations.size());
+            blame = res.attribution;
+            slo_totals = res.slo;
         } else {
             cluster::Fleet fleet;
             for (int n = 0; n < ff.nodes; ++n) {
@@ -304,7 +310,17 @@ runFleet(const std::vector<std::string> &args, std::ostream &out,
             e_s = res.eS;
             yield = res.yieldValue;
             violations = res.violations;
+            blame = res.attribution;
+            slo_totals = res.slo;
         }
+
+        if (opt.attribute && !blame.empty()) {
+            out << "fleet blame ledger (top 12 by attributed "
+                   "interference):\n";
+            printBlameTable(out, blame, 12);
+        }
+        if (opt.slo)
+            printSloSummary(out, slo_totals);
 
         const double wall_s =
             std::chrono::duration<double>(

@@ -51,6 +51,13 @@ struct RunSummary
     double esMin = 0.0;
     double esMax = 0.0;
     double esP99 = 0.0;
+
+    /** SLO alert accounting from alert_raise / alert_clear. */
+    long long alertRaises = 0;
+    long long alertClears = 0;
+
+    /** Worst fast-window burn rate seen at any transition. */
+    double worstBurn = 0.0;
 };
 
 /** One experiment_end event (an `ahq experiment run` outcome). */
@@ -193,6 +200,14 @@ scanInput(const std::string &path,
                     static_cast<long long>(ev.num("count"));
             } else if (type == "fault") {
                 ++s.faults;
+            } else if (type == "alert_raise" ||
+                       type == "alert_clear") {
+                if (type == "alert_raise")
+                    ++s.alertRaises;
+                else
+                    ++s.alertClears;
+                s.worstBurn = std::max(s.worstBurn,
+                                       ev.num("burn_fast"));
             } else if (type == "series" &&
                        ev.str("series") == "e_s") {
                 foldEsSeries(s, ev);
@@ -240,6 +255,12 @@ emitJson(std::ostream &out, const std::vector<RunSummary> &runs,
         obs::json::appendNumber(b, s.spans);
         b += ",\"faults\":";
         obs::json::appendNumber(b, s.faults);
+        b += ",\"alert_raises\":";
+        obs::json::appendNumber(b, s.alertRaises);
+        b += ",\"alert_clears\":";
+        obs::json::appendNumber(b, s.alertClears);
+        b += ",\"worst_burn\":";
+        obs::json::appendNumber(b, s.worstBurn);
         b += '}';
     }
     b += "],\"experiments\":[";
@@ -307,9 +328,10 @@ emitMarkdown(std::ostream &out,
         out << "\n## Runs\n\n"
             << "| file | scenario | scheduler | epochs | mean E_S"
                " | final E_S | E_S min | E_S max | E_S p99 | "
-               "decisions | spans | faults |\n"
+               "decisions | spans | faults | alerts | worst burn "
+               "|\n"
             << "|---|---|---|---|---|---|---|---|---|---|---|"
-               "---|\n";
+               "---|---|---|\n";
         for (const RunSummary &s : runs) {
             out << "| " << s.file << " | "
                 << (s.scenario.empty() ? "(untagged)"
@@ -330,7 +352,12 @@ emitMarkdown(std::ostream &out,
                 << (s.hasSeries
                         ? report::TextTable::num(s.esP99) : "-")
                 << " | " << s.decisions << " | " << s.spans
-                << " | " << s.faults << " |\n";
+                << " | " << s.faults << " | " << s.alertRaises
+                << "/" << s.alertClears << " | "
+                << (s.alertRaises > 0
+                        ? report::TextTable::num(s.worstBurn)
+                        : "-")
+                << " |\n";
         }
     }
     if (!experiments.empty()) {

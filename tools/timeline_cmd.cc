@@ -47,6 +47,9 @@ struct Markers
 {
     std::set<int> faults, recoveries, violations;
 
+    /** alert_raise epochs (--slo runs), rendered on their own row. */
+    std::set<int> alerts;
+
     bool empty() const
     {
         return faults.empty() && recoveries.empty() &&
@@ -338,7 +341,8 @@ runTimeline(const std::vector<std::string> &args, std::ostream &out,
                     data[{scenario, name}] = std::move(d);
                 } else if (type == "fault" ||
                            type == "recovery" ||
-                           type == "violation") {
+                           type == "violation" ||
+                           type == "alert_raise") {
                     const int epoch = static_cast<int>(
                         ev.num("epoch", -1.0));
                     if (epoch < 0)
@@ -348,6 +352,8 @@ runTimeline(const std::vector<std::string> &args, std::ostream &out,
                         m.faults.insert(epoch);
                     else if (type == "recovery")
                         m.recoveries.insert(epoch);
+                    else if (type == "alert_raise")
+                        m.alerts.insert(epoch);
                     else
                         m.violations.insert(epoch);
                 }
@@ -454,6 +460,7 @@ runTimeline(const std::vector<std::string> &args, std::ostream &out,
             list(m.faults, "fault");
             list(m.recoveries, "recovery");
             list(m.violations, "violation");
+            list(m.alerts, "alert_raise");
         }
         buf += "]}";
         out << buf << "\n";
@@ -506,6 +513,18 @@ runTimeline(const std::vector<std::string> &args, std::ostream &out,
                 mit->second, d.buckets(), display_stride);
             out << "  |" << row << "|  x=fault r=recovery "
                 << "!=violation\n";
+        }
+        // SLO alerts get their own aligned row so a raise is
+        // never masked by a violation in the same bucket.
+        if (mit != markers.end() && !mit->second.alerts.empty()) {
+            std::string row(d.buckets(), ' ');
+            for (int e : mit->second.alerts) {
+                const auto b = static_cast<std::size_t>(
+                    e / display_stride);
+                if (b < row.size())
+                    row[b] = 'A';
+            }
+            out << "  |" << row << "|  A=alert_raise\n";
         }
     }
     if (stats.unknownEvents > 0) {

@@ -266,6 +266,12 @@ runTrace(const std::vector<std::string> &args, std::ostream &out,
         out << "remaining tolerance (ARQ decisions):\n";
         rt.print(out);
     }
+
+    // Read-stats footer: what the streaming reader actually saw,
+    // including lines that produced no event at all.
+    out << "reader: " << stats.events << " event(s) parsed, "
+        << stats.skippedLines << " blank line(s) skipped, "
+        << stats.unknownEvents << " outside the schema taxonomy\n";
     return 0;
 }
 
